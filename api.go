@@ -1,0 +1,145 @@
+// Package orochi is a Go reproduction of "The Efficient Server Audit
+// Problem, Deduplicated Re-execution, and the Web" (Tan, Yu, Leners,
+// Walfish — SOSP 2017): the SSCO audit algorithms and the OROCHI system
+// built on them.
+//
+// The model: an untrusted executor (the Server here) runs an application
+// Program over concurrent requests; a trusted Collector captures the
+// trace of requests and responses; the executor also hands back
+// untrusted Reports (control-flow groups, per-object operation logs,
+// operation counts, and nondeterminism records). Audit verifies —
+// several times faster than re-executing naively — that every response
+// in the trace is one a correct execution could have produced
+// (Soundness), while always accepting honest executions (Completeness).
+//
+// Quick start:
+//
+//	prog, _ := orochi.CompileApp(map[string]string{
+//	    "hello": `echo "hello " . $_GET["name"];`,
+//	})
+//	srv := orochi.NewServer(prog, orochi.ServerOptions{Record: true})
+//	snap := srv.Snapshot()
+//	srv.Handle(orochi.Input{Script: "hello", Get: map[string]string{"name": "world"}})
+//	res, _ := orochi.Audit(prog, srv.Trace(), srv.Reports(), snap, orochi.AuditOptions{})
+//	fmt.Println(res.Accepted) // true
+//
+// The building blocks are exposed as aliases so downstream users can
+// compose them directly: the application language (lang), the SQL engine
+// (sqlmini), versioned storage (vstore), the SSCO graph algorithms
+// (core), and the workload generators used by the paper's evaluation
+// (workload, apps).
+package orochi
+
+import (
+	"orochi/internal/apps"
+	"orochi/internal/lang"
+	"orochi/internal/object"
+	"orochi/internal/reports"
+	"orochi/internal/server"
+	"orochi/internal/trace"
+	"orochi/internal/verifier"
+	"orochi/internal/workload"
+)
+
+// Program is a compiled application: entry-point scripts plus a global
+// function table, in the reproduction's PHP-like language.
+type Program = lang.Program
+
+// Input is one client request: the script to invoke plus superglobals.
+type Input = trace.Input
+
+// Trace is the collector's ordered record of requests and responses.
+type Trace = trace.Trace
+
+// Collector is the trusted middlebox capturing traces.
+type Collector = trace.Collector
+
+// Reports is the executor's untrusted report bundle.
+type Reports = reports.Reports
+
+// Server is the executor: it serves requests concurrently and, when
+// recording, produces reports.
+type Server = server.Server
+
+// ServerOptions configures a Server.
+type ServerOptions = server.Options
+
+// Snapshot is the persistent-object state at an audit boundary.
+type Snapshot = object.Snapshot
+
+// AuditOptions configures the verifier.
+type AuditOptions = verifier.Options
+
+// AuditResult is the verdict plus cost decomposition and group stats.
+type AuditResult = verifier.Result
+
+// App bundles a sample application's sources and schema.
+type App = apps.App
+
+// CompileApp parses application sources (script name -> source).
+func CompileApp(files map[string]string) (*Program, error) {
+	return lang.Compile(files)
+}
+
+// NewServer builds an executor for prog.
+func NewServer(prog *Program, opts ServerOptions) *Server {
+	return server.New(prog, opts)
+}
+
+// NewCollector builds a standalone trace collector (the Server embeds
+// one already; use this when fronting your own execution stack).
+func NewCollector() *Collector {
+	return trace.NewCollector()
+}
+
+// Audit verifies that the responses in tr are consistent with executing
+// prog over the requests in tr, given the untrusted reports and the
+// trusted initial object state. It implements SSCO_AUDIT2 (Fig. 12 of
+// the paper): balanced-trace validation, consistent-ordering checks,
+// versioned redo, grouped SIMD-on-demand re-execution with
+// simulate-and-check, and output comparison.
+func Audit(prog *Program, tr *Trace, rep *Reports, init *Snapshot, opts AuditOptions) (*AuditResult, error) {
+	return verifier.Audit(prog, tr, rep, init, opts)
+}
+
+// OOOAudit is the Appendix A out-of-order audit: it re-executes each
+// request individually, stepping request goroutines through a
+// topological sort of the event graph. Same verdicts as Audit, no
+// grouping acceleration — useful as an independent cross-check.
+func OOOAudit(prog *Program, tr *Trace, rep *Reports, init *Snapshot) (*AuditResult, error) {
+	return verifier.OOOAudit(prog, tr, rep, init)
+}
+
+// PatchResult classifies each audited request under a patched program.
+type PatchResult = verifier.PatchResult
+
+// Patch classifications (see verifier.PatchClass).
+const (
+	PatchUnchangedClass    = verifier.PatchUnchanged
+	PatchChangedClass      = verifier.PatchChanged
+	PatchInconclusiveClass = verifier.PatchInconclusive
+)
+
+// PatchAudit implements patch-based auditing (§7, after Poirot): replay
+// an audited period against a patched program and report which responses
+// would have differed (unchanged / changed / inconclusive).
+func PatchAudit(patched *Program, tr *Trace, rep *Reports, init *Snapshot) (*PatchResult, error) {
+	return verifier.PatchAudit(patched, tr, rep, init)
+}
+
+// SampleApps returns the paper's three evaluation applications —
+// a MediaWiki-like wiki, a phpBB-like forum, and a HotCRP-like review
+// system — reimplemented for this reproduction.
+func SampleApps() []*App {
+	return apps.All()
+}
+
+// WikiWorkload, ForumWorkload and HotCRPWorkload generate the §5
+// evaluation workloads at the paper's default parameters.
+func WikiWorkload() *workload.Workload { return workload.Wiki(workload.DefaultWikiParams()) }
+
+// ForumWorkload generates the phpBB workload (§5).
+func ForumWorkload() *workload.Workload { return workload.Forum(workload.DefaultForumParams()) }
+
+// HotCRPWorkload generates the HotCRP workload (§5).
+func HotCRPWorkload() *workload.Workload { return workload.HotCRP(workload.DefaultHotCRPParams()) }

@@ -1,0 +1,126 @@
+// Command orochi-audit verifies a recorded serving period from disk: it
+// loads the application sources, the collector's trace, the executor's
+// (untrusted) reports, and the initial object snapshot, runs the full
+// SSCO audit, and reports ACCEPT or REJECT with the cost decomposition.
+//
+//	orochi-audit -app wiki -trace trace.bin -reports reports.bin -state state.bin
+//	orochi-audit -src ./myapp -trace ... -reports ... -state ...
+//
+// Exit status: 0 = accepted, 1 = rejected, 2 = usage/IO error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"orochi/internal/apps"
+	"orochi/internal/lang"
+	"orochi/internal/object"
+	"orochi/internal/reports"
+	"orochi/internal/trace"
+	"orochi/internal/verifier"
+)
+
+func main() {
+	appName := flag.String("app", "", "built-in application to audit (wiki, forum, hotcrp)")
+	srcDir := flag.String("src", "", "directory of application sources (alternative to -app)")
+	tracePath := flag.String("trace", "", "trace file from the collector")
+	repPath := flag.String("reports", "", "report bundle from the executor")
+	statePath := flag.String("state", "", "initial object snapshot (optional; empty state if absent)")
+	maxGroup := flag.Int("maxgroup", 3000, "maximum requests per re-execution batch")
+	stats := flag.Bool("stats", false, "print per-group statistics")
+	flag.Parse()
+
+	if *tracePath == "" || *repPath == "" {
+		fmt.Fprintln(os.Stderr, "orochi-audit: -trace and -reports are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	prog, err := loadProgram(*appName, *srcDir)
+	exitOn(err)
+
+	tr, err := trace.ReadFile(*tracePath)
+	exitOn(err)
+	repData, err := os.ReadFile(*repPath)
+	exitOn(err)
+	rep, err := reports.Decode(repData)
+	exitOn(err)
+	init := object.EmptySnapshot()
+	if *statePath != "" {
+		init, err = object.ReadSnapshotFile(*statePath)
+		exitOn(err)
+	}
+
+	res, err := verifier.Audit(prog, tr, rep, init, verifier.Options{
+		MaxGroup:     *maxGroup,
+		CollectStats: *stats,
+	})
+	exitOn(err)
+
+	st := res.Stats
+	fmt.Printf("requests: %d   ops: %d   groups: %d\n",
+		tr.RequestCount(), rep.TotalOps(), len(rep.Groups))
+	fmt.Printf("audit time: %v (procopre %v, db redo %v, re-exec %v [db query %v], other %v)\n",
+		st.Total, st.ProcOpRep, st.DBRedo, st.ReExec, st.DBQuery, st.Other)
+	if st.DedupHits+st.DedupMisses > 0 {
+		fmt.Printf("query dedup: %d hits / %d issued\n", st.DedupHits, st.DedupHits+st.DedupMisses)
+	}
+	if *stats {
+		for _, g := range st.Groups {
+			fmt.Printf("  group %016x %-14s n=%-6d len=%-8d alpha=%.3f\n",
+				g.Tag, g.Script, g.N, g.Len, g.Alpha)
+		}
+	}
+	if res.Accepted {
+		fmt.Println("verdict: ACCEPT — responses are consistent with the program")
+		return
+	}
+	fmt.Printf("verdict: REJECT — %s\n", res.Reason)
+	os.Exit(1)
+}
+
+func loadProgram(appName, srcDir string) (*lang.Program, error) {
+	switch {
+	case appName != "" && srcDir != "":
+		return nil, fmt.Errorf("orochi-audit: use only one of -app and -src")
+	case appName != "":
+		app := apps.ByName(appName)
+		if app == nil {
+			return nil, fmt.Errorf("orochi-audit: unknown app %q (want wiki, forum or hotcrp)", appName)
+		}
+		return app.Compile(), nil
+	case srcDir != "":
+		entries, err := os.ReadDir(srcDir)
+		if err != nil {
+			return nil, err
+		}
+		files := map[string]string{}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".php") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(srcDir, e.Name()))
+			if err != nil {
+				return nil, err
+			}
+			files[strings.TrimSuffix(e.Name(), ".php")] = string(data)
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("orochi-audit: no .php files in %s", srcDir)
+		}
+		return lang.Compile(files)
+	default:
+		return nil, fmt.Errorf("orochi-audit: one of -app or -src is required")
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orochi-audit:", err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,246 @@
+// Command orochi-serve fronts one of the sample applications with a real
+// net/http server, playing the online phase of OROCHI: the embedded
+// collector records the trace at the HTTP boundary (the paper's
+// middlebox), the recording runtime produces reports, and on shutdown
+// (or on demand via /-/flush) the trace, reports, and initial snapshot
+// are written to disk for cmd/orochi-audit.
+//
+//	orochi-serve -app wiki -listen :8090 -out ./audit-data
+//
+// Application scripts map to URL paths: GET /view?page=X runs the "view"
+// script with $_GET['page']='X'; POST bodies become $_POST; cookies
+// become $_COOKIE. Two control endpoints exist outside the audited
+// surface: /-/flush writes the artifacts, /-/stats reports counters.
+//
+// Optionally, -drive N self-drives the server with N workload requests
+// through HTTP (a built-in load generator), then flushes and exits —
+// the zero-setup path to produce audit artifacts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"orochi/internal/apps"
+	"orochi/internal/server"
+	"orochi/internal/trace"
+	"orochi/internal/workload"
+)
+
+func main() {
+	appName := flag.String("app", "wiki", "application to serve (wiki, forum, hotcrp)")
+	listen := flag.String("listen", ":8090", "listen address")
+	outDir := flag.String("out", "audit-data", "directory for trace/reports/state artifacts")
+	drive := flag.Int("drive", 0, "self-drive N workload requests over HTTP, then flush and exit")
+	conc := flag.Int("concurrency", 8, "self-drive concurrency")
+	flag.Parse()
+
+	app := apps.ByName(*appName)
+	if app == nil {
+		fmt.Fprintf(os.Stderr, "orochi-serve: unknown app %q\n", *appName)
+		os.Exit(2)
+	}
+	var w *workload.Workload
+	switch *appName {
+	case "wiki":
+		p := workload.DefaultWikiParams().Scale(20)
+		w = workload.Wiki(p)
+	case "forum":
+		p := workload.DefaultForumParams().Scale(20)
+		w = workload.Forum(p)
+	case "hotcrp":
+		p := workload.DefaultHotCRPParams().Scale(20)
+		w = workload.HotCRP(p)
+	}
+
+	srv := server.New(app.Compile(), server.Options{Record: true})
+	exitOn(srv.Setup(app.Schema))
+	exitOn(srv.Setup(w.Seed))
+	snap := srv.Snapshot()
+	exitOn(os.MkdirAll(*outDir, 0o755))
+	exitOn(snap.WriteFile(filepath.Join(*outDir, "state.bin")))
+
+	var flushMu sync.Mutex
+	flush := func() error {
+		flushMu.Lock()
+		defer flushMu.Unlock()
+		if err := srv.Trace().WriteFile(filepath.Join(*outDir, "trace.bin")); err != nil {
+			return err
+		}
+		rep := srv.Reports()
+		data, err := rep.Encode()
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(*outDir, "reports.bin"), data, 0o644)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/-/flush", func(rw http.ResponseWriter, r *http.Request) {
+		if err := flush(); err != nil {
+			http.Error(rw, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(rw, "flushed to %s\n", *outDir)
+	})
+	mux.HandleFunc("/-/stats", func(rw http.ResponseWriter, r *http.Request) {
+		cpu, n := srv.CPU()
+		fmt.Fprintf(rw, "requests=%d cpu=%v\n", n, cpu)
+	})
+	mux.HandleFunc("/", func(rw http.ResponseWriter, r *http.Request) {
+		in, err := httpToInput(r)
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		_, body := srv.Handle(in)
+		if strings.HasPrefix(body, "HTTP 500") {
+			rw.WriteHeader(http.StatusInternalServerError)
+		}
+		_, _ = io.WriteString(rw, body)
+	})
+
+	httpSrv := &http.Server{Addr: *listen, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+
+	if *drive > 0 {
+		go func() {
+			if err := driveWorkload(*listen, w, *drive, *conc); err != nil {
+				fmt.Fprintln(os.Stderr, "orochi-serve: drive:", err)
+			}
+			if err := flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "orochi-serve: flush:", err)
+			}
+			fmt.Printf("drove %d requests; artifacts in %s\n", *drive, *outDir)
+			_ = httpSrv.Close()
+		}()
+	}
+
+	fmt.Printf("serving %s on %s (artifacts -> %s; POST /-/flush to write them)\n",
+		*appName, *listen, *outDir)
+	err := httpSrv.ListenAndServe()
+	if err != nil && err != http.ErrServerClosed {
+		exitOn(err)
+	}
+}
+
+// httpToInput converts an HTTP request into the model's Input: the first
+// path segment names the script, query params become $_GET, form fields
+// $_POST, cookies $_COOKIE.
+func httpToInput(r *http.Request) (trace.Input, error) {
+	script := strings.Trim(r.URL.Path, "/")
+	if script == "" {
+		script = "index"
+	}
+	in := trace.Input{Script: script, Get: map[string]string{}, Post: map[string]string{}, Cookie: map[string]string{}}
+	for k, vs := range r.URL.Query() {
+		if len(vs) > 0 {
+			in.Get[k] = vs[0]
+		}
+	}
+	if r.Method == http.MethodPost {
+		if err := r.ParseForm(); err != nil {
+			return in, err
+		}
+		for k, vs := range r.PostForm {
+			if len(vs) > 0 {
+				in.Post[k] = vs[0]
+			}
+		}
+	}
+	for _, c := range r.Cookies() {
+		in.Cookie[c.Name] = c.Value
+	}
+	return in, nil
+}
+
+// driveWorkload replays workload requests through the HTTP front end.
+func driveWorkload(listen string, w *workload.Workload, n, conc int) error {
+	base := "http://127.0.0.1" + listen
+	if !strings.HasPrefix(listen, ":") {
+		base = "http://" + listen
+	}
+	// Wait for the listener.
+	for i := 0; i < 50; i++ {
+		if _, err := http.Get(base + "/-/stats"); err == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n > len(w.Requests) {
+		n = len(w.Requests)
+	}
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	var firstErr error
+	var mu sync.Mutex
+	for _, in := range w.Requests[:n] {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(in trace.Input) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := sendOne(base, in); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(in)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+func sendOne(base string, in trace.Input) error {
+	q := url.Values{}
+	for k, v := range in.Get {
+		q.Set(k, v)
+	}
+	target := base + "/" + in.Script
+	if len(q) > 0 {
+		target += "?" + q.Encode()
+	}
+	var req *http.Request
+	var err error
+	if len(in.Post) > 0 {
+		form := url.Values{}
+		for k, v := range in.Post {
+			form.Set(k, v)
+		}
+		req, err = http.NewRequest(http.MethodPost, target, strings.NewReader(form.Encode()))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		}
+	} else {
+		req, err = http.NewRequest(http.MethodGet, target, nil)
+	}
+	if err != nil {
+		return err
+	}
+	for k, v := range in.Cookie {
+		req.AddCookie(&http.Cookie{Name: k, Value: v})
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orochi-serve:", err)
+		os.Exit(2)
+	}
+}

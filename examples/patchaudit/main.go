@@ -1,0 +1,88 @@
+// Patch-audit example (§7, after Poirot): serve and audit a period under
+// the original program, then replay the same period against a patched
+// program to see exactly which historical responses the patch would have
+// changed — without re-running the server.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"orochi"
+)
+
+var original = map[string]string{
+	"price": `
+$rows = db_query("SELECT name, cents FROM products ORDER BY id");
+echo "<table>";
+foreach ($rows as $r) {
+  echo "<tr><td>" . htmlspecialchars($r["name"]) . "</td><td>$" . intdiv($r["cents"], 100) . "</td></tr>";
+}
+echo "</table>";
+`,
+	"stock": `
+db_exec("INSERT INTO products (name, cents) VALUES (" . db_quote($_POST["name"]) . ", " . intval($_POST["cents"]) . ")");
+echo "stocked " . htmlspecialchars($_POST["name"]);
+`,
+}
+
+// The patch fixes a rendering bug: prices were truncating cents.
+var patched = map[string]string{
+	"price": `
+$rows = db_query("SELECT name, cents FROM products ORDER BY id");
+echo "<table>";
+foreach ($rows as $r) {
+  echo "<tr><td>" . htmlspecialchars($r["name"]) . "</td><td>$" . sprintf("%d.%02d", intdiv($r["cents"], 100), $r["cents"] % 100) . "</td></tr>";
+}
+echo "</table>";
+`,
+	"stock": original["stock"],
+}
+
+func main() {
+	prog, err := orochi.CompileApp(original)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := orochi.NewServer(prog, orochi.ServerOptions{Record: true})
+	if err := srv.Setup([]string{
+		`CREATE TABLE products (id INT PRIMARY KEY AUTOINCREMENT, name TEXT, cents INT)`,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	snap := srv.Snapshot()
+
+	// The audited period: stock two products, view prices twice.
+	for _, in := range []orochi.Input{
+		{Script: "stock", Post: map[string]string{"name": "widget", "cents": "1999"}},
+		{Script: "price"},
+		{Script: "stock", Post: map[string]string{"name": "gadget", "cents": "250"}},
+		{Script: "price"},
+	} {
+		_, body := srv.Handle(in)
+		fmt.Println(" ", body)
+	}
+
+	// First: the ordinary audit, proving the period really ran the
+	// original program.
+	res, err := orochi.Audit(prog, srv.Trace(), srv.Reports(), snap, orochi.AuditOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nregular audit: accepted=%v\n", res.Accepted)
+
+	// Then: the patch audit.
+	patchedProg, err := orochi.CompileApp(patched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pres, err := orochi.PatchAudit(patchedProg, srv.Trace(), srv.Reports(), snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("patch audit: %d unchanged, %d changed, %d inconclusive\n",
+		pres.Unchanged, pres.Changed, pres.Inconclusive)
+	for _, rid := range pres.RIDsIn(orochi.PatchChangedClass) {
+		fmt.Printf("  %s would have rendered differently under the patch\n", rid)
+	}
+}

@@ -1,0 +1,78 @@
+// Package apps contains the three applications used in the paper's
+// evaluation (§5), rewritten for this reproduction's application
+// language: a MediaWiki-like wiki, a phpBB-like forum, and a HotCRP-like
+// conference review system. Each exercises the object mix its original
+// does — the wiki leans on the APC-style cache and is read-dominated,
+// the forum mixes sessions with per-view counter writes, and the review
+// system is transaction-heavy.
+package apps
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"orochi/internal/lang"
+)
+
+// App bundles an application's sources and database schema.
+type App struct {
+	Name string
+	// Sources maps script name -> source (the "PHP files").
+	Sources map[string]string
+	// Schema is the CREATE TABLE DDL executed at provisioning time.
+	Schema []string
+}
+
+// Compile parses the application (cached; programs are immutable).
+func (a *App) Compile() *lang.Program {
+	compileMu.Lock()
+	defer compileMu.Unlock()
+	if p, ok := compiled[a.Name]; ok {
+		return p
+	}
+	p, err := lang.Compile(a.Sources)
+	if err != nil {
+		panic(fmt.Sprintf("apps: %s does not compile: %v", a.Name, err))
+	}
+	compiled[a.Name] = p
+	return p
+}
+
+var (
+	compileMu sync.Mutex
+	compiled  = map[string]*lang.Program{}
+)
+
+// withFramework installs the shared framework include and prepends the
+// per-request bootstrap (fw_boot + route dispatch) to every entry-point
+// script, the way index.php bootstraps a real PHP application. Library
+// files (names containing "lib") hold only function declarations and are
+// left untouched.
+func withFramework(app *App, bootArg string) *App {
+	app.Sources["framework"] = frameworkSrc
+	for name, src := range app.Sources {
+		if name == "framework" || strings.Contains(name, "lib") {
+			continue
+		}
+		app.Sources[name] = `$fw_cfg = fw_boot("` + bootArg + `");
+$fw_disp = fw_route("` + name + `");
+` + src
+	}
+	return app
+}
+
+// All returns the three applications.
+func All() []*App {
+	return []*App{Wiki(), Forum(), HotCRP()}
+}
+
+// ByName returns the named application or nil.
+func ByName(name string) *App {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

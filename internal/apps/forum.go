@@ -1,0 +1,169 @@
+package apps
+
+// Forum is the phpBB-like bulletin board (§5: the CentOS forum
+// workload). Registered users carry a session cookie; guests browse
+// anonymously at a ~40:1 ratio. Viewing a topic bumps its view counter
+// only every Nth view (the paper reduced phpBB's update frequency "to
+// create more audit-time acceleration opportunities", §5.4); replying
+// runs a multi-statement transaction inserting the post and bumping the
+// topic's reply counter atomically.
+func Forum() *App {
+	return withFramework(&App{
+		Name: "forum",
+		Schema: []string{
+			`CREATE TABLE topics (id INT PRIMARY KEY AUTOINCREMENT, title TEXT, views INT, replies INT, last_post INT)`,
+			`CREATE TABLE posts (id INT PRIMARY KEY AUTOINCREMENT, topic_id INT, author TEXT, body TEXT, created INT)`,
+			`CREATE TABLE users (id INT PRIMARY KEY AUTOINCREMENT, name TEXT, joined INT)`,
+		},
+		Sources: map[string]string{
+			"forumlib": forumLib,
+			// index lists topics by recency.
+			"index": `
+echo forum_header("Board index");
+$topics = db_query("SELECT id, title, views, replies FROM topics ORDER BY last_post DESC LIMIT 30");
+echo "<table class='topics'>";
+foreach ($topics as $tp) {
+  echo "<tr><td><a href='/viewtopic?t=" . $tp["id"] . "'>" . htmlspecialchars($tp["title"]) . "</a></td>"
+     . "<td>" . $tp["replies"] . " replies</td><td>" . $tp["views"] . " views</td></tr>";
+}
+echo "</table>";
+echo forum_footer(forum_user());
+`,
+			// viewtopic renders a topic's posts. Every view increments a
+			// per-topic APC counter; the DB view counter is flushed once
+			// per 10 views to keep the read path mostly read-only.
+			"viewtopic": `
+$tid = intval($_GET["t"]);
+$rows = db_query("SELECT id, title, views, replies FROM topics WHERE id = " . $tid);
+if (count($rows) == 0) {
+  echo forum_header("Error");
+  echo "<p>No such topic.</p>";
+  echo forum_footer(forum_user());
+} else {
+  $topic = $rows[0];
+  $pending = apc_get("views:" . $tid);
+  if ($pending === null) { $pending = 0; }
+  $pending = $pending + 1;
+  if ($pending >= 10) {
+    db_exec("UPDATE topics SET views = views + " . $pending . " WHERE id = " . $tid);
+    apc_set("views:" . $tid, 0);
+  } else {
+    apc_set("views:" . $tid, $pending);
+  }
+  echo forum_header($topic["title"]);
+  $posts = db_query("SELECT author, body, created FROM posts WHERE topic_id = " . $tid . " ORDER BY id LIMIT 50");
+  foreach ($posts as $p) {
+    echo forum_post($p["author"], $p["body"], $p["created"]);
+  }
+  echo "<div class='counts'>" . $topic["replies"] . " replies</div>";
+  echo forum_footer(forum_user());
+}
+`,
+			// reply appends a post inside a transaction (§4.4: the
+			// transaction encloses only DB statements).
+			"reply": `
+$user = forum_user();
+$tid = intval($_POST["t"]);
+$body = $_POST["body"];
+if ($user == "") {
+  echo forum_header("Error");
+  echo "<p>You must log in to reply.</p>";
+  echo forum_footer("");
+} else {
+  $now = time();
+  db_transaction([
+    "INSERT INTO posts (topic_id, author, body, created) VALUES (" . $tid . ", " . db_quote($user) . ", " . db_quote($body) . ", " . $now . ")",
+    "UPDATE topics SET replies = replies + 1, last_post = " . $now . " WHERE id = " . $tid
+  ]);
+  echo forum_header("Reply posted");
+  echo "<p>Your reply to topic " . $tid . " was posted.</p>";
+  echo forum_footer($user);
+}
+`,
+			// login establishes the session for a registered user.
+			"login": `
+$name = $_POST["name"];
+$rows = db_query("SELECT id FROM users WHERE name = " . db_quote($name));
+if (count($rows) == 0) {
+  echo forum_header("Login failed");
+  echo "<p>Unknown user.</p>";
+  echo forum_footer("");
+} else {
+  $sid = $_COOKIE["sid"];
+  session_set("forum:" . $sid, ["user" => $name, "uid" => $rows[0]["id"], "since" => time()]);
+  echo forum_header("Welcome");
+  echo "<p>Hello, " . htmlspecialchars($name) . "!</p>";
+  echo forum_footer($name);
+}
+`,
+			// newtopic starts a thread.
+			"newtopic": `
+$user = forum_user();
+$title = $_POST["title"];
+$body = $_POST["body"];
+if ($user == "") {
+  echo forum_header("Error");
+  echo "<p>You must log in to start a topic.</p>";
+  echo forum_footer("");
+} else {
+  $now = time();
+  $r = db_exec("INSERT INTO topics (title, views, replies, last_post) VALUES (" . db_quote($title) . ", 0, 0, " . $now . ")");
+  $tid = $r["insert_id"];
+  db_exec("INSERT INTO posts (topic_id, author, body, created) VALUES (" . $tid . ", " . db_quote($user) . ", " . db_quote($body) . ", " . $now . ")");
+  echo forum_header("Topic created");
+  echo "<p>Created topic " . $tid . ".</p>";
+  echo forum_footer($user);
+}
+`,
+		},
+	}, "forum")
+}
+
+const forumLib = `
+function forum_user() {
+  if (!isset($_COOKIE["sid"])) {
+    return "";
+  }
+  $sess = session_get("forum:" . $_COOKIE["sid"]);
+  if (!is_array($sess)) {
+    return "";
+  }
+  return $sess["user"];
+}
+
+// The board chrome does the repeated work a phpBB theme does: menu bar,
+// breadcrumbs, style links, footer links. This shared computation is
+// what the grouped re-execution collapses (§5.2).
+function forum_header($title) {
+  $out = "<html><head><title>" . htmlspecialchars($title) . " - OroBB</title>";
+  $out .= "<meta charset='utf-8' /><meta name='generator' content='OroBB 3.0' />";
+  foreach (["stylesheet.css", "buttons.css", "responsive.css"] as $css) {
+    $out .= "<link rel='stylesheet' href='/styles/" . $css . "' />";
+  }
+  $out .= "</head><body class='oro-bb'>";
+  $out .= "<div id='masthead'><h1>OroBB</h1><h2>" . htmlspecialchars($title) . "</h2>";
+  $menu = ["index" => "Board index", "search" => "Search", "members" => "Members", "faq" => "FAQ", "rules" => "Rules"];
+  $out .= "<ul id='menubar'>";
+  foreach ($menu as $href => $label) {
+    $out .= "<li class='menu " . $href . "'><a href='/" . $href . "'>" . $label . "</a></li>";
+  }
+  $out .= "</ul></div><div id='page-body'>";
+  return $out;
+}
+
+function forum_footer($user) {
+  $who = $user == "" ? "guest" : htmlspecialchars($user);
+  $out = "</div><div id='footer'>Browsing as " . $who . " &middot; OroBB";
+  foreach (["Delete cookies", "Contact us", "Terms", "Privacy"] as $i => $l) {
+    $out .= ($i == 0 ? " | " : " &middot; ") . str_replace(" ", "&nbsp;", $l);
+  }
+  $out .= "<div class='copyright'>Powered by OroBB &copy; OroBB Limited</div></div></body></html>";
+  return $out;
+}
+
+function forum_post($author, $body, $created) {
+  return "<div class='post'><div class='author'>" . htmlspecialchars($author) . "</div>"
+       . "<div class='body'>" . nl2br(htmlspecialchars($body)) . "</div>"
+       . "<div class='when'>#" . $created . "</div></div>";
+}
+`

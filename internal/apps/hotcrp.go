@@ -1,0 +1,142 @@
+package apps
+
+// HotCRP is the conference-review application (§5: the SIGCOMM 2009
+// workload — 269 papers, 58 reviewers, 820 reviews). Authors submit and
+// repeatedly update papers; reviewers file reviews (two versions each)
+// and browse paper pages. Review submission uses a transaction touching
+// the reviews and papers tables atomically.
+func HotCRP() *App {
+	return withFramework(&App{
+		Name: "hotcrp",
+		Schema: []string{
+			`CREATE TABLE papers (id INT PRIMARY KEY AUTOINCREMENT, title TEXT, abstract TEXT, author TEXT, updated INT, nreviews INT)`,
+			`CREATE TABLE reviews (id INT PRIMARY KEY AUTOINCREMENT, paper_id INT, reviewer TEXT, score INT, body TEXT, version INT)`,
+		},
+		Sources: map[string]string{
+			"crplib": crpLib,
+			// submit creates or updates a paper submission.
+			"submit": `
+$author = $_COOKIE["user"];
+$title = $_POST["title"];
+$abstract = $_POST["abstract"];
+$now = time();
+$rows = db_query("SELECT id FROM papers WHERE title = " . db_quote($title) . " AND author = " . db_quote($author));
+if (count($rows) == 0) {
+  $r = db_exec("INSERT INTO papers (title, abstract, author, updated, nreviews) VALUES ("
+    . db_quote($title) . ", " . db_quote($abstract) . ", " . db_quote($author) . ", " . $now . ", 0)");
+  echo crp_page("Submitted", "<p>Paper #" . $r["insert_id"] . " received.</p>");
+} else {
+  $pid = $rows[0]["id"];
+  db_exec("UPDATE papers SET abstract = " . db_quote($abstract) . ", updated = " . $now . " WHERE id = " . $pid);
+  echo crp_page("Updated", "<p>Paper #" . $pid . " updated.</p>");
+}
+`,
+			// paper renders a paper with its reviews (latest versions).
+			"paper": `
+$pid = intval($_GET["p"]);
+$rows = db_query("SELECT id, title, abstract, author, nreviews FROM papers WHERE id = " . $pid);
+if (count($rows) == 0) {
+  echo crp_page("Error", "<p>No such paper.</p>");
+} else {
+  $paper = $rows[0];
+  $body = "<h2>" . htmlspecialchars($paper["title"]) . "</h2>"
+        . "<div class='abstract'>" . htmlspecialchars($paper["abstract"]) . "</div>";
+  $revs = db_query("SELECT reviewer, score, body, version FROM reviews WHERE paper_id = " . $pid . " ORDER BY id");
+  $latest = [];
+  foreach ($revs as $rv) {
+    $latest[$rv["reviewer"]] = $rv;
+  }
+  $body .= "<div class='reviews'>";
+  $total = 0; $n = 0;
+  foreach ($latest as $who => $rv) {
+    $body .= crp_review($who, $rv["score"], $rv["body"], $rv["version"]);
+    $total += $rv["score"]; $n++;
+  }
+  $avg = $n > 0 ? sprintf("%.2f", $total / $n) : "n/a";
+  $body .= "</div><div class='avg'>average score: " . $avg . " over " . $n . " review(s)</div>";
+  echo crp_page("Paper #" . $pid, $body);
+}
+`,
+			// review files (or revises) a review inside a transaction.
+			"review": `
+$who = $_COOKIE["user"];
+$pid = intval($_POST["p"]);
+$score = intval($_POST["score"]);
+$text = $_POST["text"];
+$rows = db_query("SELECT id, version FROM reviews WHERE paper_id = " . $pid . " AND reviewer = " . db_quote($who) . " ORDER BY version DESC LIMIT 1");
+if (count($rows) == 0) {
+  db_transaction([
+    "INSERT INTO reviews (paper_id, reviewer, score, body, version) VALUES (" . $pid . ", " . db_quote($who) . ", " . $score . ", " . db_quote($text) . ", 1)",
+    "UPDATE papers SET nreviews = nreviews + 1 WHERE id = " . $pid
+  ]);
+  echo crp_page("Review filed", "<p>Review v1 for paper #" . $pid . " recorded.</p>");
+} else {
+  $v = $rows[0]["version"] + 1;
+  db_exec("INSERT INTO reviews (paper_id, reviewer, score, body, version) VALUES (" . $pid . ", " . db_quote($who) . ", " . $score . ", " . db_quote($text) . ", " . $v . ")");
+  echo crp_page("Review revised", "<p>Review v" . $v . " for paper #" . $pid . " recorded.</p>");
+}
+`,
+			// search lists papers whose titles match a prefix.
+			"crpsearch": `
+$q = $_GET["q"];
+$rows = db_query("SELECT id, title, nreviews FROM papers WHERE title LIKE " . db_quote($q . "%") . " ORDER BY id LIMIT 30");
+$body = "<ul class='papers'>";
+foreach ($rows as $row) {
+  $body .= "<li><a href='/paper?p=" . $row["id"] . "'>" . htmlspecialchars($row["title"]) . "</a> (" . $row["nreviews"] . " reviews)</li>";
+}
+$body .= "</ul>";
+echo crp_page("Search", $body);
+`,
+			// reviewerhome shows a reviewer their filed reviews.
+			"reviewerhome": `
+$who = $_COOKIE["user"];
+$revs = db_query("SELECT paper_id, score, version FROM reviews WHERE reviewer = " . db_quote($who) . " ORDER BY paper_id, version");
+$body = "<table class='myreviews'>";
+$done = [];
+foreach ($revs as $rv) {
+  $done[$rv["paper_id"]] = $rv;
+}
+foreach ($done as $pid => $rv) {
+  $body .= "<tr><td>#" . $pid . "</td><td>score " . $rv["score"] . "</td><td>v" . $rv["version"] . "</td></tr>";
+}
+$body .= "</table><p>" . count($done) . " paper(s) reviewed</p>";
+echo crp_page("Reviewer home", $body);
+`,
+		},
+	}, "hotcrp")
+}
+
+const crpLib = `
+// crp_page wraps content in the site chrome; like HotCRP's layout code,
+// it performs the same rendering for every request, which the verifier's
+// grouped re-execution collapses (§5.2).
+function crp_page($title, $body) {
+  $out = "<html><head><title>" . htmlspecialchars($title) . " - OroCRP</title>";
+  $out .= "<meta charset='utf-8' /><meta name='robots' content='noindex' />";
+  foreach (["style.css", "scorechart.css", "print.css"] as $css) {
+    $out .= "<link rel='stylesheet' href='/assets/" . $css . "' />";
+  }
+  $out .= "</head><body class='crp'>";
+  $out .= "<div id='header'><h1>OroCRP</h1><h2>" . htmlspecialchars($title) . "</h2>";
+  $tabs = ["home" => "Home", "search" => "Search", "settings" => "Settings", "profile" => "Profile", "signout" => "Sign out"];
+  $out .= "<ul id='tabs'>";
+  foreach ($tabs as $href => $label) {
+    $out .= "<li class='tab-" . $href . "'><a href='/" . $href . "'>" . $label . "</a></li>";
+  }
+  $out .= "</ul></div>";
+  $out .= "<div id='main'>" . $body . "</div>";
+  $out .= "<div id='footer'><ul class='foot'>";
+  foreach (["Deadlines", "Help", "Report a bug", "Conference site"] as $i => $l) {
+    $out .= "<li id='f" . $i . "'>" . str_replace(" ", "&nbsp;", $l) . "</li>";
+  }
+  $out .= "</ul>OroCRP review system</div></body></html>";
+  return $out;
+}
+
+function crp_review($who, $score, $body, $version) {
+  return "<div class='review'><span class='who'>" . htmlspecialchars($who) . "</span>"
+       . "<span class='score'>score: " . $score . "</span>"
+       . "<span class='ver'>v" . $version . "</span>"
+       . "<div class='text'>" . nl2br(htmlspecialchars($body)) . "</div></div>";
+}
+`

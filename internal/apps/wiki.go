@@ -1,0 +1,205 @@
+package apps
+
+// Wiki is the MediaWiki-like application (§5: "a wiki used by Wikipedia
+// and others"). The read path caches rendered pages in the APC-style
+// key-value store, as the paper's modified MediaWiki does (§5.4), which
+// makes the view workload highly deduplicable. The edit path updates the
+// page row, appends a revision, and invalidates the cache.
+func Wiki() *App {
+	return withFramework(&App{
+		Name: "wiki",
+		Schema: []string{
+			`CREATE TABLE pages (id INT PRIMARY KEY AUTOINCREMENT, title TEXT, body TEXT, touched INT)`,
+			`CREATE TABLE revisions (id INT PRIMARY KEY AUTOINCREMENT, page_id INT, body TEXT, editor TEXT, created INT)`,
+		},
+		Sources: map[string]string{
+			"lib": wikiLib,
+			// view renders a page, serving from the APC cache when warm.
+			"view": `
+$title = $_GET["page"];
+$cached = apc_get("page:" . $title);
+if (is_array($cached)) {
+  echo wiki_header($title);
+  echo $cached["html"];
+  echo wiki_footer($cached["rev"]);
+} else {
+  $rows = db_query("SELECT id, body, touched FROM pages WHERE title = " . db_quote($title));
+  if (count($rows) == 0) {
+    echo wiki_header($title);
+    echo "<p class='missing'>This page does not exist yet.</p>";
+    echo wiki_footer(0);
+  } else {
+    $page = $rows[0];
+    $html = wiki_render($page["body"]);
+    apc_set("page:" . $title, ["html" => $html, "rev" => $page["touched"]]);
+    echo wiki_header($title);
+    echo $html;
+    echo wiki_footer($page["touched"]);
+  }
+}
+`,
+			// edit creates or updates a page, appends a revision, and
+			// invalidates the render cache.
+			"edit": `
+$title = $_POST["page"];
+$body = $_POST["text"];
+$editor = isset($_COOKIE["user"]) ? $_COOKIE["user"] : "anonymous";
+$now = time();
+$rows = db_query("SELECT id FROM pages WHERE title = " . db_quote($title));
+if (count($rows) == 0) {
+  $r = db_exec("INSERT INTO pages (title, body, touched) VALUES (" . db_quote($title) . ", " . db_quote($body) . ", " . $now . ")");
+  $pid = $r["insert_id"];
+} else {
+  $pid = $rows[0]["id"];
+  db_exec("UPDATE pages SET body = " . db_quote($body) . ", touched = " . $now . " WHERE id = " . $pid);
+}
+db_exec("INSERT INTO revisions (page_id, body, editor, created) VALUES (" . $pid . ", " . db_quote($body) . ", " . db_quote($editor) . ", " . $now . ")");
+apc_set("page:" . $title, null);
+echo wiki_header($title);
+echo "<p class='saved'>Saved revision of " . htmlspecialchars($title) . " by " . htmlspecialchars($editor) . ".</p>";
+echo wiki_footer($now);
+`,
+			// history lists a page's revisions.
+			"history": `
+$title = $_GET["page"];
+$rows = db_query("SELECT id FROM pages WHERE title = " . db_quote($title));
+echo wiki_header($title . " - history");
+if (count($rows) == 0) {
+  echo "<p class='missing'>No such page.</p>";
+} else {
+  $revs = db_query("SELECT id, editor, created FROM revisions WHERE page_id = " . $rows[0]["id"] . " ORDER BY id DESC LIMIT 50");
+  echo "<ol class='history'>";
+  foreach ($revs as $rev) {
+    echo "<li>rev " . $rev["id"] . " by " . htmlspecialchars($rev["editor"]) . " at " . $rev["created"] . "</li>";
+  }
+  echo "</ol>";
+}
+echo wiki_footer(0);
+`,
+			// search matches page titles by prefix.
+			"search": `
+$q = $_GET["q"];
+echo wiki_header("Search");
+$rows = db_query("SELECT title FROM pages WHERE title LIKE " . db_quote($q . "%") . " ORDER BY title LIMIT 20");
+echo "<ul class='results'>";
+foreach ($rows as $row) {
+  echo "<li><a href='/view?page=" . htmlspecialchars($row["title"]) . "'>" . htmlspecialchars($row["title"]) . "</a></li>";
+}
+echo "</ul>";
+echo "<p>" . count($rows) . " result(s)</p>";
+echo wiki_footer(0);
+`,
+			// recent lists the latest edits across all pages.
+			"recent": `
+echo wiki_header("Recent changes");
+$revs = db_query("SELECT page_id, editor, created FROM revisions ORDER BY id DESC LIMIT 25");
+echo "<ul class='recent'>";
+foreach ($revs as $rev) {
+  echo "<li>page " . $rev["page_id"] . " edited by " . htmlspecialchars($rev["editor"]) . "</li>";
+}
+echo "</ul>";
+echo wiki_footer(0);
+`,
+		},
+	}, "wiki")
+}
+
+// wikiLib holds shared rendering helpers (a separate "include file").
+// The header/footer chrome deliberately does substantial work — menus,
+// sidebar, toolbox, styles — because that is what real wiki skins do,
+// and it is exactly the repeated computation that SIMD-on-demand
+// deduplicates across a control-flow group (§3.1, §5.2: "different
+// users wind up seeing similar-looking web pages").
+const wikiLib = `
+function wiki_nav_items() {
+  return [
+    "Main_Page" => "Main page",
+    "Recent" => "Recent changes",
+    "Random" => "Random page",
+    "Help" => "Help",
+    "About" => "About OroWiki",
+    "Community" => "Community portal",
+    "Sandbox" => "Sandbox",
+  ];
+}
+
+function wiki_toolbox() {
+  return ["What links here", "Related changes", "Special pages",
+          "Printable version", "Permanent link", "Page information"];
+}
+
+function wiki_header($title) {
+  $out = "<html><head><title>" . htmlspecialchars($title) . " - OroWiki</title>";
+  $out .= "<meta charset='utf-8' /><meta name='generator' content='OroWiki 1.0' />";
+  foreach (["screen" => "main.css", "print" => "print.css", "handheld" => "mobile.css"] as $media => $css) {
+    $out .= "<link rel='stylesheet' media='" . $media . "' href='/static/" . $css . "' />";
+  }
+  $out .= "</head><body class='skin-oro'>";
+  $out .= "<div id='banner'><h1>" . htmlspecialchars($title) . "</h1></div>";
+  $out .= "<div id='sidebar'><ul class='nav'>";
+  foreach (wiki_nav_items() as $target => $label) {
+    $out .= "<li class='nav-item'><a accesskey='" . strtolower(substr($label, 0, 1))
+          . "' href='/view?page=" . $target . "'>" . htmlspecialchars($label) . "</a></li>";
+  }
+  $out .= "</ul><div class='toolbox'><h3>Tools</h3><ul>";
+  foreach (wiki_toolbox() as $i => $tool) {
+    $out .= "<li id='t-" . $i . "'>" . htmlspecialchars($tool) . "</li>";
+  }
+  $out .= "</ul></div></div><div id='content'>";
+  return $out;
+}
+
+function wiki_footer($rev) {
+  $tag = $rev > 0 ? "<span class='rev'>as of " . $rev . "</span>" : "";
+  $out = "</div><div id='footer'>" . $tag;
+  $links = ["Privacy policy", "About", "Disclaimers", "Code of conduct", "Developers", "Statistics"];
+  $out .= "<ul class='footer-places'>";
+  foreach ($links as $l) {
+    $out .= "<li>" . str_replace(" ", "&nbsp;", $l) . "</li>";
+  }
+  $out .= "</ul><p class='license'>Content is available under "
+        . "a free license unless otherwise noted. OroWiki is a demonstration "
+        . "application for deduplicated re-execution.</p>";
+  $out .= "Powered by OroWiki</div></body></html>";
+  return $out;
+}
+
+// wiki_render converts the lightweight markup to HTML: ''bold'',
+// [[links]], == headings ==, and * list items, line by line.
+function wiki_render($src) {
+  $out = "";
+  $lines = explode("\n", $src);
+  $inlist = false;
+  foreach ($lines as $line) {
+    $t = trim($line);
+    if ($t == "") {
+      continue;
+    }
+    $item = substr($t, 0, 2) == "* ";
+    if ($item && !$inlist) { $out .= "<ul>"; $inlist = true; }
+    if (!$item && $inlist) { $out .= "</ul>"; $inlist = false; }
+    if (substr($t, 0, 2) == "==") {
+      $out .= "<h2>" . htmlspecialchars(trim(str_replace("==", "", $t))) . "</h2>";
+    } elseif ($item) {
+      $out .= "<li>" . wiki_inline(substr($t, 2)) . "</li>";
+    } else {
+      $out .= "<p>" . wiki_inline($t) . "</p>";
+    }
+  }
+  if ($inlist) { $out .= "</ul>"; }
+  return $out;
+}
+
+function wiki_inline($text) {
+  $html = htmlspecialchars($text);
+  $html = str_replace("&#039;&#039;", "<b>", $html);
+  while (strpos($html, "[[") !== false && strpos($html, "]]") !== false) {
+    $a = strpos($html, "[[");
+    $b = strpos($html, "]]");
+    if ($b < $a) { break; }
+    $target = substr($html, $a + 2, $b - $a - 2);
+    $html = substr($html, 0, $a) . "<a href='/view?page=" . $target . "'>" . $target . "</a>" . substr($html, $b + 2);
+  }
+  return $html;
+}
+`

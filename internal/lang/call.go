@@ -1,0 +1,364 @@
+package lang
+
+import (
+	"fmt"
+)
+
+// evalCall dispatches a call expression: user functions first (as in
+// PHP, user functions and builtins live in separate namespaces but user
+// code cannot redefine builtins; we give user functions priority so
+// applications can shim), then reference builtins, state operations,
+// non-deterministic builtins, and finally pure builtins.
+func (ex *exec) evalCall(sc *scope, call *Call) (Value, error) {
+	if fn, ok := ex.prog.Funcs[call.Name]; ok {
+		return ex.callUser(sc, fn, call)
+	}
+	if _, ok := refBuiltins[call.Name]; ok {
+		return ex.callRefBuiltin(sc, call)
+	}
+	if stateOps[call.Name] {
+		return ex.callStateOp(sc, call)
+	}
+	if nondetBuiltins[call.Name] {
+		return ex.callNonDet(sc, call)
+	}
+	if b, ok := builtins[call.Name]; ok {
+		args := make([]Value, len(call.Args))
+		for i, a := range call.Args {
+			v, err := ex.evalExpr(sc, a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return ex.invokeBuiltin(call.Name, b, args, call.Line)
+	}
+	return nil, &RuntimeError{Msg: fmt.Sprintf("call to undefined function %s()", call.Name), Line: call.Line}
+}
+
+// callUser invokes a user-defined function with PHP value semantics
+// (arguments are copies).
+func (ex *exec) callUser(sc *scope, fn *FuncDecl, call *Call) (Value, error) {
+	if ex.callDepth >= maxCallDepth {
+		return nil, &RuntimeError{Msg: "maximum call depth exceeded", Line: call.Line}
+	}
+	frame := &scope{vars: make(map[string]Value, len(fn.Params)), ex: ex}
+	for i, p := range fn.Params {
+		if i < len(call.Args) {
+			v, err := ex.evalExpr(sc, call.Args[i])
+			if err != nil {
+				return nil, err
+			}
+			frame.vars[p.Name] = CloneValue(v)
+			continue
+		}
+		if p.Default != nil {
+			v, err := ex.evalExpr(frame, p.Default)
+			if err != nil {
+				return nil, err
+			}
+			frame.vars[p.Name] = v
+			continue
+		}
+		frame.vars[p.Name] = nil
+	}
+	// Extra arguments beyond the parameter list are evaluated for their
+	// effects and discarded.
+	for i := len(fn.Params); i < len(call.Args); i++ {
+		if _, err := ex.evalExpr(sc, call.Args[i]); err != nil {
+			return nil, err
+		}
+	}
+	ex.callDepth++
+	c, rv, err := ex.execStmts(frame, fn.Body)
+	ex.callDepth--
+	if err != nil {
+		return nil, err
+	}
+	if c == ctrlReturn {
+		return CloneValue(rv), nil
+	}
+	return nil, nil
+}
+
+// invokeBuiltin runs a pure builtin, splitting per-lane when any argument
+// contains a multivalue (§4.3 "Built-in functions"): the runtime splits
+// the multivalue arguments into univalues, deep-copies container
+// arguments, executes the builtin once per lane, and merges the results
+// back into a multivalue.
+func (ex *exec) invokeBuiltin(name string, fn builtinFn, args []Value, line int) (Value, error) {
+	anyMulti := false
+	for _, a := range args {
+		if DeepContainsMulti(a) {
+			anyMulti = true
+			break
+		}
+	}
+	if !anyMulti {
+		ex.countInstr(false)
+		return fn(ex, args, line)
+	}
+	ex.countInstr(true)
+	vals := make([]Value, ex.lanes)
+	for i := 0; i < ex.lanes; i++ {
+		laneArgs := make([]Value, len(args))
+		for j, a := range args {
+			// Deep copy: the builtin could have modified its argument
+			// differently in the original executions.
+			laneArgs[j] = CloneValue(MaterializeLane(a, i))
+		}
+		v, err := fn(ex, laneArgs, line)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return NewMulti(vals), nil
+}
+
+// callRefBuiltin handles builtins whose first argument is by-reference
+// (sort, array_push, ...). The first argument must be an lvalue; it is
+// read, transformed per-lane if needed, and written back.
+func (ex *exec) callRefBuiltin(sc *scope, call *Call) (Value, error) {
+	fn := refBuiltins[call.Name]
+	if len(call.Args) == 0 {
+		return nil, &RuntimeError{Msg: call.Name + "() expects an argument", Line: call.Line}
+	}
+	lv, err := exprToLValue(call.Args[0])
+	if err != nil {
+		return nil, &RuntimeError{Msg: call.Name + "(): first argument must be a variable", Line: call.Line}
+	}
+	cur, err := ex.readLValue(sc, lv)
+	if err != nil {
+		return nil, err
+	}
+	rest := make([]Value, 0, len(call.Args)-1)
+	for _, a := range call.Args[1:] {
+		v, err := ex.evalExpr(sc, a)
+		if err != nil {
+			return nil, err
+		}
+		rest = append(rest, v)
+	}
+	anyMulti := DeepContainsMulti(cur)
+	for _, a := range rest {
+		if DeepContainsMulti(a) {
+			anyMulti = true
+		}
+	}
+	var result Value
+	var newTarget Value
+	if !anyMulti {
+		ex.countInstr(false)
+		arr, ok := cur.(*Array)
+		if !ok {
+			if cur == nil {
+				arr = NewArray()
+			} else {
+				return nil, &RuntimeError{Msg: call.Name + "() expects an array", Line: call.Line}
+			}
+		}
+		result, err = fn(ex, arr, rest, call.Line)
+		if err != nil {
+			return nil, err
+		}
+		newTarget = arr
+	} else {
+		ex.countInstr(true)
+		resVals := make([]Value, ex.lanes)
+		tgtVals := make([]Value, ex.lanes)
+		for i := 0; i < ex.lanes; i++ {
+			laneCur := CloneValue(MaterializeLane(cur, i))
+			arr, ok := laneCur.(*Array)
+			if !ok {
+				if laneCur == nil {
+					arr = NewArray()
+				} else {
+					return nil, &RuntimeError{Msg: call.Name + "() expects an array", Line: call.Line}
+				}
+			}
+			laneRest := make([]Value, len(rest))
+			for j, a := range rest {
+				laneRest[j] = CloneValue(MaterializeLane(a, i))
+			}
+			r, err := fn(ex, arr, laneRest, call.Line)
+			if err != nil {
+				return nil, err
+			}
+			resVals[i] = r
+			tgtVals[i] = arr
+		}
+		result = NewMulti(resVals)
+		newTarget = NewMulti(tgtVals)
+	}
+	if err := ex.assignTo(sc, lv, newTarget); err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// callStateOp issues a shared-object operation through the bridge. In
+// ModeSIMD the operation is issued once per lane under the shared group
+// opnum (Fig. 3 lines 36-43); results merge into a multivalue.
+func (ex *exec) callStateOp(sc *scope, call *Call) (Value, error) {
+	args := make([]Value, len(call.Args))
+	for i, a := range call.Args {
+		v, err := ex.evalExpr(sc, a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	if ex.bridge == nil {
+		return nil, &RuntimeError{Msg: "no shared-state bridge configured", Line: call.Line}
+	}
+	anyMulti := false
+	for _, a := range args {
+		if DeepContainsMulti(a) {
+			anyMulti = true
+			break
+		}
+	}
+	ex.countInstr(anyMulti)
+	opnum := ex.opnum
+	ex.opnum++
+	vals := make([]Value, ex.lanes)
+	for i := 0; i < ex.lanes; i++ {
+		laneArgs := make([]Value, len(args))
+		for j, a := range args {
+			laneArgs[j] = MaterializeLane(a, i)
+		}
+		v, err := ex.stateOpLane(call.Name, ex.rids[i], opnum, laneArgs, call.Line)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return NewMulti(vals), nil
+}
+
+func (ex *exec) stateOpLane(name, rid string, opnum int, args []Value, line int) (Value, error) {
+	argErr := func(want string) error {
+		return &RuntimeError{Msg: fmt.Sprintf("%s() expects %s", name, want), Line: line}
+	}
+	switch name {
+	case "session_get":
+		if len(args) != 1 {
+			return nil, argErr("1 argument")
+		}
+		return ex.bridge.RegisterRead(rid, opnum, ToString(args[0]))
+	case "session_set":
+		if len(args) != 2 {
+			return nil, argErr("2 arguments")
+		}
+		if err := ex.bridge.RegisterWrite(rid, opnum, ToString(args[0]), args[1]); err != nil {
+			return nil, err
+		}
+		return true, nil
+	case "apc_get":
+		if len(args) != 1 {
+			return nil, argErr("1 argument")
+		}
+		return ex.bridge.KvGet(rid, opnum, ToString(args[0]))
+	case "apc_set":
+		if len(args) != 2 {
+			return nil, argErr("2 arguments")
+		}
+		if err := ex.bridge.KvSet(rid, opnum, ToString(args[0]), args[1]); err != nil {
+			return nil, err
+		}
+		return true, nil
+	case "db_query", "db_exec":
+		if len(args) != 1 {
+			return nil, argErr("1 argument")
+		}
+		res, err := ex.bridge.DBOp(rid, opnum, []string{ToString(args[0])})
+		if err != nil {
+			return nil, err
+		}
+		// Unwrap the single statement's result.
+		if arr, ok := res.(*Array); ok && arr.Len() == 1 {
+			v, _ := arr.Get(Key{I: 0, IsInt: true})
+			return v, nil
+		}
+		return res, nil
+	case "db_transaction":
+		if len(args) != 1 {
+			return nil, argErr("an array of statements")
+		}
+		arr, ok := args[0].(*Array)
+		if !ok {
+			return nil, argErr("an array of statements")
+		}
+		stmts := make([]string, 0, arr.Len())
+		for _, v := range arr.Values() {
+			stmts = append(stmts, ToString(v))
+		}
+		if len(stmts) == 0 {
+			return nil, argErr("a non-empty array of statements")
+		}
+		return ex.bridge.DBOp(rid, opnum, stmts)
+	default:
+		return nil, &RuntimeError{Msg: "unknown state op " + name, Line: line}
+	}
+}
+
+// callNonDet obtains a non-deterministic value per lane (§4.6).
+func (ex *exec) callNonDet(sc *scope, call *Call) (Value, error) {
+	args := make([]Value, len(call.Args))
+	for i, a := range call.Args {
+		v, err := ex.evalExpr(sc, a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	anyMulti := false
+	for _, a := range args {
+		if DeepContainsMulti(a) {
+			anyMulti = true
+			break
+		}
+	}
+	ex.countInstr(anyMulti)
+	vals := make([]Value, ex.lanes)
+	for i := 0; i < ex.lanes; i++ {
+		laneArgs := make([]Value, len(args))
+		for j, a := range args {
+			laneArgs[j] = MaterializeLane(a, i)
+		}
+		var v Value
+		var err error
+		if ex.bridge == nil {
+			v, err = nativeNonDet(call.Name, laneArgs)
+		} else {
+			v, err = ex.bridge.NonDet(ex.rids[i], call.Name, laneArgs)
+		}
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return NewMulti(vals), nil
+}
+
+// stateOps names the builtins that operate on shared objects.
+var stateOps = map[string]bool{
+	"session_get":    true,
+	"session_set":    true,
+	"apc_get":        true,
+	"apc_set":        true,
+	"db_query":       true,
+	"db_exec":        true,
+	"db_transaction": true,
+}
+
+// nondetBuiltins names the non-deterministic builtins (§4.6).
+var nondetBuiltins = map[string]bool{
+	"time":      true,
+	"microtime": true,
+	"mt_rand":   true,
+	"rand":      true,
+	"uniqid":    true,
+	"getmypid":  true,
+}

@@ -1,0 +1,39 @@
+package lang
+
+// Digest accumulates the control-flow fingerprint of one execution
+// (§4.3): at every branch the recording runtime folds in the branch site
+// and the direction taken. Requests with equal digests took identical
+// control-flow paths, so the server groups them under the same opaque
+// tag in the C report (§3.1). The verifier never computes digests — it
+// checks groups directly by detecting divergence during SIMD-on-demand
+// re-execution.
+//
+// The digest is FNV-1a over (site, direction) pairs, seeded with the
+// script name so that the same site numbering in different scripts
+// cannot collide.
+type Digest struct {
+	h uint64
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// NewDigest returns a digest seeded with the script name.
+func NewDigest(script string) *Digest {
+	d := &Digest{h: fnvOffset}
+	for i := 0; i < len(script); i++ {
+		d.h = (d.h ^ uint64(script[i])) * fnvPrime
+	}
+	return d
+}
+
+// Branch folds a control-flow decision into the digest.
+func (d *Digest) Branch(site Site, direction int) {
+	d.h = (d.h ^ uint64(uint32(site))) * fnvPrime
+	d.h = (d.h ^ uint64(uint32(direction))) * fnvPrime
+}
+
+// Sum returns the current digest value (the opaque control-flow tag).
+func (d *Digest) Sum() uint64 { return d.h }

@@ -1,0 +1,266 @@
+package lang
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// testBridge is a minimal recording bridge for exercising ModeRecord.
+type testBridge struct {
+	regs map[string]Value
+	ops  []string
+}
+
+func newTestBridge() *testBridge {
+	return &testBridge{regs: map[string]Value{}}
+}
+
+func (b *testBridge) RegisterRead(rid string, opnum int, name string) (Value, error) {
+	b.ops = append(b.ops, "read:"+name)
+	return b.regs[name], nil
+}
+func (b *testBridge) RegisterWrite(rid string, opnum int, name string, v Value) error {
+	b.ops = append(b.ops, "write:"+name)
+	b.regs[name] = CloneValue(v)
+	return nil
+}
+func (b *testBridge) KvGet(rid string, opnum int, key string) (Value, error) { return nil, nil }
+func (b *testBridge) KvSet(rid string, opnum int, key string, v Value) error { return nil }
+func (b *testBridge) DBOp(rid string, opnum int, stmts []string) (Value, error) {
+	return NewArray(), nil
+}
+func (b *testBridge) NonDet(rid string, fn string, args []Value) (Value, error) {
+	return int64(42), nil
+}
+
+func recordDigest(t *testing.T, src string, in RequestInput) (uint64, *Result) {
+	t.Helper()
+	prog, err := Compile(map[string]string{"main": src})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := Run(prog, Config{
+		Mode: ModeRecord, Script: "main", RIDs: []string{"r1"},
+		Inputs: []RequestInput{in}, Bridge: newTestBridge(),
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res.Digest, res
+}
+
+func TestDigestSameControlFlowSameTag(t *testing.T) {
+	src := `
+$x = intval($_GET["x"]);
+if ($x > 0) { echo "pos"; } else { echo "neg"; }
+for ($i = 0; $i < 3; $i++) { echo $i; }`
+	d1, _ := recordDigest(t, src, RequestInput{Get: map[string]string{"x": "5"}})
+	d2, _ := recordDigest(t, src, RequestInput{Get: map[string]string{"x": "9"}})
+	if d1 != d2 {
+		t.Fatal("same control flow must give the same digest")
+	}
+}
+
+func TestDigestBranchChangesTag(t *testing.T) {
+	src := `if (intval($_GET["x"]) > 0) { echo "p"; } else { echo "n"; }`
+	d1, _ := recordDigest(t, src, RequestInput{Get: map[string]string{"x": "5"}})
+	d2, _ := recordDigest(t, src, RequestInput{Get: map[string]string{"x": "-5"}})
+	if d1 == d2 {
+		t.Fatal("different branches must change the digest")
+	}
+}
+
+func TestDigestIterationCountChangesTag(t *testing.T) {
+	src := `for ($i = 0; $i < intval($_GET["x"]); $i++) { }
+echo "done";`
+	d1, _ := recordDigest(t, src, RequestInput{Get: map[string]string{"x": "2"}})
+	d2, _ := recordDigest(t, src, RequestInput{Get: map[string]string{"x": "3"}})
+	if d1 == d2 {
+		t.Fatal("different iteration counts must change the digest")
+	}
+}
+
+func TestDigestForeachCountChangesTag(t *testing.T) {
+	src := `foreach (explode(",", $_GET["x"]) as $v) { } echo "x";`
+	d1, _ := recordDigest(t, src, RequestInput{Get: map[string]string{"x": "a,b"}})
+	d2, _ := recordDigest(t, src, RequestInput{Get: map[string]string{"x": "a,b,c"}})
+	if d1 == d2 {
+		t.Fatal("different foreach lengths must change the digest")
+	}
+}
+
+func TestDigestShortCircuitChangesTag(t *testing.T) {
+	src := `$b = intval($_GET["x"]) > 0 && strlen($_GET["x"]) > 0; echo $b ? 1 : 0;`
+	d1, _ := recordDigest(t, src, RequestInput{Get: map[string]string{"x": "5"}})
+	d2, _ := recordDigest(t, src, RequestInput{Get: map[string]string{"x": "-5"}})
+	if d1 == d2 {
+		t.Fatal("different short-circuit paths must change the digest")
+	}
+}
+
+func TestDigestTernaryChangesTag(t *testing.T) {
+	src := `echo intval($_GET["x"]) % 2 ? "odd" : "even";`
+	d1, _ := recordDigest(t, src, RequestInput{Get: map[string]string{"x": "1"}})
+	d2, _ := recordDigest(t, src, RequestInput{Get: map[string]string{"x": "2"}})
+	if d1 == d2 {
+		t.Fatal("different ternary directions must change the digest")
+	}
+}
+
+func TestDigestSwitchArmChangesTag(t *testing.T) {
+	src := `switch ($_GET["x"]) { case "a": echo 1; break; case "b": echo 2; break; default: echo 3; }`
+	da, _ := recordDigest(t, src, RequestInput{Get: map[string]string{"x": "a"}})
+	db, _ := recordDigest(t, src, RequestInput{Get: map[string]string{"x": "b"}})
+	dz, _ := recordDigest(t, src, RequestInput{Get: map[string]string{"x": "z"}})
+	if da == db || db == dz || da == dz {
+		t.Fatalf("switch arms must give distinct digests: %x %x %x", da, db, dz)
+	}
+}
+
+func TestDigestScriptSeed(t *testing.T) {
+	// Identical bodies in different scripts must not share tags.
+	prog := MustCompile(map[string]string{"s1": `echo 1;`, "s2": `echo 1;`})
+	run := func(script string) uint64 {
+		res, err := Run(prog, Config{
+			Mode: ModeRecord, Script: script, RIDs: []string{"r"},
+			Inputs: []RequestInput{{}}, Bridge: newTestBridge(),
+		})
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return res.Digest
+	}
+	if run("s1") == run("s2") {
+		t.Fatal("digests must be seeded by script name")
+	}
+}
+
+func TestDigestDeterministicAcrossCompiles(t *testing.T) {
+	// Site IDs must be stable across separate compilations of the same
+	// sources (the verifier and server compile independently).
+	files := map[string]string{
+		"a": `if (intval($_GET["x"]) > 1) { echo "y"; } else { echo "n"; }`,
+		"b": `for ($i=0;$i<2;$i++) { echo $i; }`,
+	}
+	digest := func() uint64 {
+		prog := MustCompile(files)
+		res, err := Run(prog, Config{
+			Mode: ModeRecord, Script: "a", RIDs: []string{"r"},
+			Inputs: []RequestInput{{Get: map[string]string{"x": "5"}}}, Bridge: newTestBridge(),
+		})
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return res.Digest
+	}
+	if digest() != digest() {
+		t.Fatal("digest must be deterministic across compiles")
+	}
+}
+
+func TestOpCountTracksStateOps(t *testing.T) {
+	src := `
+session_set("k", "v");
+$v = session_get("k");
+apc_set("a", 1);
+$b = apc_get("a");
+echo $v;`
+	prog := MustCompile(map[string]string{"main": src})
+	res, err := Run(prog, Config{
+		Mode: ModeRecord, Script: "main", RIDs: []string{"r1"},
+		Inputs: []RequestInput{{}}, Bridge: newTestBridge(),
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.OpCount != 4 {
+		t.Fatalf("OpCount = %d, want 4", res.OpCount)
+	}
+	if res.Output(0) != "v" {
+		t.Fatalf("output %q", res.Output(0))
+	}
+}
+
+func TestNonDetThroughBridge(t *testing.T) {
+	src := `echo time();`
+	prog := MustCompile(map[string]string{"main": src})
+	res, err := Run(prog, Config{
+		Mode: ModeRecord, Script: "main", RIDs: []string{"r1"},
+		Inputs: []RequestInput{{}}, Bridge: newTestBridge(),
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Output(0) != "42" {
+		t.Fatalf("output %q (nondet must come from the bridge)", res.Output(0))
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	vals := []Value{
+		nil, true, false, int64(0), int64(-12345), int64(1) << 60,
+		float64(3.25), "", "hello;world", "with:colons;and;semis",
+	}
+	arr := NewArray()
+	arr.Append(int64(1))
+	k, _ := NormalizeKey(Value("key"))
+	arr.Set(k, "val")
+	inner := NewArray()
+	inner.Append("nested")
+	arr.Append(inner)
+	vals = append(vals, arr)
+	for _, v := range vals {
+		enc := EncodeValue(v)
+		dec, err := DecodeValue(enc)
+		if err != nil {
+			t.Fatalf("decode %q: %v", enc, err)
+		}
+		if !Equal(v, dec) {
+			t.Fatalf("round trip mismatch: %v -> %q -> %v", v, enc, dec)
+		}
+	}
+}
+
+func TestEncodeCanonical(t *testing.T) {
+	// Same logical value built differently must encode identically.
+	a1 := NewArray()
+	a1.Append("x")
+	a1.Append("y")
+	a2 := NewArray()
+	a2.Append("x")
+	a2.Append("z")
+	k1, _ := NormalizeKey(Value(int64(1)))
+	a2.Set(k1, "y") // overwrite index 1
+	if EncodeValue(a1) != EncodeValue(a2) {
+		t.Fatal("canonical encoding mismatch for equal arrays")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	bad := []string{"", "x", "i:;", "i:12", "s:5:ab;", "a:1:i:0;;", "N", "b:2;", "i:1;i:2;"}
+	for _, s := range bad {
+		if _, err := DecodeValue(s); err == nil {
+			t.Errorf("DecodeValue(%q): expected error", s)
+		}
+	}
+}
+
+func TestEncodeQuickRoundTrip(t *testing.T) {
+	f := func(i int64, s string, b bool, f float64) bool {
+		arr := NewArray()
+		arr.Append(i)
+		arr.Append(s)
+		arr.Append(b)
+		arr.Append(f)
+		k, _ := NormalizeKey(Value(s))
+		arr.Set(k, i)
+		dec, err := DecodeValue(EncodeValue(arr))
+		if err != nil {
+			return false
+		}
+		return Equal(arr, dec)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,558 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// runPlain executes src as a single plain-mode request and returns output.
+func runPlain(t *testing.T, src string, in RequestInput) string {
+	t.Helper()
+	out, err := tryRunPlain(src, in)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out
+}
+
+func tryRunPlain(src string, in RequestInput) (string, error) {
+	prog, err := Compile(map[string]string{"main": src})
+	if err != nil {
+		return "", err
+	}
+	res, err := Run(prog, Config{
+		Mode:   ModePlain,
+		Script: "main",
+		RIDs:   []string{"r1"},
+		Inputs: []RequestInput{in},
+	})
+	if err != nil {
+		return "", err
+	}
+	return res.Output(0), nil
+}
+
+func TestEchoLiteral(t *testing.T) {
+	if got := runPlain(t, `echo "hello";`, RequestInput{}); got != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`echo 1 + 2;`, "3"},
+		{`echo 7 - 10;`, "-3"},
+		{`echo 6 * 7;`, "42"},
+		{`echo 7 / 2;`, "3.5"},
+		{`echo 8 / 2;`, "4"},
+		{`echo 7 % 3;`, "1"},
+		{`echo -5;`, "-5"},
+		{`echo 2 + 3 * 4;`, "14"},
+		{`echo (2 + 3) * 4;`, "20"},
+		{`echo 1.5 + 1;`, "2.5"},
+		{`echo "3" + "4";`, "7"},
+		{`echo "3.5" + 1;`, "4.5"},
+		{`echo 1 + true;`, "2"},
+		{`echo 10 % 4;`, "2"},
+	}
+	for _, c := range cases {
+		if got := runPlain(t, c.src, RequestInput{}); got != c.want {
+			t.Errorf("%s => %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestStringConcat(t *testing.T) {
+	if got := runPlain(t, `echo "a" . "b" . 3;`, RequestInput{}); got != "ab3" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestVariables(t *testing.T) {
+	src := `$x = 5; $y = $x * 2; echo $y;`
+	if got := runPlain(t, src, RequestInput{}); got != "10" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCompoundAssign(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`$x = 5; $x += 3; echo $x;`, "8"},
+		{`$x = 5; $x -= 3; echo $x;`, "2"},
+		{`$x = 5; $x *= 3; echo $x;`, "15"},
+		{`$x = "a"; $x .= "b"; echo $x;`, "ab"},
+		{`$x = 7; $x %= 4; echo $x;`, "3"},
+	}
+	for _, c := range cases {
+		if got := runPlain(t, c.src, RequestInput{}); got != c.want {
+			t.Errorf("%s => %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestIncDec(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`$i = 1; $i++; echo $i;`, "2"},
+		{`$i = 1; echo $i++; echo $i;`, "12"},
+		{`$i = 1; echo ++$i; echo $i;`, "22"},
+		{`$i = 1; $i--; echo $i;`, "0"},
+		{`$i = 5; echo $i--;`, "5"},
+	}
+	for _, c := range cases {
+		if got := runPlain(t, c.src, RequestInput{}); got != c.want {
+			t.Errorf("%s => %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	src := `
+$x = 7;
+if ($x > 10) { echo "big"; }
+elseif ($x > 5) { echo "mid"; }
+else { echo "small"; }`
+	if got := runPlain(t, src, RequestInput{}); got != "mid" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestElseIfTwoWords(t *testing.T) {
+	src := `$x = 2; if ($x == 1) { echo "a"; } else if ($x == 2) { echo "b"; } else { echo "c"; }`
+	if got := runPlain(t, src, RequestInput{}); got != "b" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	src := `$i = 0; $s = 0; while ($i < 5) { $s += $i; $i++; } echo $s;`
+	if got := runPlain(t, src, RequestInput{}); got != "10" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	src := `$s = ""; for ($i = 0; $i < 3; $i++) { $s .= $i; } echo $s;`
+	if got := runPlain(t, src, RequestInput{}); got != "012" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	src := `
+for ($i = 0; $i < 10; $i++) {
+  if ($i == 2) { continue; }
+  if ($i == 5) { break; }
+  echo $i;
+}`
+	if got := runPlain(t, src, RequestInput{}); got != "0134" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestForeach(t *testing.T) {
+	src := `$a = array(3, 1, 2); foreach ($a as $v) { echo $v; }`
+	if got := runPlain(t, src, RequestInput{}); got != "312" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestForeachKeyValue(t *testing.T) {
+	src := `$a = array("x" => 1, "y" => 2); foreach ($a as $k => $v) { echo $k . "=" . $v . ";"; }`
+	if got := runPlain(t, src, RequestInput{}); got != "x=1;y=2;" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestForeachCopySemantics(t *testing.T) {
+	// Mutating the array inside foreach must not affect iteration.
+	src := `$a = array(1, 2, 3); foreach ($a as $v) { $a[] = $v + 10; echo $v; } echo count($a);`
+	if got := runPlain(t, src, RequestInput{}); got != "1236" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSwitch(t *testing.T) {
+	src := `
+$x = "b";
+switch ($x) {
+  case "a": echo "one"; break;
+  case "b": echo "two"; break;
+  default: echo "other";
+}`
+	if got := runPlain(t, src, RequestInput{}); got != "two" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSwitchDefault(t *testing.T) {
+	src := `$x = 99; switch ($x) { case 1: echo "a"; default: echo "d"; }`
+	if got := runPlain(t, src, RequestInput{}); got != "d" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestTernary(t *testing.T) {
+	src := `$x = 3; echo $x > 2 ? "yes" : "no";`
+	if got := runPlain(t, src, RequestInput{}); got != "yes" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestLogicalOps(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`echo (1 && 2) ? "t" : "f";`, "t"},
+		{`echo (0 && 2) ? "t" : "f";`, "f"},
+		{`echo (0 || 2) ? "t" : "f";`, "t"},
+		{`echo (0 || 0) ? "t" : "f";`, "f"},
+		{`echo !0 ? "t" : "f";`, "t"},
+	}
+	for _, c := range cases {
+		if got := runPlain(t, c.src, RequestInput{}); got != c.want {
+			t.Errorf("%s => %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The RHS must not run when the LHS decides.
+	src := `
+function boom() { echo "BOOM"; return true; }
+$x = false && boom();
+$y = true || boom();
+echo "ok";`
+	if got := runPlain(t, src, RequestInput{}); got != "ok" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`echo (1 == "1") ? "t" : "f";`, "t"},
+		{`echo (1 === "1") ? "t" : "f";`, "f"},
+		{`echo (1 === 1) ? "t" : "f";`, "t"},
+		{`echo (1 != 2) ? "t" : "f";`, "t"},
+		{`echo (1 !== "1") ? "t" : "f";`, "t"},
+		{`echo (2 < 10) ? "t" : "f";`, "t"},
+		{`echo ("2" < "10") ? "t" : "f";`, "t"}, // numeric strings compare numerically
+		{`echo ("abc" < "abd") ? "t" : "f";`, "t"},
+		{`echo (3 >= 3) ? "t" : "f";`, "t"},
+		{`echo (null == false) ? "t" : "f";`, "t"},
+		{`echo (null === false) ? "t" : "f";`, "f"},
+		{`echo ("" == null) ? "t" : "f";`, "t"},
+	}
+	for _, c := range cases {
+		if got := runPlain(t, c.src, RequestInput{}); got != c.want {
+			t.Errorf("%s => %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestArrays(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`$a = array(); $a[] = 1; $a[] = 2; echo count($a);`, "2"},
+		{`$a = [1, 2, 3]; echo $a[1];`, "2"},
+		{`$a = array("k" => "v"); echo $a["k"];`, "v"},
+		{`$a = []; $a["x"] = 1; $a["x"] = 2; echo $a["x"] . count($a);`, "21"},
+		{`$a = []; $a[5] = "x"; $a[] = "y"; echo $a[6];`, "y"},
+		{`$a = [1,2]; $b = $a; $b[] = 3; echo count($a) . count($b);`, "23"}, // value semantics
+		{`$a = ["x" => ["y" => 1]]; echo $a["x"]["y"];`, "1"},
+		{`$a = []; $a["p"]["q"] = 7; echo $a["p"]["q"];`, "7"}, // autovivification
+		{`$a = [1,2,3]; unset($a[1]); echo count($a);`, "2"},
+		{`$a = ["10" => "x"]; echo isset($a[10]) ? "t" : "f";`, "t"}, // key normalization
+		{`echo [1,2,3][2];`, "3"},
+	}
+	for _, c := range cases {
+		if got := runPlain(t, c.src, RequestInput{}); got != c.want {
+			t.Errorf("%s => %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestIssetEmpty(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`echo isset($x) ? "t" : "f";`, "f"},
+		{`$x = 1; echo isset($x) ? "t" : "f";`, "t"},
+		{`$x = null; echo isset($x) ? "t" : "f";`, "f"},
+		{`$a = ["k" => 1]; echo isset($a["k"]) ? "t" : "f";`, "t"},
+		{`$a = ["k" => 1]; echo isset($a["z"]) ? "t" : "f";`, "f"},
+		{`$a = ["k" => ["j" => 1]]; echo isset($a["k"]["j"]) ? "t" : "f";`, "t"},
+		{`echo empty($x) ? "t" : "f";`, "t"},
+		{`$x = 0; echo empty($x) ? "t" : "f";`, "t"},
+		{`$x = 1; echo empty($x) ? "t" : "f";`, "f"},
+		{`$x = 1; $y = 2; echo isset($x, $y) ? "t" : "f";`, "t"},
+		{`$x = 1; echo isset($x, $zz) ? "t" : "f";`, "f"},
+	}
+	for _, c := range cases {
+		if got := runPlain(t, c.src, RequestInput{}); got != c.want {
+			t.Errorf("%s => %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestFunctions(t *testing.T) {
+	src := `
+function add($a, $b) { return $a + $b; }
+function fact($n) { if ($n <= 1) { return 1; } return $n * fact($n - 1); }
+echo add(2, 3);
+echo " ";
+echo fact(5);`
+	if got := runPlain(t, src, RequestInput{}); got != "5 120" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFunctionDefaults(t *testing.T) {
+	src := `function greet($name, $greeting = "hi") { return $greeting . " " . $name; } echo greet("bob");`
+	if got := runPlain(t, src, RequestInput{}); got != "hi bob" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFunctionValueSemantics(t *testing.T) {
+	src := `
+function mut($a) { $a[] = 99; return count($a); }
+$x = [1, 2];
+echo mut($x);
+echo count($x);`
+	if got := runPlain(t, src, RequestInput{}); got != "32" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	src := `
+$counter = 10;
+function bump() { global $counter; $counter++; return $counter; }
+echo bump();
+echo bump();
+echo $counter;`
+	if got := runPlain(t, src, RequestInput{}); got != "111212" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSuperglobals(t *testing.T) {
+	in := RequestInput{
+		Get:    map[string]string{"q": "7"},
+		Post:   map[string]string{"body": "text"},
+		Cookie: map[string]string{"user": "alice"},
+	}
+	src := `echo $_GET["q"] . "|" . $_POST["body"] . "|" . $_COOKIE["user"] . "|" . (isset($_GET["nope"]) ? "t" : "f");`
+	if got := runPlain(t, src, in); got != "7|text|alice|f" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestStringIndexing(t *testing.T) {
+	src := `$s = "hello"; echo $s[1];`
+	if got := runPlain(t, src, RequestInput{}); got != "e" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestBuiltinsStrings(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`echo strlen("hello");`, "5"},
+		{`echo substr("hello", 1, 3);`, "ell"},
+		{`echo substr("hello", -3);`, "llo"},
+		{`echo substr("hello", 2);`, "llo"},
+		{`echo strpos("hello", "ll");`, "2"},
+		{`echo strpos("hello", "zz") === false ? "miss" : "hit";`, "miss"},
+		{`echo str_replace("l", "L", "hello");`, "heLLo"},
+		{`echo strtoupper("abc") . strtolower("DEF");`, "ABCdef"},
+		{`echo ucfirst("word");`, "Word"},
+		{`echo trim("  pad  ");`, "pad"},
+		{`echo str_repeat("ab", 3);`, "ababab"},
+		{`echo str_pad("7", 3, "0");`, "7 strange"},
+		{`echo strrev("abc");`, "cba"},
+		{`echo implode(",", [1,2,3]);`, "1,2,3"},
+		{`echo implode([1,2]);`, "12"},
+		{`$p = explode("-", "a-b-c"); echo $p[1] . count($p);`, "b3"},
+		{`echo sprintf("%s=%d", "x", 42);`, "x=42"},
+		{`echo sprintf("%05d", 42);`, "00042"},
+		{`echo sprintf("%.2f", 3.14159);`, "3.14"},
+		{`echo sprintf("%x", 255);`, "ff"},
+		{`echo sprintf("100%%");`, "100%"},
+		{`echo htmlspecialchars("<a href=\"x\">&'");`, "&lt;a href=&quot;x&quot;&gt;&amp;&#039;"},
+		{`echo number_format(1234567.891, 2);`, "1,234,567.89"},
+		{`echo number_format(1234567);`, "1,234,567"},
+		{`echo md5("abc");`, "900150983cd24fb0d6963f7d28e17f72"},
+		{`echo json_encode([1, "a", true]);`, `[1,"a",true]`},
+		{`echo json_encode(["k" => 1]);`, `{"k":1}`},
+		{`echo date("Y-m-d", 0);`, "1970-01-01"},
+		{`echo date("H:i:s", 3661);`, "01:01:01"},
+	}
+	for _, c := range cases {
+		got := runPlain(t, c.src, RequestInput{})
+		if c.src == `echo str_pad("7", 3, "0");` {
+			// str_pad pads on the right by default in PHP.
+			if got != "700" {
+				t.Errorf("%s => %q, want %q", c.src, got, "700")
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s => %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestBuiltinsArrays(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`echo count([1,2,3]);`, "3"},
+		{`echo implode(",", array_keys(["a"=>1, "b"=>2]));`, "a,b"},
+		{`echo implode(",", array_values(["a"=>5, "b"=>6]));`, "5,6"},
+		{`echo in_array(2, [1,2,3]) ? "t" : "f";`, "t"},
+		{`echo in_array("2", [1,2,3], true) ? "t" : "f";`, "f"},
+		{`echo array_key_exists("a", ["a"=>null]) ? "t" : "f";`, "t"},
+		{`echo isset($undefinedvar) ? "t" : "f";`, "f"},
+		{`echo array_search("b", ["x"=>"a","y"=>"b"]);`, "y"},
+		{`echo implode(",", array_merge([1,2],[3],["k"=>9]));`, "1,2,3,9"},
+		{`echo implode(",", array_slice([1,2,3,4,5], 1, 3));`, "2,3,4"},
+		{`echo implode(",", array_slice([1,2,3], -2));`, "2,3"},
+		{`echo implode(",", array_reverse([1,2,3]));`, "3,2,1"},
+		{`echo array_sum([1,2,3.5]);`, "6.5"},
+		{`echo implode(",", range(1,5));`, "1,2,3,4,5"},
+		{`echo implode(",", range(5,1,2));`, "5,3,1"},
+		{`$a = [3,1,2]; sort($a); echo implode(",", $a);`, "1,2,3"},
+		{`$a = [3,1,2]; rsort($a); echo implode(",", $a);`, "3,2,1"},
+		{`$a = ["b"=>2,"a"=>1]; ksort($a); echo implode(",", array_keys($a));`, "a,b"},
+		{`$a = [1]; array_push($a, 2, 3); echo implode(",", $a);`, "1,2,3"},
+		{`$a = [1,2,3]; echo array_pop($a) . count($a);`, "32"},
+		{`$a = [1,2,3]; echo array_shift($a) . implode(",", $a);`, "12,3"},
+		{`echo max(1, 5, 3);`, "5"},
+		{`echo max([1, 9, 3]);`, "9"},
+		{`echo min(4, 2, 8);`, "2"},
+		{`echo abs(-7);`, "7"},
+		{`echo floor(3.7) . ceil(3.2);`, "34"},
+		{`echo round(3.456, 2);`, "3.46"},
+		{`echo intdiv(7, 2);`, "3"},
+		{`echo pow(2, 10);`, "1024"},
+		{`echo intval("42abc");`, "42"},
+		{`echo strval(42) === "42" ? "t" : "f";`, "t"},
+		{`echo is_array([1]) ? "t" : "f";`, "t"},
+		{`echo is_numeric("3.5") ? "t" : "f";`, "t"},
+		{`echo is_numeric("3x") ? "t" : "f";`, "f"},
+		{`echo gettype(1) . "/" . gettype("s") . "/" . gettype([1]);`, "integer/string/array"},
+	}
+	for _, c := range cases {
+		if got := runPlain(t, c.src, RequestInput{}); got != c.want {
+			t.Errorf("%s => %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestArrayPlusUnion(t *testing.T) {
+	src := `$a = ["x"=>1] + ["x"=>2, "y"=>3]; echo $a["x"] . $a["y"];`
+	if got := runPlain(t, src, RequestInput{}); got != "13" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []string{
+		`echo 1 / 0;`,
+		`echo 5 % 0;`,
+		`nosuchfn();`,
+		`$x = 5; $x[0] = 1;`,
+		`echo intdiv(1, 0);`,
+		`$a = "s"; foreach ($a as $v) { echo $v; }`,
+	}
+	for _, src := range cases {
+		if _, err := tryRunPlain(src, RequestInput{}); err == nil {
+			t.Errorf("%s: expected error", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`echo ;`,
+		`if (1) {`,
+		`$x = ;`,
+		`function f( { }`,
+		`foreach ($a of $v) {}`,
+		`echo "unterminated;`,
+		`1 = 2;`,
+	}
+	for _, src := range cases {
+		if _, err := Compile(map[string]string{"m": src}); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	prog := MustCompile(map[string]string{"m": `while (true) { $i++; }`})
+	_, err := Run(prog, Config{Mode: ModePlain, Script: "m", RIDs: []string{"r"},
+		Inputs: []RequestInput{{}}, MaxSteps: 10_000})
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("expected step-limit error, got %v", err)
+	}
+}
+
+func TestUnknownScript(t *testing.T) {
+	prog := MustCompile(map[string]string{"m": `echo 1;`})
+	_, err := Run(prog, Config{Mode: ModePlain, Script: "nope", RIDs: []string{"r"}, Inputs: []RequestInput{{}}})
+	if err == nil {
+		t.Fatal("expected error for unknown script")
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+// line comment
+# hash comment
+/* block
+   comment */
+echo "ok"; // trailing`
+	if got := runPlain(t, src, RequestInput{}); got != "ok" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFunctionRedeclaration(t *testing.T) {
+	src := `function f() { return 1; } function f() { return 2; }`
+	if _, err := Compile(map[string]string{"m": src}); err == nil {
+		t.Fatal("expected redeclaration error")
+	}
+}
+
+func TestEchoMultipleArgs(t *testing.T) {
+	if got := runPlain(t, `echo "a", "b", 1;`, RequestInput{}); got != "ab1" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestNestedFunctionsAndArrays(t *testing.T) {
+	src := `
+function render($rows) {
+  $out = "";
+  foreach ($rows as $r) {
+    $out .= "<li>" . htmlspecialchars($r["title"]) . "</li>";
+  }
+  return $out;
+}
+$rows = [ ["title" => "a<b"], ["title" => "c"] ];
+echo render($rows);`
+	want := "<li>a&lt;b</li><li>c</li>"
+	if got := runPlain(t, src, RequestInput{}); got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`echo "a\nb";`, "a\nb"},
+		{`echo "a\tb";`, "a\tb"},
+		{`echo "q\"q";`, `q"q`},
+		{`echo 'a\nb';`, `a\nb`}, // single quotes: no escape
+		{`echo 'it\'s';`, "it's"},
+		{`echo "\$x";`, "$x"},
+	}
+	for _, c := range cases {
+		if got := runPlain(t, c.src, RequestInput{}); got != c.want {
+			t.Errorf("%s => %q, want %q", c.src, got, c.want)
+		}
+	}
+}

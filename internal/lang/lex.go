@@ -1,0 +1,254 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tokKind enumerates token kinds produced by the lexer.
+type tokKind uint8
+
+const (
+	tokEOF   tokKind = iota
+	tokVar           // $name
+	tokIdent         // bare identifier / keyword
+	tokInt
+	tokFloat
+	tokString
+	tokOp // operator or punctuation; text in tok.text
+)
+
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	fval float64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "EOF"
+	case tokVar:
+		return "$" + t.text
+	case tokInt:
+		return strconv.FormatInt(t.ival, 10)
+	case tokFloat:
+		return strconv.FormatFloat(t.fval, 'g', -1, 64)
+	case tokString:
+		return strconv.Quote(t.text)
+	default:
+		return t.text
+	}
+}
+
+// lexer tokenizes a source string.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	file string
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{src: src, line: 1, file: file}
+}
+
+func (l *lexer) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%d: %s", l.file, l.line, fmt.Sprintf(format, args...))
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '$':
+		l.pos++
+		start := l.pos
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == start {
+			return token{}, l.errorf("bare '$'")
+		}
+		return token{kind: tokVar, text: l.src[start:l.pos], line: l.line}, nil
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}, nil
+	case c >= '0' && c <= '9':
+		return l.lexNumber()
+	case c == '\'' || c == '"':
+		return l.lexString(c)
+	default:
+		return l.lexOp()
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == '#':
+			l.skipLineComment()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			l.skipLineComment()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos < len(l.src) {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				if l.src[l.pos] == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.pos += 2
+					break
+				}
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) skipLineComment() {
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	isFloat := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !isFloat && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			isFloat = true
+			l.pos++
+			continue
+		}
+		if (c == 'e' || c == 'E') && l.pos+1 < len(l.src) {
+			j := l.pos + 1
+			if l.src[j] == '+' || l.src[j] == '-' {
+				j++
+			}
+			if j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+				isFloat = true
+				l.pos = j + 1
+				continue
+			}
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{}, l.errorf("bad float literal %q", text)
+		}
+		return token{kind: tokFloat, fval: f, line: l.line}, nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return token{}, l.errorf("bad int literal %q", text)
+	}
+	return token{kind: tokInt, ival: n, line: l.line}, nil
+}
+
+func (l *lexer) lexString(quote byte) (token, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			return token{kind: tokString, text: b.String(), line: l.line}, nil
+		}
+		if c == '\n' {
+			l.line++
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			e := l.src[l.pos+1]
+			if quote == '\'' {
+				// Single-quoted: only \' and \\ are escapes.
+				if e == '\'' || e == '\\' {
+					b.WriteByte(e)
+					l.pos += 2
+					continue
+				}
+				b.WriteByte(c)
+				l.pos++
+				continue
+			}
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case '$':
+				b.WriteByte('$')
+			case '0':
+				b.WriteByte(0)
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(e)
+			}
+			l.pos += 2
+			continue
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, l.errorf("unterminated string literal")
+}
+
+// operator tokens, longest first so maximal munch works.
+var operators = []string{
+	"===", "!==", "<=>",
+	"==", "!=", "<=", ">=", "&&", "||", "++", "--",
+	"+=", "-=", "*=", "/=", ".=", "%=", "=>", "->",
+	"+", "-", "*", "/", "%", ".", "!", "=", "<", ">",
+	"(", ")", "[", "]", "{", "}", ",", ";", "?", ":", "&", "@",
+}
+
+func (l *lexer) lexOp() (token, error) {
+	rest := l.src[l.pos:]
+	for _, op := range operators {
+		if strings.HasPrefix(rest, op) {
+			l.pos += len(op)
+			return token{kind: tokOp, text: op, line: l.line}, nil
+		}
+	}
+	return token{}, l.errorf("unexpected character %q", l.src[l.pos])
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

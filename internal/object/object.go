@@ -1,0 +1,306 @@
+// Package object implements the online shared-object layer (§3.2, §4.4):
+// atomic registers for per-client session data, a linearizable key-value
+// store modelling the APC, and the strictly serializable SQL database.
+// It also provides the server-side Bridge that routes the application
+// language's state operations to these objects, recording each operation
+// through the reports.Recorder when recording is enabled.
+package object
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"orochi/internal/lang"
+	"orochi/internal/reports"
+	"orochi/internal/sqlmini"
+)
+
+// Store holds all shared objects of one server.
+type Store struct {
+	regMu sync.Mutex
+	regs  map[string]lang.Value
+
+	kvMu sync.Mutex
+	kv   map[string]lang.Value
+
+	// DB is the SQL database (exported: the server seeds schemas and
+	// benchmarks inspect sizes).
+	DB *sqlmini.DB
+}
+
+// NewStore returns an empty store with a fresh database.
+func NewStore() *Store {
+	return &Store{
+		regs: make(map[string]lang.Value),
+		kv:   make(map[string]lang.Value),
+		DB:   sqlmini.NewDB(),
+	}
+}
+
+// RegisterRead atomically reads register name, logging under the lock.
+func (s *Store) RegisterRead(name string, rec *reports.Recorder, rid string, opnum int) lang.Value {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	v := s.regs[name]
+	if rec != nil {
+		rec.RecordObjOp(reports.ObjectID{Kind: reports.RegisterObj, Name: name}, reports.OpEntry{
+			RID: rid, Opnum: opnum, Type: lang.RegisterRead, Key: name,
+		})
+	}
+	return lang.CloneValue(v)
+}
+
+// RegisterWrite atomically writes register name.
+func (s *Store) RegisterWrite(name string, v lang.Value, rec *reports.Recorder, rid string, opnum int) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	s.regs[name] = lang.CloneValue(v)
+	if rec != nil {
+		rec.RecordObjOp(reports.ObjectID{Kind: reports.RegisterObj, Name: name}, reports.OpEntry{
+			RID: rid, Opnum: opnum, Type: lang.RegisterWrite, Key: name, Value: lang.EncodeValue(v),
+		})
+	}
+}
+
+// KvGet linearizably reads key from the KV store.
+func (s *Store) KvGet(key string, rec *reports.Recorder, rid string, opnum int) lang.Value {
+	s.kvMu.Lock()
+	defer s.kvMu.Unlock()
+	v := s.kv[key]
+	if rec != nil {
+		rec.RecordObjOp(reports.ObjectID{Kind: reports.KVObj, Name: "apc"}, reports.OpEntry{
+			RID: rid, Opnum: opnum, Type: lang.KvGet, Key: key,
+		})
+	}
+	return lang.CloneValue(v)
+}
+
+// KvSet linearizably writes key in the KV store.
+func (s *Store) KvSet(key string, v lang.Value, rec *reports.Recorder, rid string, opnum int) {
+	s.kvMu.Lock()
+	defer s.kvMu.Unlock()
+	s.kv[key] = lang.CloneValue(v)
+	if rec != nil {
+		rec.RecordObjOp(reports.ObjectID{Kind: reports.KVObj, Name: "apc"}, reports.OpEntry{
+			RID: rid, Opnum: opnum, Type: lang.KvSet, Key: key, Value: lang.EncodeValue(v),
+		})
+	}
+}
+
+// Snapshot is the persistent-object state at an audit boundary; the
+// verifier needs the state as of the start of the audited period
+// (§4.1/§5.5: "treating those objects as the true initial state").
+type Snapshot struct {
+	Registers map[string]lang.Value
+	KV        map[string]lang.Value
+	Tables    []*sqlmini.Table
+}
+
+// Snapshot captures the current object state.
+func (s *Store) Snapshot() *Snapshot {
+	out := &Snapshot{
+		Registers: make(map[string]lang.Value),
+		KV:        make(map[string]lang.Value),
+	}
+	s.regMu.Lock()
+	for k, v := range s.regs {
+		out.Registers[k] = lang.CloneValue(v)
+	}
+	s.regMu.Unlock()
+	s.kvMu.Lock()
+	for k, v := range s.kv {
+		out.KV[k] = lang.CloneValue(v)
+	}
+	s.kvMu.Unlock()
+	for _, name := range s.DB.Tables() {
+		out.Tables = append(out.Tables, s.DB.TableCopy(name))
+	}
+	return out
+}
+
+// EmptySnapshot is the initial state of a freshly provisioned server.
+func EmptySnapshot() *Snapshot {
+	return &Snapshot{
+		Registers: map[string]lang.Value{},
+		KV:        map[string]lang.Value{},
+	}
+}
+
+// Bridge is the server-side lang.Bridge: it executes state operations
+// against the store's objects and records them (when rec is non-nil),
+// and it computes + records non-determinism (§4.6).
+type Bridge struct {
+	store *Store
+	rec   *reports.Recorder
+	sess  *reports.Session
+	// Clock supplies time for time()/microtime(); overridable for
+	// deterministic tests. Defaults to the wall clock.
+	Clock func() time.Time
+	// Rand supplies randomness for mt_rand(); defaults to math/rand.
+	Rand *rand.Rand
+	// PID is the reported process id.
+	PID int64
+
+	lastTime int64
+}
+
+// NewBridge returns a bridge for one request handler. rec may be nil
+// (recording disabled — the baseline configuration).
+func NewBridge(store *Store, rec *reports.Recorder) *Bridge {
+	b := &Bridge{store: store, rec: rec, Clock: time.Now, PID: 1}
+	if rec != nil {
+		b.sess = rec.NewSession()
+	}
+	return b
+}
+
+// Close finishes the bridge's recording session.
+func (b *Bridge) Close() {
+	if b.sess != nil {
+		b.sess.Close()
+	}
+}
+
+// RegisterRead implements lang.Bridge.
+func (b *Bridge) RegisterRead(rid string, opnum int, name string) (lang.Value, error) {
+	return b.store.RegisterRead(name, b.rec, rid, opnum), nil
+}
+
+// RegisterWrite implements lang.Bridge.
+func (b *Bridge) RegisterWrite(rid string, opnum int, name string, v lang.Value) error {
+	if err := checkStorable(v); err != nil {
+		return err
+	}
+	b.store.RegisterWrite(name, v, b.rec, rid, opnum)
+	return nil
+}
+
+// KvGet implements lang.Bridge.
+func (b *Bridge) KvGet(rid string, opnum int, key string) (lang.Value, error) {
+	return b.store.KvGet(key, b.rec, rid, opnum), nil
+}
+
+// KvSet implements lang.Bridge.
+func (b *Bridge) KvSet(rid string, opnum int, key string, v lang.Value) error {
+	if err := checkStorable(v); err != nil {
+		return err
+	}
+	b.store.KvSet(key, v, b.rec, rid, opnum)
+	return nil
+}
+
+// DBOp implements lang.Bridge: it commits the transaction against the
+// database and logs (stmts, seq, ok) into the session sub-log. On SQL
+// failure the application receives `false`, as PHP database APIs do.
+func (b *Bridge) DBOp(rid string, opnum int, stmts []string) (lang.Value, error) {
+	results, seq, err := b.store.DB.ExecTxnSeq(stmts)
+	ok := err == nil
+	if b.sess != nil {
+		b.sess.RecordDBOp(seq, reports.OpEntry{
+			RID: rid, Opnum: opnum, Type: lang.DBOp,
+			Stmts: append([]string(nil), stmts...), OK: ok,
+		})
+	}
+	if !ok {
+		return false, nil
+	}
+	return resultsToLang(results), nil
+}
+
+// resultsToLang converts engine results into the language-level shape:
+// an array of per-statement results, where a SELECT yields an array of
+// row maps and a write yields {"affected": n, "insert_id": id}.
+func resultsToLang(results []*sqlmini.Result) lang.Value {
+	out := lang.NewArray()
+	for _, r := range results {
+		out.Append(ResultToLang(r))
+	}
+	return out
+}
+
+// ResultToLang converts one statement result to a language value.
+func ResultToLang(r *sqlmini.Result) lang.Value {
+	if r.Cols != nil {
+		rows := lang.NewArray()
+		for _, row := range r.Rows {
+			m := lang.NewArray()
+			for i, col := range r.Cols {
+				k, _ := lang.NormalizeKey(lang.Value(col))
+				m.Set(k, sqlValToLang(row[i]))
+			}
+			rows.Append(m)
+		}
+		return rows
+	}
+	m := lang.NewArray()
+	ka, _ := lang.NormalizeKey(lang.Value("affected"))
+	ki, _ := lang.NormalizeKey(lang.Value("insert_id"))
+	m.Set(ka, r.Affected)
+	m.Set(ki, r.InsertID)
+	return m
+}
+
+func sqlValToLang(v sqlmini.Val) lang.Value {
+	switch x := v.(type) {
+	case nil:
+		return nil
+	case int64:
+		return x
+	case float64:
+		return x
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// NonDet implements lang.Bridge: compute the real value, record it.
+func (b *Bridge) NonDet(rid string, fn string, args []lang.Value) (lang.Value, error) {
+	var v lang.Value
+	switch fn {
+	case "time":
+		t := b.Clock().Unix()
+		if t < b.lastTime {
+			t = b.lastTime // keep time monotonic within a request
+		}
+		b.lastTime = t
+		v = t
+	case "microtime":
+		v = float64(b.Clock().UnixNano()) / 1e9
+	case "mt_rand", "rand":
+		lo, hi := int64(0), int64(1<<31-1)
+		if len(args) == 2 {
+			lo, hi = lang.ToInt(args[0]), lang.ToInt(args[1])
+		}
+		if hi < lo {
+			v = lo
+		} else if b.Rand != nil {
+			v = lo + b.Rand.Int63n(hi-lo+1)
+		} else {
+			v = lo + rand.Int63n(hi-lo+1)
+		}
+	case "uniqid":
+		v = fmt.Sprintf("%x", b.Clock().UnixNano())
+	case "getmypid":
+		v = b.PID
+	default:
+		return nil, &lang.RuntimeError{Msg: "unknown nondet builtin " + fn}
+	}
+	if b.rec != nil {
+		b.rec.RecordNonDet(rid, reports.NDEntry{Fn: fn, Value: lang.EncodeValue(v)})
+	}
+	return v, nil
+}
+
+// checkStorable rejects multivalues (which must never reach an object).
+func checkStorable(v lang.Value) error {
+	if lang.DeepContainsMulti(v) {
+		return &lang.RuntimeError{Msg: "cannot store a multivalue in a shared object"}
+	}
+	return nil
+}
+
+var _ lang.Bridge = (*Bridge)(nil)

@@ -1,0 +1,170 @@
+package reports
+
+import (
+	"sort"
+	"sync"
+)
+
+// Recorder is the server-side recording library (§4.4, §4.6, §4.7). It
+// is safe for concurrent use by many request-handler goroutines.
+//
+// Register and KV operations are appended to per-object logs under the
+// issuing object's lock (the object layer calls the record function
+// while holding it), so log order equals the objects' linearization
+// order. DB operations are recorded per-session into sub-logs carrying
+// the global sequence number that the database engine assigned inside
+// its commit critical section; Finalize "stitches" the sub-logs by
+// sorting on that sequence number, exactly like OROCHI's stitching
+// daemon (§4.7).
+type Recorder struct {
+	mu       sync.Mutex
+	objIdx   map[ObjectID]int
+	objects  []ObjectID
+	opLogs   [][]OpEntry
+	groups   map[uint64][]string
+	scripts  map[uint64]string
+	opCounts map[string]int
+	nonDet   map[string][]NDEntry
+	dbSubs   [][]dbSubEntry
+}
+
+type dbSubEntry struct {
+	seq   int64
+	entry OpEntry
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		objIdx:   make(map[ObjectID]int),
+		groups:   make(map[uint64][]string),
+		scripts:  make(map[uint64]string),
+		opCounts: make(map[string]int),
+		nonDet:   make(map[string][]NDEntry),
+	}
+}
+
+// RecordObjOp appends an operation to the named object's log. The caller
+// must invoke it while holding the object's lock so that log order
+// matches the linearization order.
+func (r *Recorder) RecordObjOp(id ObjectID, e OpEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx, ok := r.objIdx[id]
+	if !ok {
+		idx = len(r.objects)
+		r.objIdx[id] = idx
+		r.objects = append(r.objects, id)
+		r.opLogs = append(r.opLogs, nil)
+	}
+	r.opLogs[idx] = append(r.opLogs[idx], e)
+}
+
+// Session is a per-request-handler recording context holding the DB
+// sub-log (per-connection logging, §4.7).
+type Session struct {
+	rec *Recorder
+	sub []dbSubEntry
+}
+
+// NewSession opens a recording session for one request handler.
+func (r *Recorder) NewSession() *Session {
+	return &Session{rec: r}
+}
+
+// RecordDBOp appends a DB transaction to the session's sub-log; seq is
+// the global sequence number the engine assigned at commit.
+func (s *Session) RecordDBOp(seq int64, e OpEntry) {
+	s.sub = append(s.sub, dbSubEntry{seq: seq, entry: e})
+}
+
+// Close hands the session's sub-log to the recorder.
+func (s *Session) Close() {
+	if len(s.sub) == 0 {
+		return
+	}
+	s.rec.mu.Lock()
+	defer s.rec.mu.Unlock()
+	s.rec.dbSubs = append(s.rec.dbSubs, s.sub)
+	s.sub = nil
+}
+
+// RecordGroup assigns a request to its control-flow group.
+func (r *Recorder) RecordGroup(tag uint64, script, rid string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.groups[tag] = append(r.groups[tag], rid)
+	r.scripts[tag] = script
+}
+
+// RecordOpCount records report M for one request.
+func (r *Recorder) RecordOpCount(rid string, count int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.opCounts[rid] = count
+}
+
+// RecordNonDet appends a non-deterministic return value for rid.
+func (r *Recorder) RecordNonDet(rid string, e NDEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nonDet[rid] = append(r.nonDet[rid], e)
+}
+
+// Finalize stitches the DB sub-logs into the database object's log and
+// returns the complete report bundle. The recorder remains usable; a
+// later Finalize reflects additional recording.
+func (r *Recorder) Finalize() *Reports {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := &Reports{
+		Groups:   make(map[uint64][]string, len(r.groups)),
+		Scripts:  make(map[uint64]string, len(r.scripts)),
+		OpCounts: make(map[string]int, len(r.opCounts)),
+		NonDet:   make(map[string][]NDEntry, len(r.nonDet)),
+	}
+	for k, v := range r.groups {
+		out.Groups[k] = append([]string(nil), v...)
+	}
+	for k, v := range r.scripts {
+		out.Scripts[k] = v
+	}
+	for k, v := range r.opCounts {
+		out.OpCounts[k] = v
+	}
+	for k, v := range r.nonDet {
+		out.NonDet[k] = append([]NDEntry(nil), v...)
+	}
+	out.Objects = append([]ObjectID(nil), r.objects...)
+	out.OpLogs = make([][]OpEntry, len(r.opLogs))
+	for i, log := range r.opLogs {
+		out.OpLogs[i] = append([]OpEntry(nil), log...)
+	}
+	// Stitch DB sub-logs: merge and sort by engine sequence number.
+	var merged []dbSubEntry
+	for _, sub := range r.dbSubs {
+		merged = append(merged, sub...)
+	}
+	if len(merged) > 0 {
+		sort.Slice(merged, func(i, j int) bool { return merged[i].seq < merged[j].seq })
+		id := ObjectID{Kind: DBObj, Name: "main"}
+		idx := -1
+		for i, o := range out.Objects {
+			if o == id {
+				idx = i
+				break
+			}
+		}
+		if idx == -1 {
+			out.Objects = append(out.Objects, id)
+			out.OpLogs = append(out.OpLogs, nil)
+			idx = len(out.Objects) - 1
+		}
+		entries := make([]OpEntry, len(merged))
+		for i, m := range merged {
+			entries[i] = m.entry
+		}
+		out.OpLogs[idx] = entries
+	}
+	return out
+}

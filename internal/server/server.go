@@ -1,0 +1,203 @@
+// Package server implements the executor (§2, §4): it runs the
+// application program on concurrent requests against shared objects,
+// optionally recording the four report kinds, and supports deliberate
+// misbehaviour hooks so tests can exercise the verifier's Soundness.
+//
+// The server itself is UNTRUSTED in the model; nothing it produces
+// (responses or reports) is assumed correct by the verifier.
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"orochi/internal/lang"
+	"orochi/internal/object"
+	"orochi/internal/reports"
+	"orochi/internal/trace"
+)
+
+// Options configures a server.
+type Options struct {
+	// Record enables report collection (the OROCHI configuration). When
+	// false the server is the legacy baseline.
+	Record bool
+	// Clock overrides the wall clock for deterministic tests.
+	Clock func() time.Time
+	// RandSeed seeds the per-server random source for mt_rand.
+	RandSeed int64
+	// TamperResponse, if set, rewrites response bodies after execution —
+	// a misbehaving executor. The trace records the tampered response
+	// (the collector sees what clients see).
+	TamperResponse func(rid, body string) string
+}
+
+// Server is one executor instance.
+type Server struct {
+	Prog      *lang.Program
+	Store     *object.Store
+	Rec       *reports.Recorder // nil when recording is disabled
+	Collector *trace.Collector
+
+	opts Options
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	cpu  time.Duration // accumulated handler CPU (wall) time
+	reqs int64
+}
+
+// New builds a server for prog.
+func New(prog *lang.Program, opts Options) *Server {
+	s := &Server{
+		Prog:      prog,
+		Store:     object.NewStore(),
+		Collector: trace.NewCollector(),
+		opts:      opts,
+		rng:       rand.New(rand.NewSource(opts.RandSeed + 1)),
+	}
+	if opts.Record {
+		s.Rec = reports.NewRecorder()
+	}
+	return s
+}
+
+// Setup executes SQL statements against the database before the audited
+// period begins (schema creation, seed data). Setup state becomes part
+// of the initial snapshot handed to the verifier.
+func (s *Server) Setup(stmts []string) error {
+	for _, q := range stmts {
+		if _, err := s.Store.DB.Exec(q); err != nil {
+			return fmt.Errorf("server: setup: %w", err)
+		}
+	}
+	return nil
+}
+
+// SetupKV seeds the key-value store before the audited period.
+func (s *Server) SetupKV(key string, v lang.Value) {
+	s.Store.KvSet(key, v, nil, "", 0)
+}
+
+// Snapshot captures the current object state; call it at the audit
+// boundary, before serving audited requests.
+func (s *Server) Snapshot() *object.Snapshot {
+	return s.Store.Snapshot()
+}
+
+// Handle serves one request end to end: the collector records the
+// arrival, the program runs, and the collector records the response. It
+// is safe to call from many goroutines (one per in-flight request, as in
+// the concurrency model of §3.2).
+func (s *Server) Handle(in trace.Input) (rid, body string) {
+	rid = s.Collector.BeginRequest(in)
+	body = s.Process(rid, in)
+	if s.opts.TamperResponse != nil {
+		body = s.opts.TamperResponse(rid, body)
+	}
+	s.Collector.EndRequest(rid, body)
+	return rid, body
+}
+
+// Process executes the program for one request without touching the
+// collector (used by Handle and by the HTTP front end, which drives the
+// collector itself).
+func (s *Server) Process(rid string, in trace.Input) string {
+	start := time.Now()
+	body := s.run(rid, in)
+	elapsed := time.Since(start)
+	s.mu.Lock()
+	s.cpu += elapsed
+	s.reqs++
+	s.mu.Unlock()
+	return body
+}
+
+func (s *Server) run(rid string, in trace.Input) string {
+	bridge := object.NewBridge(s.Store, s.Rec)
+	defer bridge.Close()
+	if s.opts.Clock != nil {
+		bridge.Clock = s.opts.Clock
+	}
+	s.mu.Lock()
+	seed := s.rng.Int63()
+	s.mu.Unlock()
+	bridge.Rand = rand.New(rand.NewSource(seed))
+
+	mode := lang.ModePlain
+	if s.Rec != nil {
+		mode = lang.ModeRecord
+	}
+	res, err := lang.Run(s.Prog, lang.Config{
+		Mode:   mode,
+		Script: in.Script,
+		RIDs:   []string{rid},
+		Inputs: []lang.RequestInput{{Get: in.Get, Post: in.Post, Cookie: in.Cookie}},
+		Bridge: bridge,
+	})
+	if err != nil {
+		return "HTTP 500: " + err.Error()
+	}
+	if s.Rec != nil {
+		s.Rec.RecordGroup(res.Digest, in.Script, rid)
+		s.Rec.RecordOpCount(rid, res.OpCount)
+	}
+	return res.Output(0)
+}
+
+// ServeAll handles the inputs with the given concurrency, returning when
+// every request has completed. It models the open-loop client population
+// of the experiments.
+func (s *Server) ServeAll(inputs []trace.Input, concurrency int) {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	sem := make(chan struct{}, concurrency)
+	var wg sync.WaitGroup
+	for _, in := range inputs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(in trace.Input) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s.Handle(in)
+		}(in)
+	}
+	wg.Wait()
+}
+
+// NewPeriod closes the current audit period: the collector restarts and,
+// when recording, a fresh recorder replaces the old one (whose reports
+// the caller should already have taken via Reports). The server must be
+// drained first — in-flight requests would split their records across
+// periods (§4.7: "the server must be drained prior to an audit").
+func (s *Server) NewPeriod() {
+	s.Collector.Reset()
+	if s.Rec != nil {
+		s.Rec = reports.NewRecorder()
+	}
+}
+
+// CPU returns the accumulated handler execution time and request count —
+// the server-side cost measure of §5.1.
+func (s *Server) CPU() (time.Duration, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cpu, s.reqs
+}
+
+// Reports finalizes and returns the recorded reports (nil when recording
+// is disabled).
+func (s *Server) Reports() *reports.Reports {
+	if s.Rec == nil {
+		return nil
+	}
+	return s.Rec.Finalize()
+}
+
+// Trace returns the collected trace snapshot.
+func (s *Server) Trace() *trace.Trace {
+	return s.Collector.Trace()
+}

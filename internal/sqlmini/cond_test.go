@@ -1,0 +1,157 @@
+package sqlmini
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Additional condition/projection coverage beyond the basics.
+
+func setupCond(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE t (a INT, b TEXT, c FLOAT)`)
+	rows := []string{
+		`(1, 'x', 1.5)`, `(2, 'y', 2.5)`, `(3, 'x', 3.5)`,
+		`(4, NULL, 4.5)`, `(5, 'z', 5.5)`,
+	}
+	for _, r := range rows {
+		mustExec(t, db, `INSERT INTO t (a, b, c) VALUES `+r)
+	}
+	return db
+}
+
+func TestNestedBooleanConditions(t *testing.T) {
+	db := setupCond(t)
+	cases := []struct {
+		where string
+		want  int
+	}{
+		{`(a = 1 OR a = 2) AND b = 'x'`, 1},
+		{`a = 1 OR (a = 2 AND b = 'y')`, 2},
+		{`NOT (a = 1 OR a = 2)`, 3},
+		{`NOT a = 1 AND NOT a = 2`, 3},
+		{`a >= 2 AND a <= 4 AND NOT b = NULL`, 2},
+		{`b = 'x' OR b = 'y' OR b = 'z'`, 4},
+		{`a IN (1, 3, 5) AND b = 'x'`, 2},
+		{`NOT b IN ('x', 'y')`, 2}, // NULL row does not match IN, so NOT IN includes it
+	}
+	for _, c := range cases {
+		r := mustExec(t, db, `SELECT a FROM t WHERE `+c.where)
+		if len(r.Rows) != c.want {
+			t.Errorf("WHERE %s: %d rows, want %d", c.where, len(r.Rows), c.want)
+		}
+	}
+}
+
+func TestMultiKeyOrderBy(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE t (g INT, v INT)`)
+	for _, r := range []string{`(2, 1)`, `(1, 2)`, `(2, 2)`, `(1, 1)`} {
+		mustExec(t, db, `INSERT INTO t (g, v) VALUES `+r)
+	}
+	r := mustExec(t, db, `SELECT g, v FROM t ORDER BY g ASC, v DESC`)
+	want := [][]int64{{1, 2}, {1, 1}, {2, 2}, {2, 1}}
+	for i, row := range r.Rows {
+		if row[0] != want[i][0] || row[1] != want[i][1] {
+			t.Fatalf("row %d = %v, want %v", i, row, want[i])
+		}
+	}
+}
+
+func TestFloatComparisons(t *testing.T) {
+	db := setupCond(t)
+	r := mustExec(t, db, `SELECT a FROM t WHERE c > 2.5 AND c < 5`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	// Int literal vs float column compares numerically.
+	r = mustExec(t, db, `SELECT a FROM t WHERE c >= 4`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+}
+
+func TestCountEmptyAndOffsetPastEnd(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE e (a INT)`)
+	r := mustExec(t, db, `SELECT COUNT(*) FROM e`)
+	if r.Rows[0][0] != int64(0) {
+		t.Fatal("count on empty table")
+	}
+	r = mustExec(t, db, `SELECT a FROM e ORDER BY a LIMIT 5 OFFSET 10`)
+	if len(r.Rows) != 0 {
+		t.Fatal("offset past end must be empty")
+	}
+	mustExec(t, db, `INSERT INTO e (a) VALUES (1)`)
+	r = mustExec(t, db, `SELECT a FROM e LIMIT 10 OFFSET 1`)
+	if len(r.Rows) != 0 {
+		t.Fatal("offset == len must be empty")
+	}
+}
+
+func TestProjectionOrderAndDuplication(t *testing.T) {
+	db := setupCond(t)
+	r := mustExec(t, db, `SELECT b, a, b FROM t WHERE a = 1`)
+	if len(r.Cols) != 3 || r.Cols[0] != "b" || r.Cols[1] != "a" || r.Cols[2] != "b" {
+		t.Fatalf("cols = %v", r.Cols)
+	}
+	if r.Rows[0][0] != "x" || r.Rows[0][1] != int64(1) || r.Rows[0][2] != "x" {
+		t.Fatalf("row = %v", r.Rows[0])
+	}
+}
+
+func TestUpdateNoMatches(t *testing.T) {
+	db := setupCond(t)
+	r := mustExec(t, db, `UPDATE t SET b = 'q' WHERE a = 999`)
+	if r.Affected != 0 {
+		t.Fatalf("affected = %d", r.Affected)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	db := setupCond(t)
+	r := mustExec(t, db, `DELETE FROM t`)
+	if r.Affected != 5 {
+		t.Fatalf("affected = %d", r.Affected)
+	}
+	if db.RowCount() != 0 {
+		t.Fatal("rows remain")
+	}
+	// Auto-increment-free table still inserts fine after wipe.
+	mustExec(t, db, `INSERT INTO t (a, b, c) VALUES (9, 'n', 0)`)
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `create table MiXeD (Col INT)`)
+	mustExec(t, db, `insert into mixed (col) values (7)`)
+	r := mustExec(t, db, `SELECT COL FROM MIXED WHERE cOl = 7`)
+	if len(r.Rows) != 1 {
+		t.Fatal("identifiers must be case-insensitive")
+	}
+}
+
+func TestSequenceNumbersMonotone(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE s (a INT)`)
+	var last int64
+	for i := 0; i < 10; i++ {
+		_, seq, err := db.ExecTxnSeq([]string{fmt.Sprintf(`INSERT INTO s (a) VALUES (%d)`, i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq <= last {
+			t.Fatalf("seq %d not monotone after %d", seq, last)
+		}
+		last = seq
+	}
+	// Failed transactions also consume sequence numbers.
+	_, seq, err := db.ExecTxnSeq([]string{`SELECT * FROM missing`})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if seq <= last {
+		t.Fatal("failed txn must still draw a sequence number")
+	}
+}

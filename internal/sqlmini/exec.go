@@ -1,0 +1,528 @@
+package sqlmini
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// execStmt executes a parsed statement; the caller holds db.mu.
+func (db *DB) execStmt(s Stmt) (*Result, error) {
+	switch x := s.(type) {
+	case *CreateTable:
+		return db.execCreate(x)
+	case *Insert:
+		return db.execInsert(x)
+	case *Select:
+		return db.execSelect(x)
+	case *Update:
+		return db.execUpdate(x)
+	case *Delete:
+		return db.execDelete(x)
+	default:
+		return nil, fmt.Errorf("sqlmini: unknown statement %T", s)
+	}
+}
+
+func (db *DB) table(name string) (*Table, error) {
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("sqlmini: no such table %q", name)
+	}
+	return t, nil
+}
+
+func (db *DB) execCreate(c *CreateTable) (*Result, error) {
+	lname := strings.ToLower(c.Table)
+	if _, exists := db.tables[lname]; exists {
+		return nil, fmt.Errorf("sqlmini: table %q already exists", c.Table)
+	}
+	t, err := newTable(c.Table, c.Cols)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[lname] = t
+	return &Result{}, nil
+}
+
+func (db *DB) execInsert(ins *Insert) (*Result, error) {
+	t, err := db.table(ins.Table)
+	if err != nil {
+		return nil, err
+	}
+	colIdxs := make([]int, len(ins.Cols))
+	for i, c := range ins.Cols {
+		idx := t.ColIndex(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("sqlmini: no column %q in %q", c, ins.Table)
+		}
+		colIdxs[i] = idx
+	}
+	res := &Result{}
+	for _, vals := range ins.Rows {
+		row := make([]Val, len(t.Cols))
+		for i, v := range vals {
+			cv, err := coerceCol(t.Cols[colIdxs[i]], v)
+			if err != nil {
+				return nil, err
+			}
+			row[colIdxs[i]] = cv
+		}
+		assignedCols := make(map[int]bool, len(colIdxs))
+		for _, ci := range colIdxs {
+			assignedCols[ci] = true
+		}
+		if t.autoCol >= 0 && !assignedCols[t.autoCol] {
+			row[t.autoCol] = t.NextAuto
+			res.InsertID = t.NextAuto
+			t.NextAuto++
+		} else if t.autoCol >= 0 {
+			// Explicit id: advance the counter past it (MySQL behaviour).
+			if id, ok := row[t.autoCol].(int64); ok {
+				res.InsertID = id
+				if id >= t.NextAuto {
+					t.NextAuto = id + 1
+				}
+			}
+		}
+		t.Rows = append(t.Rows, row)
+		res.Affected++
+	}
+	return res, nil
+}
+
+func (db *DB) execSelect(sel *Select) (*Result, error) {
+	t, err := db.table(sel.Table)
+	if err != nil {
+		return nil, err
+	}
+	return SelectOver(t, sel)
+}
+
+// SelectOver runs a parsed SELECT against an explicit table snapshot,
+// without locking. It is shared with the versioned store, which
+// materializes version-visible rows into a temporary Table.
+func SelectOver(t *Table, sel *Select) (*Result, error) {
+	matched, err := filterRows(t, sel.Where)
+	if err != nil {
+		return nil, err
+	}
+	if sel.Count {
+		return &Result{Cols: []string{"count"}, Rows: [][]Val{{int64(len(matched))}}}, nil
+	}
+	if len(sel.OrderBy) > 0 {
+		keys := make([]int, len(sel.OrderBy))
+		for i, ok := range sel.OrderBy {
+			ci := t.ColIndex(ok.Col)
+			if ci < 0 {
+				return nil, fmt.Errorf("sqlmini: no column %q in ORDER BY", ok.Col)
+			}
+			keys[i] = ci
+		}
+		sort.SliceStable(matched, func(a, b int) bool {
+			ra, rb := t.Rows[matched[a]], t.Rows[matched[b]]
+			for i, ci := range keys {
+				c := compareVals(ra[ci], rb[ci])
+				if c == 0 {
+					continue
+				}
+				if sel.OrderBy[i].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	// LIMIT / OFFSET.
+	start := sel.Offset
+	if start > int64(len(matched)) {
+		start = int64(len(matched))
+	}
+	end := int64(len(matched))
+	if sel.Limit >= 0 && start+sel.Limit < end {
+		end = start + sel.Limit
+	}
+	matched = matched[start:end]
+	// Projection.
+	var outCols []string
+	var proj []int
+	if sel.Cols == nil {
+		outCols = make([]string, len(t.Cols))
+		proj = make([]int, len(t.Cols))
+		for i, c := range t.Cols {
+			outCols[i] = c.Name
+			proj[i] = i
+		}
+	} else {
+		outCols = sel.Cols
+		proj = make([]int, len(sel.Cols))
+		for i, c := range sel.Cols {
+			ci := t.ColIndex(c)
+			if ci < 0 {
+				return nil, fmt.Errorf("sqlmini: no column %q in %q", c, sel.Table)
+			}
+			proj[i] = ci
+		}
+	}
+	rows := make([][]Val, len(matched))
+	for i, ri := range matched {
+		row := make([]Val, len(proj))
+		for j, ci := range proj {
+			row[j] = t.Rows[ri][ci]
+		}
+		rows[i] = row
+	}
+	return &Result{Cols: outCols, Rows: rows}, nil
+}
+
+func (db *DB) execUpdate(up *Update) (*Result, error) {
+	t, err := db.table(up.Table)
+	if err != nil {
+		return nil, err
+	}
+	matched, err := filterRows(t, up.Where)
+	if err != nil {
+		return nil, err
+	}
+	type setOp struct {
+		col  int
+		val  Val
+		self string
+		base int
+	}
+	sets := make([]setOp, len(up.Sets))
+	for i, sc := range up.Sets {
+		ci := t.ColIndex(sc.Col)
+		if ci < 0 {
+			return nil, fmt.Errorf("sqlmini: no column %q in %q", sc.Col, up.Table)
+		}
+		op := setOp{col: ci, val: sc.Val, self: sc.SelfOp, base: -1}
+		if sc.SelfOp != "" {
+			bi := t.ColIndex(sc.SelfBase)
+			if bi < 0 {
+				return nil, fmt.Errorf("sqlmini: no column %q in SET expression", sc.SelfBase)
+			}
+			op.base = bi
+		}
+		sets[i] = op
+	}
+	for _, ri := range matched {
+		row := t.Rows[ri]
+		for _, s := range sets {
+			if s.self == "" {
+				cv, err := coerceCol(t.Cols[s.col], s.val)
+				if err != nil {
+					return nil, err
+				}
+				row[s.col] = cv
+				continue
+			}
+			base := toInt64(row[s.base])
+			delta := toInt64(s.val)
+			if s.self == "-" {
+				delta = -delta
+			}
+			row[s.col] = base + delta
+		}
+	}
+	return &Result{Affected: int64(len(matched))}, nil
+}
+
+func (db *DB) execDelete(del *Delete) (*Result, error) {
+	t, err := db.table(del.Table)
+	if err != nil {
+		return nil, err
+	}
+	matched, err := filterRows(t, del.Where)
+	if err != nil {
+		return nil, err
+	}
+	if len(matched) == 0 {
+		return &Result{}, nil
+	}
+	drop := make(map[int]bool, len(matched))
+	for _, ri := range matched {
+		drop[ri] = true
+	}
+	kept := t.Rows[:0]
+	for i, r := range t.Rows {
+		if !drop[i] {
+			kept = append(kept, r)
+		}
+	}
+	t.Rows = kept
+	return &Result{Affected: int64(len(matched))}, nil
+}
+
+// NewTempTable builds a Table from explicit columns and rows; used by the
+// versioned store to evaluate SELECTs over version-visible rows.
+func NewTempTable(name string, cols []Column, rows [][]Val) (*Table, error) {
+	t, err := newTable(name, cols)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
+	return t, nil
+}
+
+// MatchRow reports whether row satisfies cond under t's schema.
+func MatchRow(t *Table, row []Val, cond Cond) (bool, error) {
+	return evalCond(t, row, cond)
+}
+
+// CoerceCol converts a literal to the column's storage type (exported for
+// the versioned store's redo pass).
+func CoerceCol(c Column, v Val) (Val, error) {
+	return coerceCol(c, v)
+}
+
+// filterRows returns indices of rows matching cond, in insertion order.
+func filterRows(t *Table, cond Cond) ([]int, error) {
+	out := make([]int, 0, len(t.Rows))
+	for i, row := range t.Rows {
+		ok, err := evalCond(t, row, cond)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+func evalCond(t *Table, row []Val, cond Cond) (bool, error) {
+	if cond == nil {
+		return true, nil
+	}
+	switch c := cond.(type) {
+	case *AndCond:
+		l, err := evalCond(t, row, c.L)
+		if err != nil || !l {
+			return false, err
+		}
+		return evalCond(t, row, c.R)
+	case *OrCond:
+		l, err := evalCond(t, row, c.L)
+		if err != nil {
+			return false, err
+		}
+		if l {
+			return true, nil
+		}
+		return evalCond(t, row, c.R)
+	case *NotCond:
+		v, err := evalCond(t, row, c.C)
+		if err != nil {
+			return false, err
+		}
+		return !v, nil
+	case *CmpCond:
+		ci := t.ColIndex(c.Col)
+		if ci < 0 {
+			return false, fmt.Errorf("sqlmini: no column %q", c.Col)
+		}
+		cell := row[ci]
+		if cell == nil || c.Val == nil {
+			// SQL three-valued logic, restricted: NULL matches only "= NULL"/"!= NULL".
+			switch c.Op {
+			case "=":
+				return cell == nil && c.Val == nil, nil
+			case "!=", "<>":
+				return (cell == nil) != (c.Val == nil), nil
+			default:
+				return false, nil
+			}
+		}
+		cmp := compareVals(cell, c.Val)
+		switch c.Op {
+		case "=":
+			return cmp == 0, nil
+		case "!=", "<>":
+			return cmp != 0, nil
+		case "<":
+			return cmp < 0, nil
+		case "<=":
+			return cmp <= 0, nil
+		case ">":
+			return cmp > 0, nil
+		case ">=":
+			return cmp >= 0, nil
+		default:
+			return false, fmt.Errorf("sqlmini: bad operator %q", c.Op)
+		}
+	case *LikeCond:
+		ci := t.ColIndex(c.Col)
+		if ci < 0 {
+			return false, fmt.Errorf("sqlmini: no column %q", c.Col)
+		}
+		s, ok := row[ci].(string)
+		if !ok {
+			s = valToString(row[ci])
+		}
+		return likeMatch(s, c.Pattern), nil
+	case *InCond:
+		ci := t.ColIndex(c.Col)
+		if ci < 0 {
+			return false, fmt.Errorf("sqlmini: no column %q", c.Col)
+		}
+		for _, v := range c.Vals {
+			if v == nil || row[ci] == nil {
+				if v == nil && row[ci] == nil {
+					return true, nil
+				}
+				continue
+			}
+			if compareVals(row[ci], v) == 0 {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("sqlmini: unknown condition %T", cond)
+	}
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any char).
+func likeMatch(s, pattern string) bool {
+	// Dynamic programming over the pattern.
+	return likeRec(s, pattern)
+}
+
+func likeRec(s, p string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			// Collapse consecutive %.
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		default:
+			if len(s) == 0 || s[0] != p[0] {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return len(s) == 0
+}
+
+// compareVals orders two non-nil SQL values: numbers numerically,
+// otherwise as strings. nil sorts before everything (for ORDER BY).
+func compareVals(a, b Val) int {
+	if a == nil || b == nil {
+		switch {
+		case a == nil && b == nil:
+			return 0
+		case a == nil:
+			return -1
+		default:
+			return 1
+		}
+	}
+	af, aNum := numeric(a)
+	bf, bNum := numeric(b)
+	if aNum && bNum {
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	as, bs := valToString(a), valToString(b)
+	switch {
+	case as < bs:
+		return -1
+	case as > bs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func numeric(v Val) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+
+func valToString(v Val) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return x
+	case int64:
+		return fmt.Sprintf("%d", x)
+	case float64:
+		return fmt.Sprintf("%g", x)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+func toInt64(v Val) int64 {
+	switch x := v.(type) {
+	case int64:
+		return x
+	case float64:
+		return int64(x)
+	case string:
+		var n int64
+		fmt.Sscanf(x, "%d", &n)
+		return n
+	default:
+		return 0
+	}
+}
+
+// coerceCol converts a literal to the column's storage type.
+func coerceCol(c Column, v Val) (Val, error) {
+	if v == nil {
+		return nil, nil
+	}
+	switch c.Type {
+	case IntCol:
+		switch x := v.(type) {
+		case int64:
+			return x, nil
+		case float64:
+			return int64(x), nil
+		case string:
+			return toInt64(x), nil
+		}
+	case FloatCol:
+		switch x := v.(type) {
+		case int64:
+			return float64(x), nil
+		case float64:
+			return x, nil
+		}
+	case TextCol:
+		return valToString(v), nil
+	}
+	return nil, fmt.Errorf("sqlmini: cannot store %T in %s column %q", v, c.Type, c.Name)
+}

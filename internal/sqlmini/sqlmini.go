@@ -1,0 +1,294 @@
+// Package sqlmini is an embedded SQL engine: the database substrate of
+// this OROCHI reproduction (standing in for MySQL, §4.4). It supports the
+// dialect the applications need — CREATE TABLE, INSERT, SELECT with
+// WHERE/ORDER BY/LIMIT, UPDATE, DELETE, COUNT(*), AUTOINCREMENT — and
+// executes multi-statement transactions atomically under a global lock,
+// which yields strict serializability (the paper's first DB requirement).
+//
+// Execution is fully deterministic: table scans run in insertion order
+// and ORDER BY uses a stable sort, so re-executing the logged statement
+// sequence always reproduces identical results. The versioned store
+// (internal/vstore) shares this package's parser and AST.
+package sqlmini
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Val is a SQL value: nil, int64, float64 or string.
+type Val interface{}
+
+// ColType is a column type.
+type ColType uint8
+
+const (
+	IntCol ColType = iota + 1
+	FloatCol
+	TextCol
+)
+
+func (t ColType) String() string {
+	switch t {
+	case IntCol:
+		return "INT"
+	case FloatCol:
+		return "FLOAT"
+	case TextCol:
+		return "TEXT"
+	default:
+		return "?"
+	}
+}
+
+// Column describes one table column.
+type Column struct {
+	Name    string
+	Type    ColType
+	AutoInc bool
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Cols and Rows are set for SELECT.
+	Cols []string
+	Rows [][]Val
+	// Affected is the number of rows touched by INSERT/UPDATE/DELETE.
+	Affected int64
+	// InsertID is the auto-increment id assigned by an INSERT (0 if the
+	// table has no auto-increment column).
+	InsertID int64
+}
+
+// Table holds rows in insertion order.
+type Table struct {
+	Name     string
+	Cols     []Column
+	colIdx   map[string]int
+	Rows     [][]Val
+	NextAuto int64
+	autoCol  int // index of the auto-increment column, -1 if none
+}
+
+func newTable(name string, cols []Column) (*Table, error) {
+	t := &Table{Name: name, Cols: cols, colIdx: make(map[string]int, len(cols)), NextAuto: 1, autoCol: -1}
+	for i, c := range cols {
+		lc := strings.ToLower(c.Name)
+		if _, dup := t.colIdx[lc]; dup {
+			return nil, fmt.Errorf("sqlmini: duplicate column %q", c.Name)
+		}
+		t.colIdx[lc] = i
+		if c.AutoInc {
+			if t.autoCol != -1 {
+				return nil, fmt.Errorf("sqlmini: multiple auto-increment columns")
+			}
+			if c.Type != IntCol {
+				return nil, fmt.Errorf("sqlmini: auto-increment column must be INT")
+			}
+			t.autoCol = i
+		}
+	}
+	return t, nil
+}
+
+// ColIndex returns the index of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	if i, ok := t.colIdx[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// DB is a deterministic in-memory SQL database. All public methods are
+// safe for concurrent use; transactions serialize on a single lock,
+// providing strict serializability.
+type DB struct {
+	mu     sync.Mutex
+	tables map[string]*Table
+	seq    int64
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// Exec parses and executes a single statement.
+func (db *DB) Exec(sql string) (*Result, error) {
+	rs, _, err := db.ExecTxnSeq([]string{sql})
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+// ExecTxn executes the statements as one atomic transaction. On error the
+// transaction's effects are rolled back.
+func (db *DB) ExecTxn(stmts []string) ([]*Result, error) {
+	rs, _, err := db.ExecTxnSeq(stmts)
+	return rs, err
+}
+
+// ExecTxnSeq is ExecTxn that also returns the transaction's global
+// sequence number, assigned inside the commit critical section. The
+// sequence numbers totally order transactions in their serialization
+// order — the property OROCHI's DB logging relies on (§4.7). A sequence
+// number is consumed even when the transaction fails (it is the logged
+// identity of the aborted attempt).
+func (db *DB) ExecTxnSeq(stmts []string) ([]*Result, int64, error) {
+	parsed := make([]Stmt, len(stmts))
+	for i, s := range stmts {
+		p, err := Parse(s)
+		if err != nil {
+			db.mu.Lock()
+			db.seq++
+			seq := db.seq
+			db.mu.Unlock()
+			return nil, seq, err
+		}
+		parsed[i] = p
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.seq++
+	seq := db.seq
+	undo := db.snapshotFor(parsed)
+	out := make([]*Result, len(parsed))
+	for i, p := range parsed {
+		r, err := db.execStmt(p)
+		if err != nil {
+			db.restore(undo)
+			return nil, seq, err
+		}
+		out[i] = r
+	}
+	return out, seq, nil
+}
+
+// tableSnapshot records a table's state for rollback.
+type tableSnapshot struct {
+	name     string
+	existed  bool
+	rows     [][]Val
+	nextAuto int64
+}
+
+// snapshotFor captures the pre-state of every table the statements touch.
+func (db *DB) snapshotFor(stmts []Stmt) []tableSnapshot {
+	seen := map[string]bool{}
+	var snaps []tableSnapshot
+	for _, s := range stmts {
+		for _, name := range TablesOf(s) {
+			lname := strings.ToLower(name)
+			if seen[lname] {
+				continue
+			}
+			seen[lname] = true
+			t, ok := db.tables[lname]
+			if !ok {
+				snaps = append(snaps, tableSnapshot{name: lname})
+				continue
+			}
+			rows := make([][]Val, len(t.Rows))
+			for i, r := range t.Rows {
+				rc := make([]Val, len(r))
+				copy(rc, r)
+				rows[i] = rc
+			}
+			snaps = append(snaps, tableSnapshot{name: lname, existed: true, rows: rows, nextAuto: t.NextAuto})
+		}
+	}
+	return snaps
+}
+
+func (db *DB) restore(snaps []tableSnapshot) {
+	for _, s := range snaps {
+		if !s.existed {
+			delete(db.tables, s.name)
+			continue
+		}
+		t := db.tables[s.name]
+		if t == nil {
+			continue
+		}
+		t.Rows = s.rows
+		t.NextAuto = s.nextAuto
+	}
+}
+
+// Tables returns the table names, sorted.
+func (db *DB) Tables() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TableCopy returns a deep copy of the named table (nil if absent); used
+// for state snapshots handed to the verifier.
+func (db *DB) TableCopy(name string) *Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil
+	}
+	out := &Table{
+		Name: t.Name, Cols: append([]Column(nil), t.Cols...),
+		colIdx: make(map[string]int, len(t.colIdx)), NextAuto: t.NextAuto, autoCol: t.autoCol,
+	}
+	for k, v := range t.colIdx {
+		out.colIdx[k] = v
+	}
+	out.Rows = make([][]Val, len(t.Rows))
+	for i, r := range t.Rows {
+		rc := make([]Val, len(r))
+		copy(rc, r)
+		out.Rows[i] = rc
+	}
+	return out
+}
+
+// SizeBytes estimates the storage footprint of the database, for the
+// Fig. 8 DB-overhead accounting.
+func (db *DB) SizeBytes() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var total int64
+	for _, t := range db.tables {
+		for _, r := range t.Rows {
+			total += rowBytes(r)
+		}
+	}
+	return total
+}
+
+func rowBytes(r []Val) int64 {
+	var n int64
+	for _, v := range r {
+		switch x := v.(type) {
+		case string:
+			n += int64(len(x)) + 8
+		default:
+			n += 8
+		}
+	}
+	return n
+}
+
+// RowCount returns the total number of live rows.
+func (db *DB) RowCount() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	n := 0
+	for _, t := range db.tables {
+		n += len(t.Rows)
+	}
+	return n
+}

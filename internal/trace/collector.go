@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Collector plays the role of the trusted middlebox at the network edge
+// (§1, §4.1). It assigns logical timestamps and requestIDs and records an
+// accurate, time-ordered trace of the requests entering and the responses
+// leaving the executor. Collectors are safe for concurrent use; requests
+// from many client goroutines interleave exactly as they would at a
+// network tap.
+type Collector struct {
+	mu     sync.Mutex
+	clock  int64
+	nextID int64
+	events []Event
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{}
+}
+
+// BeginRequest records the arrival of a request and returns the assigned
+// requestID. The caller must later call EndRequest with the same rid.
+func (c *Collector) BeginRequest(in Input) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	c.clock++
+	rid := fmt.Sprintf("r%06d", c.nextID)
+	c.events = append(c.events, Event{Kind: Request, RID: rid, Time: c.clock, In: in.Clone()})
+	return rid
+}
+
+// BeginRequestWithID records the arrival of a request under a
+// caller-chosen requestID. It is used by tests and by traces replayed
+// from disk, where rids must be stable.
+func (c *Collector) BeginRequestWithID(rid string, in Input) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock++
+	c.events = append(c.events, Event{Kind: Request, RID: rid, Time: c.clock, In: in.Clone()})
+}
+
+// EndRequest records the departure of the response for rid.
+func (c *Collector) EndRequest(rid string, body string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock++
+	c.events = append(c.events, Event{Kind: Response, RID: rid, Time: c.clock, Body: body})
+}
+
+// Trace returns a snapshot of the collected trace. The snapshot is
+// independent of later collection.
+func (c *Collector) Trace() *Trace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	evs := make([]Event, len(c.events))
+	copy(evs, c.events)
+	return &Trace{Events: evs}
+}
+
+// Reset discards all collected events, starting a fresh audit period.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = nil
+}

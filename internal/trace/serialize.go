@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Encode serializes the trace with gob+gzip — the format the collector
+// ships to the verifier and cmd/orochi-audit reads from disk.
+func (t *Trace) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if err := gob.NewEncoder(zw).Encode(t); err != nil {
+		return nil, fmt.Errorf("trace: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("trace: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a trace produced by Encode.
+func Decode(data []byte) (*Trace, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	defer zr.Close()
+	var t Trace
+	if err := gob.NewDecoder(zr).Decode(&t); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return &t, nil
+}
+
+// WriteFile stores the encoded trace at path.
+func (t *Trace) WriteFile(path string) error {
+	data, err := t.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile loads a trace stored by WriteFile.
+func ReadFile(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}

@@ -1,0 +1,242 @@
+// Package trace models the ordered list of requests and responses that the
+// trusted collector captures at the boundary of the untrusted executor
+// (§2 of the paper). A Trace is the ground truth the verifier audits
+// against: it records exactly the requests that flowed into the executor
+// and the (possibly wrong) responses that flowed out, in time order.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EventKind distinguishes the two kinds of externally observable events.
+type EventKind uint8
+
+const (
+	// Request marks the arrival of a client request at the executor.
+	Request EventKind = iota
+	// Response marks the departure of the executor's response.
+	Response
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Request:
+		return "REQUEST"
+	case Response:
+		return "RESPONSE"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Input is the content of one request: which script to run and the
+// materialized superglobals. It plays the role of an HTTP request in
+// OROCHI's setting (§4.2).
+type Input struct {
+	// Script names the application subroutine (a "PHP script") to invoke,
+	// e.g. "view" or "edit".
+	Script string
+	// Get, Post and Cookie become $_GET, $_POST and $_COOKIE inside the
+	// application program.
+	Get    map[string]string
+	Post   map[string]string
+	Cookie map[string]string
+}
+
+// Clone returns a deep copy of the input.
+func (in Input) Clone() Input {
+	return Input{
+		Script: in.Script,
+		Get:    cloneMap(in.Get),
+		Post:   cloneMap(in.Post),
+		Cookie: cloneMap(in.Cookie),
+	}
+}
+
+func cloneMap(m map[string]string) map[string]string {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Event is one entry in the trace. Time is a logical timestamp assigned
+// by the collector; only the relative order matters (§A.1).
+type Event struct {
+	Kind EventKind
+	RID  string
+	Time int64
+	// In holds the request contents (Kind == Request only).
+	In Input
+	// Body holds the response contents (Kind == Response only).
+	Body string
+}
+
+// Trace is a time-ordered, timestamped list of events.
+type Trace struct {
+	Events []Event
+}
+
+// Len reports the number of events.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// RequestCount reports the number of REQUEST events.
+func (t *Trace) RequestCount() int {
+	n := 0
+	for i := range t.Events {
+		if t.Events[i].Kind == Request {
+			n++
+		}
+	}
+	return n
+}
+
+// Sort orders events by logical time, breaking ties by placing responses
+// after requests and otherwise by RID for determinism. Collectors emit
+// events already ordered; Sort exists for traces assembled by hand or
+// loaded from disk.
+func (t *Trace) Sort() {
+	sort.SliceStable(t.Events, func(i, j int) bool {
+		a, b := &t.Events[i], &t.Events[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Kind != b.Kind {
+			return a.Kind == Request
+		}
+		return a.RID < b.RID
+	})
+}
+
+// Balanced verifies the properties the verifier requires before invoking
+// the audit (§3): every response is associated with an earlier request,
+// every request has exactly one response, and requestIDs are unique. It
+// returns a descriptive error for the first violation found.
+func (t *Trace) Balanced() error {
+	type state struct {
+		requested bool
+		responded bool
+	}
+	seen := make(map[string]*state, len(t.Events)/2)
+	var lastTime int64
+	first := true
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if ev.RID == "" {
+			return fmt.Errorf("trace: event %d has empty requestID", i)
+		}
+		if !first && ev.Time < lastTime {
+			return fmt.Errorf("trace: event %d (rid %s) out of time order", i, ev.RID)
+		}
+		first = false
+		lastTime = ev.Time
+		st := seen[ev.RID]
+		switch ev.Kind {
+		case Request:
+			if st != nil {
+				return fmt.Errorf("trace: duplicate request for rid %s", ev.RID)
+			}
+			seen[ev.RID] = &state{requested: true}
+		case Response:
+			if st == nil || !st.requested {
+				return fmt.Errorf("trace: response for rid %s precedes its request", ev.RID)
+			}
+			if st.responded {
+				return fmt.Errorf("trace: duplicate response for rid %s", ev.RID)
+			}
+			st.responded = true
+		default:
+			return fmt.Errorf("trace: event %d has unknown kind %d", i, ev.Kind)
+		}
+	}
+	for rid, st := range seen {
+		if !st.responded {
+			return fmt.Errorf("trace: request %s has no response", rid)
+		}
+	}
+	return nil
+}
+
+// Requests returns the request events, in trace order.
+func (t *Trace) Requests() []Event {
+	var out []Event
+	for i := range t.Events {
+		if t.Events[i].Kind == Request {
+			out = append(out, t.Events[i])
+		}
+	}
+	return out
+}
+
+// ResponseOf returns the response body for rid and whether one exists.
+func (t *Trace) ResponseOf(rid string) (string, bool) {
+	for i := range t.Events {
+		if t.Events[i].Kind == Response && t.Events[i].RID == rid {
+			return t.Events[i].Body, true
+		}
+	}
+	return "", false
+}
+
+// InputOf returns the request input for rid and whether one exists.
+func (t *Trace) InputOf(rid string) (Input, bool) {
+	for i := range t.Events {
+		if t.Events[i].Kind == Request && t.Events[i].RID == rid {
+			return t.Events[i].In, true
+		}
+	}
+	return Input{}, false
+}
+
+// Responses returns a map from requestID to response body.
+func (t *Trace) Responses() map[string]string {
+	out := make(map[string]string)
+	for i := range t.Events {
+		if t.Events[i].Kind == Response {
+			out[t.Events[i].RID] = t.Events[i].Body
+		}
+	}
+	return out
+}
+
+// Inputs returns a map from requestID to request input.
+func (t *Trace) Inputs() map[string]Input {
+	out := make(map[string]Input)
+	for i := range t.Events {
+		if t.Events[i].Kind == Request {
+			out[t.Events[i].RID] = t.Events[i].In
+		}
+	}
+	return out
+}
+
+// PrecedesTr reports whether r1 <Tr r2: the trace shows r1's response
+// departed before r2's request arrived (§3.5). It is the reference
+// (quadratic-time) definition used by tests; the verifier uses the
+// frontier algorithm in internal/core.
+func (t *Trace) PrecedesTr(r1, r2 string) bool {
+	respTime := int64(-1)
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if ev.Kind == Response && ev.RID == r1 {
+			respTime = ev.Time
+			// A response strictly precedes a request only if the request
+			// event appears later in the trace; scan for r2's request.
+			for j := i + 1; j < len(t.Events); j++ {
+				e2 := &t.Events[j]
+				if e2.Kind == Request && e2.RID == r2 {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	_ = respTime
+	return false
+}

@@ -1,0 +1,205 @@
+package verifier
+
+import (
+	"strings"
+	"testing"
+
+	"orochi/internal/lang"
+	"orochi/internal/server"
+	"orochi/internal/trace"
+)
+
+// Tests for the non-determinism plausibility checks (§4.6) and other
+// report-validation edges.
+
+func serveNow(t *testing.T, n int) (*lang.Program, *trace.Trace, *serverArtifacts) {
+	t.Helper()
+	prog := compileApp(t)
+	inputs := make([]trace.Input, n)
+	for i := range inputs {
+		inputs[i] = trace.Input{Script: "now"}
+	}
+	tr, art := serveWorkload(t, prog, inputs, 1)
+	return prog, tr, art
+}
+
+func TestNonDetTimeBackwardsRejected(t *testing.T) {
+	// A script with two time() calls; the tampered report makes the
+	// second recorded time precede the first.
+	prog2, err := lang.Compile(map[string]string{
+		"twotimes": `$a = time(); $b = time(); echo ($b >= $a) ? "mono" : "backwards";`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServerForTest(t, prog2)
+	srv.Handle(trace.Input{Script: "twotimes"})
+	rep2 := srv.Reports().Clone()
+	for rid := range rep2.NonDet {
+		if len(rep2.NonDet[rid]) == 2 {
+			rep2.NonDet[rid][0].Value = lang.EncodeValue(lang.Value(int64(2_000_000_000)))
+			rep2.NonDet[rid][1].Value = lang.EncodeValue(lang.Value(int64(1_000_000_000)))
+		}
+	}
+	res, err := Audit(prog2, srv.Trace(), rep2, srv.Snapshot(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("time going backwards within a request must be rejected")
+	}
+	if !strings.Contains(res.Reason, "backwards") && !strings.Contains(res.Reason, "output") {
+		t.Logf("reason: %s", res.Reason)
+	}
+}
+
+func TestNonDetFnMismatchRejected(t *testing.T) {
+	_, tr, art := serveNow(t, 1)
+	rep := art.srv.Reports().Clone()
+	for rid := range rep.NonDet {
+		for i := range rep.NonDet[rid] {
+			if rep.NonDet[rid][i].Fn == "time" {
+				rep.NonDet[rid][i].Fn = "mt_rand"
+			}
+		}
+	}
+	prog := compileApp(t)
+	res, err := Audit(prog, tr, rep, art.snap, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("nondet function-name mismatch must be rejected")
+	}
+}
+
+func TestNonDetExhaustionRejected(t *testing.T) {
+	_, tr, art := serveNow(t, 1)
+	rep := art.srv.Reports().Clone()
+	for rid := range rep.NonDet {
+		rep.NonDet[rid] = rep.NonDet[rid][:0]
+	}
+	prog := compileApp(t)
+	res, err := Audit(prog, tr, rep, art.snap, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("missing nondet records must be rejected")
+	}
+}
+
+func TestNonDetUndecodableRejected(t *testing.T) {
+	_, tr, art := serveNow(t, 1)
+	rep := art.srv.Reports().Clone()
+	for rid := range rep.NonDet {
+		for i := range rep.NonDet[rid] {
+			rep.NonDet[rid][i].Value = "garbage"
+		}
+	}
+	prog := compileApp(t)
+	res, err := Audit(prog, tr, rep, art.snap, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("undecodable nondet values must be rejected")
+	}
+}
+
+func TestWrongScriptInGroupRejected(t *testing.T) {
+	prog := compileApp(t)
+	inputs := []trace.Input{{Script: "list"}}
+	tr, art := serveWorkload(t, prog, inputs, 1)
+	rep := art.srv.Reports().Clone()
+	for tag := range rep.Scripts {
+		rep.Scripts[tag] = "now" // claim a different entry point
+	}
+	res, err := Audit(prog, tr, rep, art.snap, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("wrong script mapping must be rejected")
+	}
+}
+
+func TestUnknownScriptInGroupRejected(t *testing.T) {
+	prog := compileApp(t)
+	inputs := []trace.Input{{Script: "list"}}
+	tr, art := serveWorkload(t, prog, inputs, 1)
+	rep := art.srv.Reports().Clone()
+	for tag := range rep.Scripts {
+		rep.Scripts[tag] = "no-such-script"
+	}
+	res, err := Audit(prog, tr, rep, art.snap, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("unknown script in group must be rejected")
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	// A verifier-side step limit converts runaway re-execution into a
+	// rejection rather than a hang.
+	prog := compileApp(t)
+	tr, art := serveWorkload(t, prog, sampleInputs(5), 1)
+	res, err := Audit(prog, tr, art.srv.Reports(), art.snap, Options{MaxSteps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("absurdly low step budget must reject, not hang")
+	}
+	if !strings.Contains(res.Reason, "step limit") {
+		t.Logf("reason: %s", res.Reason)
+	}
+}
+
+func TestServer500NotAuditable(t *testing.T) {
+	// A request whose handler raises a runtime error produces an error
+	// response and no group membership: the audit rejects. This is the
+	// documented model boundary (§A.1: programs run to completion).
+	prog, err := lang.Compile(map[string]string{
+		"boom": `nosuchfn();`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServerForTest(t, prog)
+	_, body := srv.Handle(trace.Input{Script: "boom"})
+	if !strings.HasPrefix(body, "HTTP 500") {
+		t.Fatalf("body = %q", body)
+	}
+	res, err := Audit(prog, srv.Trace(), srv.Reports(), srv.Snapshot(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("errored requests are outside the model and must not be accepted")
+	}
+}
+
+func TestVerdictDeterminism(t *testing.T) {
+	prog := compileApp(t)
+	tr, art := serveWorkload(t, prog, sampleInputs(20), 4)
+	r1, err := Audit(prog, tr, art.srv.Reports(), art.snap, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Audit(prog, tr, art.srv.Reports(), art.snap, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Accepted != r2.Accepted {
+		t.Fatal("audit verdict must be deterministic")
+	}
+}
+
+// newServerForTest builds a recording server for a custom program.
+func newServerForTest(t *testing.T, prog *lang.Program) *server.Server {
+	t.Helper()
+	return server.New(prog, server.Options{Record: true})
+}

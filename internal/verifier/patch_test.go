@@ -1,0 +1,207 @@
+package verifier
+
+import (
+	"testing"
+
+	"orochi/internal/lang"
+	"orochi/internal/trace"
+)
+
+// The patch-audit tests use a small pair of programs: the "original"
+// served the workload; the "patched" variants change rendering, change
+// nothing, or change the write pattern.
+
+var patchBase = map[string]string{
+	"show": `
+$rows = db_query("SELECT id, name FROM items ORDER BY id");
+echo "<ul>";
+foreach ($rows as $r) {
+  echo "<li>" . $r["id"] . ": " . htmlspecialchars($r["name"]) . "</li>";
+}
+echo "</ul>";
+`,
+	"add": `
+db_exec("INSERT INTO items (name) VALUES (" . db_quote($_POST["name"]) . ")");
+echo "added " . htmlspecialchars($_POST["name"]);
+`,
+	"hello": `echo "hello " . $_GET["who"];`,
+}
+
+var patchSchema = []string{
+	`CREATE TABLE items (id INT PRIMARY KEY AUTOINCREMENT, name TEXT)`,
+}
+
+func servePatchWorkload(t *testing.T) (*lang.Program, *trace.Trace, *serverArtifacts) {
+	t.Helper()
+	prog, err := lang.Compile(patchBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServerForTest(t, prog)
+	if err := srv.Setup(patchSchema); err != nil {
+		t.Fatal(err)
+	}
+	snap := srv.Snapshot()
+	inputs := []trace.Input{
+		{Script: "add", Post: map[string]string{"name": "one"}},
+		{Script: "show"},
+		{Script: "add", Post: map[string]string{"name": "two"}},
+		{Script: "show"},
+		{Script: "hello", Get: map[string]string{"who": "x"}},
+	}
+	srv.ServeAll(inputs, 1)
+	// Precondition: the original program passes the real audit.
+	res, err := Audit(prog, srv.Trace(), srv.Reports(), snap, Options{})
+	if err != nil || !res.Accepted {
+		t.Fatalf("baseline audit: %v %v", err, res)
+	}
+	return prog, srv.Trace(), &serverArtifacts{srv: srv, snap: snap}
+}
+
+func TestPatchIdenticalAllUnchanged(t *testing.T) {
+	_, tr, art := servePatchWorkload(t)
+	same, err := lang.Compile(patchBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PatchAudit(same, tr, art.srv.Reports(), art.snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Changed != 0 || res.Inconclusive != 0 || res.Unchanged != 5 {
+		t.Fatalf("identical patch: %+v", res)
+	}
+}
+
+func TestPatchRenderingChangeDetected(t *testing.T) {
+	_, tr, art := servePatchWorkload(t)
+	patched := map[string]string{}
+	for k, v := range patchBase {
+		patched[k] = v
+	}
+	// The patch changes the list rendering (an XSS fix, say).
+	patched["show"] = `
+$rows = db_query("SELECT id, name FROM items ORDER BY id");
+echo "<ol>";
+foreach ($rows as $r) {
+  echo "<li data-id='" . $r["id"] . "'>" . htmlspecialchars($r["name"]) . "</li>";
+}
+echo "</ol>";
+`
+	prog, err := lang.Compile(patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PatchAudit(prog, tr, art.srv.Reports(), art.snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Changed != 2 {
+		t.Fatalf("want the 2 show requests changed, got %+v", res)
+	}
+	if res.Unchanged != 3 {
+		t.Fatalf("adds and hello must be unchanged, got %+v", res)
+	}
+	for _, rid := range res.RIDsIn(PatchChanged) {
+		in, _ := tr.InputOf(rid)
+		if in.Script != "show" {
+			t.Fatalf("changed rid %s is %s, want show", rid, in.Script)
+		}
+	}
+}
+
+func TestPatchedSelectStillConclusive(t *testing.T) {
+	// A patched SELECT (different columns/order) is answered from the
+	// versioned DB at the original timestamps — still conclusive.
+	_, tr, art := servePatchWorkload(t)
+	patched := map[string]string{}
+	for k, v := range patchBase {
+		patched[k] = v
+	}
+	patched["show"] = `
+$rows = db_query("SELECT name FROM items ORDER BY name DESC");
+foreach ($rows as $r) {
+  echo "[" . $r["name"] . "]";
+}
+`
+	prog, err := lang.Compile(patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PatchAudit(prog, tr, art.srv.Reports(), art.snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inconclusive != 0 {
+		t.Fatalf("patched SELECT must stay conclusive: %+v", res)
+	}
+	if res.Changed != 2 {
+		t.Fatalf("show outputs must change: %+v", res)
+	}
+}
+
+func TestPatchedWriteInconclusive(t *testing.T) {
+	// A patch that changes the INSERT cannot be simulated from history.
+	_, tr, art := servePatchWorkload(t)
+	patched := map[string]string{}
+	for k, v := range patchBase {
+		patched[k] = v
+	}
+	patched["add"] = `
+db_exec("INSERT INTO items (name) VALUES (" . db_quote(strtoupper($_POST["name"])) . ")");
+echo "added " . htmlspecialchars($_POST["name"]);
+`
+	prog, err := lang.Compile(patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PatchAudit(prog, tr, art.srv.Reports(), art.snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inconclusive != 2 {
+		t.Fatalf("want the 2 add requests inconclusive, got %+v", res)
+	}
+}
+
+func TestPatchExtraOpInconclusive(t *testing.T) {
+	// The patch adds a state op the original never issued.
+	_, tr, art := servePatchWorkload(t)
+	patched := map[string]string{}
+	for k, v := range patchBase {
+		patched[k] = v
+	}
+	patched["hello"] = `
+$seen = apc_get("greeted");
+echo "hello " . $_GET["who"];
+`
+	prog, err := lang.Compile(patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PatchAudit(prog, tr, art.srv.Reports(), art.snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Classes[findRID(t, tr, "hello")]; got != PatchInconclusive {
+		t.Fatalf("hello with extra op = %v, want inconclusive", got)
+	}
+}
+
+func findRID(t *testing.T, tr *trace.Trace, script string) string {
+	t.Helper()
+	for _, ev := range tr.Requests() {
+		if ev.In.Script == script {
+			return ev.RID
+		}
+	}
+	t.Fatalf("no request for script %s", script)
+	return ""
+}
+
+func TestPatchClassString(t *testing.T) {
+	if PatchUnchanged.String() != "unchanged" || PatchChanged.String() != "changed" ||
+		PatchInconclusive.String() != "inconclusive" {
+		t.Fatal("class strings")
+	}
+}

@@ -1,0 +1,396 @@
+// Package verifier implements OROCHI's audit procedure (SSCO_AUDIT2,
+// Fig. 12): balanced-trace validation, ProcessOpReports (consistent
+// ordering, §3.5), the versioned redo pass (§4.5), grouped
+// SIMD-on-demand re-execution with simulate-and-check (§3.1, §3.3), and
+// the final output comparison. The verifier trusts only the trace and
+// the program; reports are untrusted.
+package verifier
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"orochi/internal/core"
+	"orochi/internal/lang"
+	"orochi/internal/object"
+	"orochi/internal/reports"
+	"orochi/internal/sqlmini"
+	"orochi/internal/trace"
+	"orochi/internal/vstore"
+)
+
+// Options configures an audit.
+type Options struct {
+	// MaxGroup caps requests re-executed in one SIMD batch (the paper's
+	// implementation uses 3000 to avoid thrashing, §4.7).
+	MaxGroup int
+	// CollectStats gathers per-group instruction statistics (Fig. 11).
+	CollectStats bool
+	// MaxSteps bounds each group re-execution (0 = interpreter default).
+	MaxSteps int64
+}
+
+// GroupStat describes one re-executed control-flow group: the (n_c,
+// α_c, ℓ_c) triple of Fig. 11.
+type GroupStat struct {
+	Tag    uint64
+	Script string
+	N      int     // requests in the group
+	Len    int64   // instructions executed
+	Alpha  float64 // fraction executed univalently
+}
+
+// Stats carries the audit-time cost decomposition (Fig. 9) and group
+// statistics (Fig. 11).
+type Stats struct {
+	// Phase timings.
+	ProcOpRep time.Duration // ProcessOpReports (Figures 5 & 6)
+	DBRedo    time.Duration // versioned redo pass (§4.5)
+	ReExec    time.Duration // grouped re-execution (SIMD + simulate-and-check)
+	DBQuery   time.Duration // versioned SELECTs inside ReExec
+	Other     time.Duration // input setup, output comparison, etc.
+	Total     time.Duration
+
+	// Query dedup effectiveness (§4.5).
+	DedupHits, DedupMisses int64
+	// Instruction counts across all groups.
+	InstrUni, InstrMulti int64
+	// Groups re-executed; FallbackRequests counts requests replayed
+	// individually after a multivalue-mixture fallback (§4.3).
+	Groups           []GroupStat
+	FallbackRequests int
+	RequestsReplayed int
+}
+
+// Result is the audit outcome.
+type Result struct {
+	Accepted bool
+	// Reason explains a rejection (empty when accepted).
+	Reason string
+	Stats  Stats
+	// FinalDB holds the versioned database after the redo pass when the
+	// audit accepts; its latest state seeds the next audit period
+	// (§4.5).
+	FinalDB *vstore.VersionedDB
+
+	finalKV   map[string]lang.Value
+	finalRegs map[string]lang.Value
+}
+
+// FinalSnapshot derives the post-period object state from the audit:
+// the migrated database, the KV store's latest values, and each
+// register's last logged write. Audit periods chain by feeding this
+// snapshot to the next Audit call as its initial state — the verifier
+// "produces the required state during the previous audit" (§4.1, §4.5).
+// Only valid on an accepted Result.
+func (r *Result) FinalSnapshot() (*object.Snapshot, error) {
+	if !r.Accepted {
+		return nil, fmt.Errorf("verifier: FinalSnapshot on a rejected audit")
+	}
+	final, err := r.FinalDB.MigrateFinal()
+	if err != nil {
+		return nil, err
+	}
+	snap := &object.Snapshot{
+		Registers: make(map[string]lang.Value, len(r.finalRegs)),
+		KV:        make(map[string]lang.Value, len(r.finalKV)),
+	}
+	for k, v := range r.finalRegs {
+		snap.Registers[k] = lang.CloneValue(v)
+	}
+	for k, v := range r.finalKV {
+		snap.KV[k] = lang.CloneValue(v)
+	}
+	for _, name := range final.Tables() {
+		snap.Tables = append(snap.Tables, final.TableCopy(name))
+	}
+	return snap, nil
+}
+
+// Audit runs the full audit. A non-nil error reports an internal fault
+// (not a verification verdict); verification verdicts are in Result.
+func Audit(prog *lang.Program, tr *trace.Trace, rep *reports.Reports, init *object.Snapshot, opts Options) (*Result, error) {
+	if opts.MaxGroup <= 0 {
+		opts.MaxGroup = 3000
+	}
+	if init == nil {
+		init = object.EmptySnapshot()
+	}
+	start := time.Now()
+	res := &Result{}
+	reject := func(reason string) (*Result, error) {
+		res.Accepted = false
+		res.Reason = reason
+		res.Stats.Total = time.Since(start)
+		return res, nil
+	}
+
+	// The trace must be balanced before SSCO_AUDIT runs (§3).
+	if err := tr.Balanced(); err != nil {
+		return reject("unbalanced trace: " + err.Error())
+	}
+	// Reports must name each object at most once; duplicate identities
+	// would let the executor split one object's operations across logs,
+	// defeating per-object ordering.
+	seenObj := make(map[reports.ObjectID]bool, len(rep.Objects))
+	for _, o := range rep.Objects {
+		if seenObj[o] {
+			return reject(fmt.Sprintf("duplicate object %v in reports", o))
+		}
+		seenObj[o] = true
+	}
+
+	// Phase 1: ProcessOpReports (Figure 5).
+	t0 := time.Now()
+	proc, err := core.ProcessOpReports(tr, rep)
+	res.Stats.ProcOpRep = time.Since(t0)
+	if err != nil {
+		var rej *core.RejectError
+		if errors.As(err, &rej) {
+			return reject(rej.Error())
+		}
+		return nil, err
+	}
+
+	// Phase 2: versioned redo (§4.5).
+	t0 = time.Now()
+	env := &auditEnv{
+		rep:       rep,
+		opMap:     proc.OpMap,
+		vdb:       vstore.NewVersionedDB(),
+		vkv:       vstore.NewVersionedKV(),
+		dbLogIdx:  -1,
+		initRegs:  init.Registers,
+		sqlCache:  make(map[string]sqlmini.Stmt),
+		convCache: make(map[*sqlmini.Result]lang.Value),
+	}
+	for _, tbl := range init.Tables {
+		if err := env.vdb.LoadInitial(tbl); err != nil {
+			return nil, err
+		}
+	}
+	kvKeys := make([]string, 0, len(init.KV))
+	for k := range init.KV {
+		kvKeys = append(kvKeys, k)
+	}
+	sort.Strings(kvKeys)
+	for _, k := range kvKeys {
+		env.vkv.LoadInitial(k, init.KV[k])
+	}
+	for i, objID := range rep.Objects {
+		switch objID.Kind {
+		case reports.DBObj:
+			env.dbLogIdx = i
+			for j, e := range rep.OpLogs[i] {
+				if e.Type != lang.DBOp {
+					return reject(fmt.Sprintf("non-DB op in DB log at %d", j))
+				}
+				if !e.OK {
+					continue // aborted transaction: no state effect
+				}
+				if err := env.vdb.ApplyTxn(int64(j+1), e.Stmts); err != nil {
+					return reject("versioned redo failed: " + err.Error())
+				}
+			}
+		case reports.KVObj:
+			for j, e := range rep.OpLogs[i] {
+				switch e.Type {
+				case lang.KvSet:
+					v, derr := lang.DecodeValue(e.Value)
+					if derr != nil {
+						return reject(fmt.Sprintf("undecodable KV write at %d: %v", j, derr))
+					}
+					env.vkv.AddSet(e.Key, int64(j+1), v)
+				case lang.KvGet:
+					// reads contribute nothing to the build
+				default:
+					return reject(fmt.Sprintf("non-KV op in KV log at %d", j))
+				}
+			}
+		case reports.RegisterObj:
+			for j, e := range rep.OpLogs[i] {
+				if e.Type != lang.RegisterRead && e.Type != lang.RegisterWrite {
+					return reject(fmt.Sprintf("non-register op in register log at %d", j))
+				}
+				if e.Key != objID.Name {
+					return reject(fmt.Sprintf("register log %v entry %d names key %q", objID, j, e.Key))
+				}
+			}
+		default:
+			return reject(fmt.Sprintf("unknown object kind %v", objID.Kind))
+		}
+	}
+	res.Stats.DBRedo = time.Since(t0)
+
+	// Phase 3: grouped re-execution (Fig. 12 ReExec2). Output comparison
+	// happens inside each group, walking output segments; Phase 4 then
+	// only checks coverage.
+	inputs := tr.Inputs()
+	responses := tr.Responses()
+	produced := make(map[string]bool, len(inputs))
+
+	t0 = time.Now()
+	for _, tag := range rep.SortGroups() {
+		rids := dedupeRIDs(rep.Groups[tag])
+		script := rep.Scripts[tag]
+		for chunk := 0; chunk < len(rids); chunk += opts.MaxGroup {
+			end := chunk + opts.MaxGroup
+			if end > len(rids) {
+				end = len(rids)
+			}
+			batch := rids[chunk:end]
+			if msg, err := runGroup(prog, env, script, tag, batch, inputs, responses, produced, opts, &res.Stats); err != nil {
+				return nil, err
+			} else if msg != "" {
+				res.Stats.ReExec = time.Since(t0)
+				return reject(msg)
+			}
+		}
+	}
+	res.Stats.ReExec = time.Since(t0)
+	res.Stats.DBQuery = env.dbQueryTime()
+
+	// Phase 4: every traced request must have been re-executed and
+	// compared (Fig. 12 lines 55-57).
+	t0 = time.Now()
+	for rid := range responses {
+		if !produced[rid] {
+			res.Stats.Other = time.Since(t0)
+			return reject(fmt.Sprintf("request %s was not re-executed (missing from control-flow groups)", rid))
+		}
+	}
+	res.Stats.Other = time.Since(t0)
+	res.Stats.RequestsReplayed = len(produced)
+	res.Stats.Total = time.Since(start)
+	res.Accepted = true
+	res.FinalDB = env.vdb
+	res.finalKV = env.vkv.Final()
+	res.finalRegs = finalRegisters(rep, init)
+	return res, nil
+}
+
+// finalRegisters derives each register's post-period value: its last
+// logged write, or its initial value if never written.
+func finalRegisters(rep *reports.Reports, init *object.Snapshot) map[string]lang.Value {
+	out := make(map[string]lang.Value, len(init.Registers))
+	for k, v := range init.Registers {
+		out[k] = v
+	}
+	for i, objID := range rep.Objects {
+		if objID.Kind != reports.RegisterObj {
+			continue
+		}
+		log := rep.OpLogs[i]
+		for j := len(log) - 1; j >= 0; j-- {
+			if log[j].Type == lang.RegisterWrite {
+				if v, err := lang.DecodeValue(log[j].Value); err == nil {
+					out[objID.Name] = v
+				}
+				break
+			}
+		}
+	}
+	return out
+}
+
+// runGroup re-executes one batch of a control-flow group. It returns a
+// non-empty reject message for verification failures.
+func runGroup(prog *lang.Program, env *auditEnv, script string, tag uint64, rids []string,
+	inputs map[string]trace.Input, responses map[string]string, produced map[string]bool,
+	opts Options, stats *Stats) (string, error) {
+
+	gInputs := make([]lang.RequestInput, len(rids))
+	for i, rid := range rids {
+		in, ok := inputs[rid]
+		if !ok {
+			return fmt.Sprintf("group %x names unknown request %s", tag, rid), nil
+		}
+		gInputs[i] = lang.RequestInput{Get: in.Get, Post: in.Post, Cookie: in.Cookie}
+	}
+	bridge := newAuditBridge(env)
+	res, err := lang.Run(prog, lang.Config{
+		Mode: lang.ModeSIMD, Script: script, RIDs: rids, Inputs: gInputs,
+		Bridge: bridge, CollectStats: opts.CollectStats, MaxSteps: opts.MaxSteps,
+	})
+	stats.DedupHits += bridge.cache.Hits
+	stats.DedupMisses += bridge.cache.Misses
+	switch {
+	case err == nil:
+		// fall through to checks below
+	case errors.Is(err, lang.ErrDivergence):
+		return fmt.Sprintf("group %x diverged during re-execution", tag), nil
+	default:
+		var fb *lang.FallbackError
+		if errors.As(err, &fb) && len(rids) > 1 {
+			// Unsupported multivalue mixture: re-execute individually
+			// (§4.3). Correctness is unchanged — grouping is only an
+			// optimization.
+			for _, rid := range rids {
+				if msg, err := runGroup(prog, env, script, tag, []string{rid}, inputs, responses, produced, opts, stats); err != nil || msg != "" {
+					return msg, err
+				}
+				stats.FallbackRequests++
+			}
+			return "", nil
+		}
+		var rej *core.RejectError
+		if errors.As(err, &rej) {
+			return rej.Error(), nil
+		}
+		var rt *lang.RuntimeError
+		if errors.As(err, &rt) {
+			return fmt.Sprintf("group %x: runtime error during re-execution: %v", tag, rt), nil
+		}
+		return "", err
+	}
+	// Op-count check (Fig. 12 line 51): each request must have issued
+	// exactly M(rid) operations. Exceeding M is caught by CheckOp
+	// ((rid,opnum) absent from OpMap); finishing early is caught here.
+	for _, rid := range rids {
+		if res.OpCount < env.rep.OpCounts[rid] {
+			return fmt.Sprintf("request %s finished with %d ops, M says %d", rid, res.OpCount, env.rep.OpCounts[rid]), nil
+		}
+	}
+	// Compare each lane's produced output against the trace response,
+	// walking output segments so shared bytes are compared once per
+	// group rather than once per request.
+	for i, rid := range rids {
+		want, ok := responses[rid]
+		if !ok {
+			return fmt.Sprintf("group %x names request %s with no response in the trace", tag, rid), nil
+		}
+		if !res.OutputEqual(i, want) {
+			return fmt.Sprintf("output mismatch for %s", rid), nil
+		}
+		produced[rid] = true
+	}
+	if opts.CollectStats {
+		total := res.InstrUni + res.InstrMulti
+		alpha := 1.0
+		if total > 0 {
+			alpha = float64(res.InstrUni) / float64(total)
+		}
+		stats.InstrUni += res.InstrUni
+		stats.InstrMulti += res.InstrMulti
+		stats.Groups = append(stats.Groups, GroupStat{
+			Tag: tag, Script: script, N: len(rids), Len: total, Alpha: alpha,
+		})
+	}
+	return "", nil
+}
+
+// dedupeRIDs drops duplicate requestIDs, preserving order (re-execution
+// is idempotent, so duplicates are legal but wasteful; §3.1).
+func dedupeRIDs(rids []string) []string {
+	seen := make(map[string]bool, len(rids))
+	out := rids[:0:0]
+	for _, r := range rids {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package vstore
+
+import (
+	"strings"
+
+	"orochi/internal/sqlmini"
+)
+
+// QueryCache implements read-query deduplication (§4.5): if two SELECT
+// queries are lexically identical and the tables they touch were not
+// modified between their redo timestamps, the second is answered from
+// the first's result. The verifier instantiates one cache per
+// control-flow group.
+//
+// The cache key combines the query text with a "modification epoch"
+// fingerprint: for each touched table, the index of the last
+// modification at or before the query's timestamp. Equal fingerprints
+// imply the two queries see identical data.
+type QueryCache struct {
+	db *VersionedDB
+	m  map[string]*sqlmini.Result
+
+	// Hits counts deduplicated queries, Misses actually-executed ones
+	// (the Fig. 9 "DB query" accounting).
+	Hits   int64
+	Misses int64
+}
+
+// NewQueryCache returns a cache over db.
+func NewQueryCache(db *VersionedDB) *QueryCache {
+	return &QueryCache{db: db, m: make(map[string]*sqlmini.Result)}
+}
+
+// Query answers sql (a SELECT) at timestamp ts, deduplicating against
+// earlier queries in this cache's lifetime.
+func (c *QueryCache) Query(sql string, ts int64) (*sqlmini.Result, error) {
+	st, err := sqlmini.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sqlmini.Select)
+	if !ok {
+		return nil, errNotSelect
+	}
+	return c.QueryParsed(sql, sel, ts)
+}
+
+// QueryParsed is Query for a statement the caller already parsed (the
+// verifier parses each logged statement once and reuses the AST across
+// lanes and groups).
+func (c *QueryCache) QueryParsed(sql string, sel *sqlmini.Select, ts int64) (*sqlmini.Result, error) {
+	key := c.cacheKey(sql, sel, ts)
+	if r, ok := c.m[key]; ok {
+		c.Hits++
+		return r, nil
+	}
+	c.Misses++
+	r, err := c.db.Query(sel, ts)
+	if err != nil {
+		return nil, err
+	}
+	c.m[key] = r
+	return r, nil
+}
+
+func (c *QueryCache) cacheKey(sql string, st sqlmini.Stmt, ts int64) string {
+	var b strings.Builder
+	b.WriteString(sql)
+	for _, tbl := range sqlmini.TablesOf(st) {
+		b.WriteByte('\x00')
+		b.WriteString(tbl)
+		b.WriteByte('=')
+		epoch := c.db.ModEpoch(tbl, ts)
+		// Write the epoch as a compact decimal.
+		writeInt(&b, int64(epoch))
+	}
+	return b.String()
+}
+
+func writeInt(b *strings.Builder, n int64) {
+	if n < 0 {
+		b.WriteByte('-')
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	b.Write(buf[i:])
+}
+
+type notSelectError struct{}
+
+func (notSelectError) Error() string { return "vstore: dedup cache only answers SELECT queries" }
+
+var errNotSelect = notSelectError{}

@@ -1,0 +1,505 @@
+// Package vstore implements OROCHI's audit-time versioned storage (§4.5):
+// a versioned database in the style of Warp — every row version carries a
+// [start_ts, end_ts) validity interval — plus a versioned key-value
+// store, and the read-query deduplication index.
+//
+// The verifier performs a "versioned redo pass" over the database
+// operation log at the beginning of the audit: every logged transaction
+// is applied at timestamp ts = seq*MaxQ + q (seq is the transaction's
+// global sequence number from the log, q the statement's position within
+// the transaction). During re-execution, read queries are answered from
+// the versioned store at the timestamp of the corresponding log entry,
+// and write queries return the results that the redo pass derived —
+// a deterministic function of the (checked) logged writes.
+package vstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"orochi/internal/sqlmini"
+)
+
+// MaxQ is the maximum number of statements in one transaction; it scales
+// transaction sequence numbers into per-query timestamps (§A.7; the
+// paper's implementation also uses 10000).
+const MaxQ = 10000
+
+// TsInf marks a row version that is still live.
+const TsInf = int64(math.MaxInt64)
+
+// Ts computes the timestamp of statement q (0-based) in transaction seq.
+func Ts(seq int64, q int) int64 {
+	return seq*MaxQ + int64(q) + 1
+}
+
+// VRow is one version of a row: valid for start <= ts < end.
+type VRow struct {
+	Vals  []sqlmini.Val
+	Start int64
+	End   int64
+}
+
+// slot is the version chain of one logical row (original insertion
+// position). Preserving slot order makes version-visible scans return
+// rows in exactly the order the live engine would (updates in the live
+// engine mutate rows in place, keeping their scan position).
+type slot struct {
+	versions []*VRow // increasing Start
+}
+
+// vtable is one versioned table.
+type vtable struct {
+	name     string
+	cols     []sqlmini.Column
+	schema   *sqlmini.Table // empty table used for schema/cond evaluation
+	slots    []*slot
+	live     map[int]*VRow // slot index -> live version (nil entries absent)
+	nextAuto int64
+	autoCol  int
+	// modTs is the sorted list of timestamps at which this table was
+	// modified; it drives read-query deduplication (§4.5).
+	modTs []int64
+	// created is the creation timestamp (0 for pre-state tables).
+	created int64
+}
+
+// VersionedDB is the audit-time versioned database V (with the redo
+// buffer M folded in: applying a transaction uses the live map, which
+// plays M's role of a fast buffer in front of the version history).
+type VersionedDB struct {
+	tables map[string]*vtable
+	// writeResults[seq][q] holds the redo-derived result of write
+	// statement q of transaction seq (nil for reads).
+	writeResults map[int64][]*sqlmini.Result
+	// stats
+	RedoTxns    int64
+	RedoQueries int64
+}
+
+// NewVersionedDB returns an empty versioned database.
+func NewVersionedDB() *VersionedDB {
+	return &VersionedDB{
+		tables:       make(map[string]*vtable),
+		writeResults: make(map[int64][]*sqlmini.Result),
+	}
+}
+
+// LoadInitial installs the server's pre-audit table state at timestamp 0
+// (the verifier keeps a copy of the persistent state between audits,
+// §4.1/§5.3).
+func (v *VersionedDB) LoadInitial(t *sqlmini.Table) error {
+	lname := strings.ToLower(t.Name)
+	if _, dup := v.tables[lname]; dup {
+		return fmt.Errorf("vstore: table %q loaded twice", t.Name)
+	}
+	vt, err := newVTable(t.Name, t.Cols, 0)
+	if err != nil {
+		return err
+	}
+	vt.nextAuto = t.NextAuto
+	for _, row := range t.Rows {
+		vals := make([]sqlmini.Val, len(row))
+		copy(vals, row)
+		vt.appendNewRow(vals, 0)
+	}
+	v.tables[lname] = vt
+	return nil
+}
+
+func newVTable(name string, cols []sqlmini.Column, created int64) (*vtable, error) {
+	schema, err := sqlmini.NewTempTable(name, append([]sqlmini.Column(nil), cols...), nil)
+	if err != nil {
+		return nil, err
+	}
+	vt := &vtable{
+		name: name, cols: cols, schema: schema,
+		live: make(map[int]*VRow), nextAuto: 1, autoCol: -1, created: created,
+	}
+	for i, c := range cols {
+		if c.AutoInc {
+			vt.autoCol = i
+		}
+	}
+	return vt, nil
+}
+
+func (t *vtable) appendNewRow(vals []sqlmini.Val, ts int64) {
+	r := &VRow{Vals: vals, Start: ts, End: TsInf}
+	s := &slot{versions: []*VRow{r}}
+	t.slots = append(t.slots, s)
+	t.live[len(t.slots)-1] = r
+}
+
+func (t *vtable) markModified(ts int64) {
+	if n := len(t.modTs); n > 0 && t.modTs[n-1] == ts {
+		return
+	}
+	t.modTs = append(t.modTs, ts)
+}
+
+// ApplyTxn redoes one logged transaction (seq = its global sequence
+// number in the operation log). Read statements are skipped — they are
+// answered at re-execution time via Query. The per-statement results of
+// write statements are recorded for SimOp.
+func (v *VersionedDB) ApplyTxn(seq int64, stmts []string) error {
+	if len(stmts) > MaxQ {
+		return fmt.Errorf("vstore: transaction %d has %d statements (max %d)", seq, len(stmts), MaxQ)
+	}
+	if _, dup := v.writeResults[seq]; dup {
+		return fmt.Errorf("vstore: transaction seq %d applied twice", seq)
+	}
+	v.RedoTxns++
+	results := make([]*sqlmini.Result, len(stmts))
+	for q, sql := range stmts {
+		st, err := sqlmini.Parse(sql)
+		if err != nil {
+			return fmt.Errorf("vstore: redo seq %d stmt %d: %w", seq, q, err)
+		}
+		if !sqlmini.IsWrite(st) {
+			continue
+		}
+		v.RedoQueries++
+		ts := Ts(seq, q)
+		res, err := v.applyWrite(st, ts)
+		if err != nil {
+			return fmt.Errorf("vstore: redo seq %d stmt %d: %w", seq, q, err)
+		}
+		results[q] = res
+	}
+	v.writeResults[seq] = results
+	return nil
+}
+
+// WriteResult returns the redo-derived result for write statement q of
+// transaction seq.
+func (v *VersionedDB) WriteResult(seq int64, q int) (*sqlmini.Result, error) {
+	rs, ok := v.writeResults[seq]
+	if !ok {
+		return nil, fmt.Errorf("vstore: no redo record for transaction %d", seq)
+	}
+	if q < 0 || q >= len(rs) || rs[q] == nil {
+		return nil, fmt.Errorf("vstore: transaction %d statement %d is not a redone write", seq, q)
+	}
+	return rs[q], nil
+}
+
+func (v *VersionedDB) applyWrite(st sqlmini.Stmt, ts int64) (*sqlmini.Result, error) {
+	switch x := st.(type) {
+	case *sqlmini.CreateTable:
+		lname := strings.ToLower(x.Table)
+		if _, dup := v.tables[lname]; dup {
+			return nil, fmt.Errorf("table %q already exists", x.Table)
+		}
+		vt, err := newVTable(x.Table, x.Cols, ts)
+		if err != nil {
+			return nil, err
+		}
+		vt.markModified(ts)
+		v.tables[lname] = vt
+		return &sqlmini.Result{}, nil
+	case *sqlmini.Insert:
+		vt, err := v.table(x.Table)
+		if err != nil {
+			return nil, err
+		}
+		colIdxs := make([]int, len(x.Cols))
+		for i, c := range x.Cols {
+			ci := vt.schema.ColIndex(c)
+			if ci < 0 {
+				return nil, fmt.Errorf("no column %q in %q", c, x.Table)
+			}
+			colIdxs[i] = ci
+		}
+		res := &sqlmini.Result{}
+		for _, vals := range x.Rows {
+			row := make([]sqlmini.Val, len(vt.cols))
+			for i, val := range vals {
+				cv, err := sqlmini.CoerceCol(vt.cols[colIdxs[i]], val)
+				if err != nil {
+					return nil, err
+				}
+				row[colIdxs[i]] = cv
+			}
+			explicit := false
+			for _, ci := range colIdxs {
+				if ci == vt.autoCol {
+					explicit = true
+				}
+			}
+			if vt.autoCol >= 0 && !explicit {
+				row[vt.autoCol] = vt.nextAuto
+				res.InsertID = vt.nextAuto
+				vt.nextAuto++
+			} else if vt.autoCol >= 0 {
+				if id, ok := row[vt.autoCol].(int64); ok {
+					res.InsertID = id
+					if id >= vt.nextAuto {
+						vt.nextAuto = id + 1
+					}
+				}
+			}
+			vt.appendNewRow(row, ts)
+			res.Affected++
+		}
+		vt.markModified(ts)
+		return res, nil
+	case *sqlmini.Update:
+		vt, err := v.table(x.Table)
+		if err != nil {
+			return nil, err
+		}
+		res := &sqlmini.Result{}
+		for si := 0; si < len(vt.slots); si++ {
+			cur := vt.live[si]
+			if cur == nil {
+				continue
+			}
+			match, err := sqlmini.MatchRow(vt.schema, cur.Vals, x.Where)
+			if err != nil {
+				return nil, err
+			}
+			if !match {
+				continue
+			}
+			newVals := make([]sqlmini.Val, len(cur.Vals))
+			copy(newVals, cur.Vals)
+			for _, sc := range x.Sets {
+				ci := vt.schema.ColIndex(sc.Col)
+				if ci < 0 {
+					return nil, fmt.Errorf("no column %q in %q", sc.Col, x.Table)
+				}
+				if sc.SelfOp == "" {
+					cv, err := sqlmini.CoerceCol(vt.cols[ci], sc.Val)
+					if err != nil {
+						return nil, err
+					}
+					newVals[ci] = cv
+					continue
+				}
+				bi := vt.schema.ColIndex(sc.SelfBase)
+				if bi < 0 {
+					return nil, fmt.Errorf("no column %q in SET", sc.SelfBase)
+				}
+				base := asInt(newVals[bi])
+				delta := asInt(sc.Val)
+				if sc.SelfOp == "-" {
+					delta = -delta
+				}
+				newVals[ci] = base + delta
+			}
+			cur.End = ts
+			nv := &VRow{Vals: newVals, Start: ts, End: TsInf}
+			vt.slots[si].versions = append(vt.slots[si].versions, nv)
+			vt.live[si] = nv
+			res.Affected++
+		}
+		if res.Affected > 0 {
+			vt.markModified(ts)
+		}
+		return res, nil
+	case *sqlmini.Delete:
+		vt, err := v.table(x.Table)
+		if err != nil {
+			return nil, err
+		}
+		res := &sqlmini.Result{}
+		for si := 0; si < len(vt.slots); si++ {
+			cur := vt.live[si]
+			if cur == nil {
+				continue
+			}
+			match, err := sqlmini.MatchRow(vt.schema, cur.Vals, x.Where)
+			if err != nil {
+				return nil, err
+			}
+			if !match {
+				continue
+			}
+			cur.End = ts
+			delete(vt.live, si)
+			res.Affected++
+		}
+		if res.Affected > 0 {
+			vt.markModified(ts)
+		}
+		return res, nil
+	default:
+		return nil, fmt.Errorf("unsupported write statement %T", st)
+	}
+}
+
+func asInt(v sqlmini.Val) int64 {
+	switch x := v.(type) {
+	case int64:
+		return x
+	case float64:
+		return int64(x)
+	default:
+		return 0
+	}
+}
+
+func (v *VersionedDB) table(name string) (*vtable, error) {
+	t, ok := v.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("vstore: no such table %q", name)
+	}
+	return t, nil
+}
+
+// Query answers a parsed SELECT as of timestamp ts: only row versions
+// with Start <= ts < End are visible, in original insertion order.
+func (v *VersionedDB) Query(sel *sqlmini.Select, ts int64) (*sqlmini.Result, error) {
+	vt, err := v.table(sel.Table)
+	if err != nil {
+		return nil, err
+	}
+	rows := vt.visibleRows(ts)
+	tmp, err := sqlmini.NewTempTable(vt.name, vt.cols, rows)
+	if err != nil {
+		return nil, err
+	}
+	return sqlmini.SelectOver(tmp, sel)
+}
+
+// QuerySQL parses and answers a SELECT at ts.
+func (v *VersionedDB) QuerySQL(sql string, ts int64) (*sqlmini.Result, error) {
+	st, err := sqlmini.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sqlmini.Select)
+	if !ok {
+		return nil, fmt.Errorf("vstore: QuerySQL requires a SELECT")
+	}
+	return v.Query(sel, ts)
+}
+
+func (t *vtable) visibleRows(ts int64) [][]sqlmini.Val {
+	var out [][]sqlmini.Val
+	for _, s := range t.slots {
+		// Binary search the version chain: the last version with
+		// Start <= ts.
+		i := sort.Search(len(s.versions), func(i int) bool { return s.versions[i].Start > ts })
+		if i == 0 {
+			continue
+		}
+		ver := s.versions[i-1]
+		if ts < ver.End {
+			out = append(out, ver.Vals)
+		}
+	}
+	return out
+}
+
+// ModEpoch returns, for the named table, the index of the last
+// modification at or before ts (-1 if none). Two SELECTs over the same
+// tables with equal epochs see identical data — the dedup rule of §4.5.
+func (v *VersionedDB) ModEpoch(table string, ts int64) int {
+	vt, ok := v.tables[strings.ToLower(table)]
+	if !ok {
+		return -1
+	}
+	return sort.Search(len(vt.modTs), func(i int) bool { return vt.modTs[i] > ts }) - 1
+}
+
+// MigrateFinal extracts the final ("latest") state of every table as
+// plain sqlmini tables — the migration of M's final state that seeds the
+// next audit period's database (§4.5: "the verifier dumps each table...
+// After the audit, OROCHI needs only the latest state").
+func (v *VersionedDB) MigrateFinal() (*sqlmini.DB, error) {
+	db := sqlmini.NewDB()
+	names := make([]string, 0, len(v.tables))
+	for n := range v.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		vt := v.tables[n]
+		var defs []string
+		for _, c := range vt.cols {
+			d := c.Name + " " + c.Type.String()
+			if c.AutoInc {
+				d += " AUTOINCREMENT"
+			}
+			defs = append(defs, d)
+		}
+		if _, err := db.Exec("CREATE TABLE " + vt.name + " (" + strings.Join(defs, ", ") + ")"); err != nil {
+			return nil, err
+		}
+		for si := 0; si < len(vt.slots); si++ {
+			row := vt.live[si]
+			if row == nil {
+				continue
+			}
+			cols := make([]string, len(vt.cols))
+			vals := make([]string, len(vt.cols))
+			for i, c := range vt.cols {
+				cols[i] = c.Name
+				vals[i] = sqlLiteral(row.Vals[i])
+			}
+			stmt := "INSERT INTO " + vt.name + " (" + strings.Join(cols, ", ") + ") VALUES (" + strings.Join(vals, ", ") + ")"
+			if _, err := db.Exec(stmt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+func sqlLiteral(v sqlmini.Val) string {
+	switch x := v.(type) {
+	case nil:
+		return "NULL"
+	case int64:
+		return fmt.Sprintf("%d", x)
+	case float64:
+		return fmt.Sprintf("%g", x)
+	case string:
+		return sqlmini.Quote(x)
+	default:
+		return "NULL"
+	}
+}
+
+// SizeBytes estimates the full versioned footprint (all versions), the
+// numerator of Fig. 8's "temp" DB overhead.
+func (v *VersionedDB) SizeBytes() int64 {
+	var total int64
+	for _, vt := range v.tables {
+		for _, s := range vt.slots {
+			for _, ver := range s.versions {
+				total += rowBytes(ver.Vals) + 16 // two timestamps
+			}
+		}
+	}
+	return total
+}
+
+// LiveSizeBytes estimates the live-rows-only footprint (the denominator
+// of the overhead ratio and the "permanent" state after migration).
+func (v *VersionedDB) LiveSizeBytes() int64 {
+	var total int64
+	for _, vt := range v.tables {
+		for _, row := range vt.live {
+			total += rowBytes(row.Vals)
+		}
+	}
+	return total
+}
+
+func rowBytes(r []sqlmini.Val) int64 {
+	var n int64
+	for _, v := range r {
+		switch x := v.(type) {
+		case string:
+			n += int64(len(x)) + 8
+		default:
+			n += 8
+		}
+	}
+	return n
+}

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZipfDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipf(rng, 100, 1.0)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		r := z.Next()
+		if r < 0 || r >= 100 {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	// With s=1, p(rank 1)/p(rank 10) = 10.
+	ratio := float64(counts[0]) / float64(counts[9])
+	if ratio < 5 || ratio > 20 {
+		t.Fatalf("zipf ratio rank1/rank10 = %.2f, want ~10", ratio)
+	}
+	// Monotone-ish decrease over decades.
+	if counts[0] < counts[50] {
+		t.Fatal("zipf must be decreasing")
+	}
+}
+
+func TestZipfFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	z := NewZipf(rng, 10, 0.0) // s=0: uniform
+	counts := make([]int, 10)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		dev := math.Abs(float64(c)-float64(n)/10) / (float64(n) / 10)
+		if dev > 0.15 {
+			t.Fatalf("s=0 should be uniform; rank %d deviates %.2f", i, dev)
+		}
+	}
+}
+
+func TestWikiWorkloadDeterministic(t *testing.T) {
+	p := WikiParams{Requests: 100, Pages: 10, ZipfS: 0.53, Seed: 42}
+	w1 := Wiki(p)
+	w2 := Wiki(p)
+	if len(w1.Requests) != len(w2.Requests) {
+		t.Fatal("length mismatch")
+	}
+	for i := range w1.Requests {
+		a, b := w1.Requests[i], w2.Requests[i]
+		if a.Script != b.Script || a.Get["page"] != b.Get["page"] {
+			t.Fatalf("request %d differs across same-seed builds", i)
+		}
+	}
+	if len(w1.Seed) != len(w2.Seed) {
+		t.Fatal("seed SQL differs")
+	}
+}
+
+func TestWikiWorkloadMix(t *testing.T) {
+	w := Wiki(WikiParams{Requests: 5000, Pages: 50, ZipfS: 0.53, Seed: 3})
+	counts := map[string]int{}
+	for _, in := range w.Requests {
+		counts[in.Script]++
+	}
+	total := float64(len(w.Requests))
+	if f := float64(counts["view"]) / total; f < 0.85 || f > 0.97 {
+		t.Fatalf("view fraction = %.2f, want ~0.92", f)
+	}
+	if counts["edit"] == 0 || counts["search"] == 0 {
+		t.Fatal("workload must include edits and searches")
+	}
+	// Every edit carries a user cookie.
+	for _, in := range w.Requests {
+		if in.Script == "edit" && in.Cookie["user"] == "" {
+			t.Fatal("edit without editor cookie")
+		}
+	}
+}
+
+func TestForumWorkloadGuestRatio(t *testing.T) {
+	p := ForumParams{Requests: 8000, Topics: 10, Users: 20, GuestRatio: 40.0 / 41.0, Seed: 4}
+	w := Forum(p)
+	guests, logged := 0, 0
+	for _, in := range w.Requests {
+		if in.Script == "login" {
+			continue
+		}
+		if in.Cookie["sid"] == "" {
+			guests++
+		} else {
+			logged++
+		}
+	}
+	ratio := float64(guests) / float64(logged+1)
+	if ratio < 20 || ratio > 80 {
+		t.Fatalf("guest:registered = %.1f, want ~40", ratio)
+	}
+	// Logins come first so replies find their sessions.
+	for i := 0; i < p.Users; i++ {
+		if w.Requests[i].Script != "login" {
+			t.Fatalf("request %d should be a login, got %s", i, w.Requests[i].Script)
+		}
+	}
+}
+
+func TestHotCRPWorkloadStructure(t *testing.T) {
+	p := HotCRPParams{Papers: 10, Reviewers: 5, UpdatesMax: 4,
+		ReviewsPerPaper: 2, ViewsPerReviewer: 10, Seed: 5}
+	w := HotCRP(p)
+	counts := map[string]int{}
+	for _, in := range w.Requests {
+		counts[in.Script]++
+	}
+	// Each paper: 1 + U[1,4] submissions => between 2*10 and 5*10.
+	if counts["submit"] < 20 || counts["submit"] > 50 {
+		t.Fatalf("submits = %d", counts["submit"])
+	}
+	// Reviews: papers * reviewsPer * 2 versions.
+	if counts["review"] != 10*2*2 {
+		t.Fatalf("reviews = %d, want 40", counts["review"])
+	}
+	if counts["paper"]+counts["reviewerhome"] != 5*10 {
+		t.Fatalf("views = %d, want 50", counts["paper"]+counts["reviewerhome"])
+	}
+	// Review bodies approximate the SIGCOMM average length.
+	for _, in := range w.Requests {
+		if in.Script == "review" {
+			if l := len(in.Post["text"]); l < 3000 || l > 4500 {
+				t.Fatalf("review length %d outside 3000-4500", l)
+			}
+			break
+		}
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	wp := DefaultWikiParams().Scale(10)
+	if wp.Requests != 2000 {
+		t.Fatalf("wiki scaled requests = %d", wp.Requests)
+	}
+	if DefaultWikiParams().Scale(1).Requests != 20000 {
+		t.Fatal("scale 1 must be identity")
+	}
+	fp := DefaultForumParams().Scale(10)
+	if fp.Requests != 3000 {
+		t.Fatalf("forum scaled = %d", fp.Requests)
+	}
+	hp := DefaultHotCRPParams().Scale(100)
+	if hp.Papers < 3 || hp.Reviewers < 3 {
+		t.Fatal("hotcrp scaling must respect minimums")
+	}
+}
