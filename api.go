@@ -32,6 +32,7 @@ package orochi
 
 import (
 	"orochi/internal/apps"
+	"orochi/internal/epoch"
 	"orochi/internal/lang"
 	"orochi/internal/object"
 	"orochi/internal/reports"
@@ -125,6 +126,47 @@ const (
 // would have differed (unchanged / changed / inconclusive).
 func PatchAudit(patched *Program, tr *Trace, rep *Reports, init *Snapshot) (*PatchResult, error) {
 	return verifier.PatchAudit(patched, tr, rep, init)
+}
+
+// EpochManager runs the online half of the epoch pipeline: it streams
+// the collector's trace into durable, checksummed, append-only log
+// segments and seals serving periods ("epochs") behind content-digest
+// manifests chained by hash, without pausing serving.
+type EpochManager = epoch.Manager
+
+// EpochManagerOptions tunes epoch rotation and the segmented log.
+type EpochManagerOptions = epoch.ManagerOptions
+
+// EpochAuditor verifies a chain of sealed epochs — continuously, in the
+// background, concurrently with serving — threading each epoch's
+// verified final snapshot into the next epoch's trusted initial state.
+type EpochAuditor = epoch.Auditor
+
+// EpochAuditorOptions configures a chain auditor.
+type EpochAuditorOptions = epoch.AuditorOptions
+
+// EpochVerdict is one entry of the audit ledger.
+type EpochVerdict = epoch.Verdict
+
+// EpochLogWriter is the durable segmented write-ahead log under the
+// epoch pipeline: length-prefixed, CRC-checksummed, gzip-framed records
+// in rotating append-only segments with torn-tail recovery.
+type EpochLogWriter = epoch.LogWriter
+
+// EpochLogWriterOptions tunes segment rotation and batching.
+type EpochLogWriterOptions = epoch.LogWriterOptions
+
+// StartEpochManager begins epoch-segmented serving for srv (which must
+// record reports) with init as the first epoch's trusted initial
+// snapshot. See epoch.StartManager.
+func StartEpochManager(dir string, srv *Server, init *Snapshot, opts EpochManagerOptions) (*EpochManager, error) {
+	return epoch.StartManager(dir, srv, init, opts)
+}
+
+// NewEpochAuditor builds a background auditor over the sealed epoch
+// chain in dir.
+func NewEpochAuditor(prog *Program, dir string, opts EpochAuditorOptions) *EpochAuditor {
+	return epoch.NewAuditor(prog, dir, opts)
 }
 
 // SampleApps returns the paper's three evaluation applications —

@@ -6,6 +6,17 @@
 //	orochi-audit -app wiki -trace trace.bin -reports reports.bin -state state.bin
 //	orochi-audit -src ./myapp -trace ... -reports ... -state ...
 //
+// With -epochs it instead verifies an epoch chain produced by
+// orochi-serve's epoch pipeline: each sealed epoch's segments and
+// report bundle are integrity-checked against the manifest digests, the
+// manifests' hash chain is validated, and the epochs are audited in
+// sequence — epoch N+1's trusted initial state is epoch N's verified
+// final snapshot. -from/-to select a sub-range; auditing from the
+// middle resumes from the checkpoint a previous run persisted.
+//
+//	orochi-audit -app wiki -epochs ./epochs
+//	orochi-audit -app wiki -epochs ./epochs -from 3 -to 5
+//
 // Exit status: 0 = accepted, 1 = rejected, 2 = usage/IO error.
 package main
 
@@ -17,6 +28,7 @@ import (
 	"strings"
 
 	"orochi/internal/apps"
+	"orochi/internal/epoch"
 	"orochi/internal/lang"
 	"orochi/internal/object"
 	"orochi/internal/reports"
@@ -30,12 +42,28 @@ func main() {
 	tracePath := flag.String("trace", "", "trace file from the collector")
 	repPath := flag.String("reports", "", "report bundle from the executor")
 	statePath := flag.String("state", "", "initial object snapshot (optional; empty state if absent)")
+	epochsDir := flag.String("epochs", "", "audit an epoch chain directory instead of single trace/report files")
+	from := flag.Int64("from", 0, "first epoch to audit (with -epochs; default 1, >1 resumes from a checkpoint)")
+	to := flag.Int64("to", 0, "last epoch to audit (with -epochs; default: all sealed)")
+	workers := flag.Int("workers", 2, "epochs loaded/integrity-checked concurrently (with -epochs)")
+	checkpoints := flag.Bool("checkpoints", true, "persist verified final snapshots for resumable audits (with -epochs)")
 	maxGroup := flag.Int("maxgroup", 3000, "maximum requests per re-execution batch")
 	stats := flag.Bool("stats", false, "print per-group statistics")
 	flag.Parse()
 
+	if *epochsDir != "" {
+		if *tracePath != "" || *repPath != "" || *statePath != "" {
+			fmt.Fprintln(os.Stderr, "orochi-audit: -epochs replaces -trace/-reports/-state")
+			os.Exit(2)
+		}
+		prog, err := loadProgram(*appName, *srcDir)
+		exitOn(err)
+		auditEpochs(prog, *epochsDir, *from, *to, *workers, *checkpoints, *maxGroup, *stats)
+		return
+	}
+
 	if *tracePath == "" || *repPath == "" {
-		fmt.Fprintln(os.Stderr, "orochi-audit: -trace and -reports are required")
+		fmt.Fprintln(os.Stderr, "orochi-audit: -trace and -reports are required (or -epochs)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -81,6 +109,90 @@ func main() {
 	}
 	fmt.Printf("verdict: REJECT — %s\n", res.Reason)
 	os.Exit(1)
+}
+
+// auditEpochs verifies a sealed epoch chain and prints the ledger.
+func auditEpochs(prog *lang.Program, dir string, from, to int64, workers int, checkpoints bool, maxGroup int, stats bool) {
+	opts := epoch.AuditorOptions{
+		Workers:     workers,
+		From:        from,
+		To:          to,
+		Checkpoints: checkpoints,
+		Verify:      verifier.Options{MaxGroup: maxGroup, CollectStats: stats},
+	}
+	if from > 1 {
+		snap, err := epoch.LoadCheckpoint(dir, from-1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orochi-audit: -from %d needs the verified snapshot of epoch %d "+
+				"(run a full audit with -checkpoints first): %v\n", from, from-1, err)
+			os.Exit(2)
+		}
+		opts.Init = snap
+	}
+	a := epoch.NewAuditor(prog, dir, opts)
+	for {
+		n, err := a.RunOnce()
+		exitOn(err)
+		if n == 0 {
+			break
+		}
+	}
+	verdicts := a.Verdicts()
+	if len(verdicts) == 0 {
+		fmt.Fprintf(os.Stderr, "orochi-audit: no sealed epochs to audit in %s\n", dir)
+		os.Exit(2)
+	}
+	var requests int
+	for _, v := range verdicts {
+		requests += v.Requests
+		if v.Accepted {
+			fmt.Printf("epoch %d: ACCEPT — %d requests, %d events, audit %v (chain %.12s)\n",
+				v.Epoch, v.Requests, v.Events, v.AuditTime, v.ChainSHA)
+			if stats {
+				for _, g := range v.Stats.Groups {
+					fmt.Printf("    group %016x %-14s n=%-6d len=%-8d alpha=%.3f\n",
+						g.Tag, g.Script, g.N, g.Len, g.Alpha)
+				}
+			}
+		} else {
+			fmt.Printf("epoch %d: REJECT — %s (chain %.12s)\n", v.Epoch, v.Reason, v.ChainSHA)
+		}
+	}
+	last := verdicts[len(verdicts)-1]
+	if !a.ChainAccepted() {
+		fmt.Printf("chain verdict: REJECT at epoch %d (ledger %.12s)\n", last.Epoch, last.ChainSHA)
+		os.Exit(1)
+	}
+	// A seal gap (epoch N unsealed while a later epoch is sealed) means
+	// the chain cannot be verified past N: evidence is missing, which
+	// must not read as a clean ACCEPT of the whole directory. An error
+	// here means completeness could not be checked at all — also not an
+	// ACCEPT.
+	unreachable, err := sealedPastGap(dir, a.NextEpoch(), to)
+	exitOn(err)
+	if unreachable > 0 {
+		fmt.Printf("chain verdict: INCOMPLETE — epoch %d is not sealed but %d later sealed epoch(s) exist and cannot be verified\n",
+			a.NextEpoch(), unreachable)
+		os.Exit(1)
+	}
+	fmt.Printf("chain verdict: ACCEPT — %d epochs, %d requests (ledger %.12s)\n",
+		len(verdicts), requests, last.ChainSHA)
+}
+
+// sealedPastGap counts sealed epochs at or after next (bounded by -to)
+// that the auditor could not reach because an earlier epoch is missing.
+func sealedPastGap(dir string, next, to int64) (int, error) {
+	sealed, err := epoch.ListSealed(dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, s := range sealed {
+		if s.Number >= next && (to == 0 || s.Number <= to) {
+			n++
+		}
+	}
+	return n, nil
 }
 
 func loadProgram(appName, srcDir string) (*lang.Program, error) {

@@ -15,23 +15,38 @@
 // Optionally, -drive N self-drives the server with N workload requests
 // through HTTP (a built-in load generator), then flushes and exits —
 // the zero-setup path to produce audit artifacts.
+//
+// With -epoch-dir the server runs the epoch pipeline instead of the
+// monolithic flush: the trace streams into durable checksummed log
+// segments, epochs are sealed every -epoch-events events (at balanced
+// boundaries), and a background auditor verifies sealed epochs while
+// serving continues. GET /-/epochs reports the live pipeline state and
+// the per-epoch verdict ledger; cmd/orochi-audit -epochs <dir> verifies
+// the chain offline.
+//
+//	orochi-serve -app wiki -drive 2000 -epoch-events 500 -epoch-dir ./epochs
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"orochi/internal/apps"
+	"orochi/internal/epoch"
 	"orochi/internal/server"
 	"orochi/internal/trace"
+	"orochi/internal/verifier"
 	"orochi/internal/workload"
 )
 
@@ -41,6 +56,9 @@ func main() {
 	outDir := flag.String("out", "audit-data", "directory for trace/reports/state artifacts")
 	drive := flag.Int("drive", 0, "self-drive N workload requests over HTTP, then flush and exit")
 	conc := flag.Int("concurrency", 8, "self-drive concurrency")
+	epochDir := flag.String("epoch-dir", "", "enable the epoch pipeline, writing sealed epochs to this directory")
+	epochEvents := flag.Int("epoch-events", 4096, "seal an epoch after this many trace events (with -epoch-dir)")
+	epochAudit := flag.Bool("epoch-audit", true, "run the background auditor over sealed epochs (with -epoch-dir)")
 	flag.Parse()
 
 	app := apps.ByName(*appName)
@@ -61,12 +79,43 @@ func main() {
 		w = workload.HotCRP(p)
 	}
 
-	srv := server.New(app.Compile(), server.Options{Record: true})
+	prog := app.Compile()
+	srv := server.New(prog, server.Options{Record: true})
 	exitOn(srv.Setup(app.Schema))
 	exitOn(srv.Setup(w.Seed))
 	snap := srv.Snapshot()
-	exitOn(os.MkdirAll(*outDir, 0o755))
-	exitOn(snap.WriteFile(filepath.Join(*outDir, "state.bin")))
+
+	// Epoch mode: stream the trace into durable segments and audit
+	// sealed epochs in the background. Classic mode: buffer in RAM and
+	// flush one artifact set on demand.
+	var mgr *epoch.Manager
+	var auditor *epoch.Auditor
+	var stopAudit context.CancelFunc
+	var auditDone chan struct{}
+	if *epochDir != "" {
+		var err error
+		mgr, err = epoch.StartManager(*epochDir, srv, snap, epoch.ManagerOptions{EpochEvents: *epochEvents})
+		exitOn(err)
+		if *epochAudit {
+			auditor = epoch.NewAuditor(prog, *epochDir, epoch.AuditorOptions{
+				Notify:      mgr.Notify(),
+				Checkpoints: true,
+				Verify:      verifier.Options{},
+			})
+			var auditCtx context.Context
+			auditCtx, stopAudit = context.WithCancel(context.Background())
+			auditDone = make(chan struct{})
+			go func() {
+				defer close(auditDone)
+				if err := auditor.Run(auditCtx); err != nil && err != context.Canceled {
+					fmt.Fprintln(os.Stderr, "orochi-serve: auditor:", err)
+				}
+			}()
+		}
+	} else {
+		exitOn(os.MkdirAll(*outDir, 0o755))
+		exitOn(snap.WriteFile(filepath.Join(*outDir, "state.bin")))
+	}
 
 	var flushMu sync.Mutex
 	flush := func() error {
@@ -85,6 +134,10 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/-/flush", func(rw http.ResponseWriter, r *http.Request) {
+		if mgr != nil {
+			http.Error(rw, "epoch mode: artifacts are sealed continuously under "+*epochDir+"; see /-/epochs", http.StatusConflict)
+			return
+		}
 		if err := flush(); err != nil {
 			http.Error(rw, err.Error(), http.StatusInternalServerError)
 			return
@@ -94,6 +147,13 @@ func main() {
 	mux.HandleFunc("/-/stats", func(rw http.ResponseWriter, r *http.Request) {
 		cpu, n := srv.CPU()
 		fmt.Fprintf(rw, "requests=%d cpu=%v\n", n, cpu)
+	})
+	mux.HandleFunc("/-/epochs", func(rw http.ResponseWriter, r *http.Request) {
+		if mgr == nil {
+			http.Error(rw, "epoch pipeline disabled (run with -epoch-dir)", http.StatusNotFound)
+			return
+		}
+		writeEpochStatus(rw, mgr, auditor)
 	})
 	mux.HandleFunc("/", func(rw http.ResponseWriter, r *http.Request) {
 		in, err := httpToInput(r)
@@ -110,24 +170,137 @@ func main() {
 
 	httpSrv := &http.Server{Addr: *listen, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 
+	// Graceful shutdown — triggered by the driver finishing or by
+	// SIGINT/SIGTERM — drains in-flight requests before main proceeds,
+	// so the final epoch is cut at a balanced point (and classic mode
+	// can flush a complete artifact set).
+	drained := make(chan struct{}, 2)
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		drained <- struct{}{}
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		shutdown()
+	}()
+
 	if *drive > 0 {
 		go func() {
 			if err := driveWorkload(*listen, w, *drive, *conc); err != nil {
 				fmt.Fprintln(os.Stderr, "orochi-serve: drive:", err)
 			}
-			if err := flush(); err != nil {
-				fmt.Fprintln(os.Stderr, "orochi-serve: flush:", err)
+			if mgr == nil {
+				if err := flush(); err != nil {
+					fmt.Fprintln(os.Stderr, "orochi-serve: flush:", err)
+				}
+				fmt.Printf("drove %d requests; artifacts in %s\n", *drive, *outDir)
 			}
-			fmt.Printf("drove %d requests; artifacts in %s\n", *drive, *outDir)
-			_ = httpSrv.Close()
+			shutdown()
 		}()
 	}
 
-	fmt.Printf("serving %s on %s (artifacts -> %s; POST /-/flush to write them)\n",
-		*appName, *listen, *outDir)
+	if mgr != nil {
+		fmt.Printf("serving %s on %s (epoch pipeline -> %s, sealing every %d events; GET /-/epochs for status)\n",
+			*appName, *listen, *epochDir, *epochEvents)
+	} else {
+		fmt.Printf("serving %s on %s (artifacts -> %s; POST /-/flush to write them)\n",
+			*appName, *listen, *outDir)
+	}
 	err := httpSrv.ListenAndServe()
 	if err != nil && err != http.ErrServerClosed {
 		exitOn(err)
+	}
+	<-drained
+
+	if mgr == nil && *drive == 0 {
+		// Interactive classic mode: flush a complete artifact set on
+		// graceful shutdown so Ctrl-C never loses the period.
+		if err := flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "orochi-serve: flush:", err)
+		} else {
+			fmt.Printf("flushed artifacts to %s\n", *outDir)
+		}
+	}
+
+	if mgr != nil {
+		// In-flight requests have drained, so the final epoch ends at a
+		// balanced point: seal it and let the auditor catch up with
+		// everything that sealed.
+		exitOn(mgr.Close())
+		if auditor != nil {
+			// Stop the background loop before the catch-up pass so two
+			// RunOnce calls never interleave.
+			stopAudit()
+			<-auditDone
+			for {
+				n, err := auditor.RunOnce()
+				exitOn(err)
+				if n == 0 {
+					break
+				}
+			}
+			printLedger(os.Stdout, mgr, auditor)
+			if !auditor.ChainAccepted() {
+				os.Exit(1)
+			}
+		} else {
+			st := mgr.Status()
+			fmt.Printf("sealed %d epochs under %s (audit with: orochi-audit -app %s -epochs %s)\n",
+				len(st.Sealed), *epochDir, *appName, *epochDir)
+		}
+	}
+}
+
+// writeEpochStatus renders the /-/epochs endpoint: manager state plus
+// the auditor's verdict ledger.
+func writeEpochStatus(wr io.Writer, mgr *epoch.Manager, auditor *epoch.Auditor) {
+	st := mgr.Status()
+	fmt.Fprintf(wr, "epoch dir: %s\n", st.Dir)
+	fmt.Fprintf(wr, "current epoch: %d (%d events buffered)\n", st.CurrentEpoch, st.CurrentEvents)
+	if st.Err != "" {
+		fmt.Fprintf(wr, "pipeline error: %s\n", st.Err)
+	}
+	fmt.Fprintf(wr, "sealed epochs: %d\n", len(st.Sealed))
+	for _, s := range st.Sealed {
+		fmt.Fprintf(wr, "  epoch %d: %d events, %d requests, %d segments, manifest %.12s\n",
+			s.Epoch, s.Events, s.Requests, s.Segments, s.ManifestSHA)
+	}
+	if auditor == nil {
+		fmt.Fprintln(wr, "background audit: disabled")
+		return
+	}
+	verdicts := auditor.Verdicts()
+	fmt.Fprintf(wr, "audited epochs: %d (next: %d)\n", len(verdicts), auditor.NextEpoch())
+	for _, v := range verdicts {
+		if v.Accepted {
+			fmt.Fprintf(wr, "  epoch %d: ACCEPT in %v (chain %.12s)\n", v.Epoch, v.AuditTime, v.ChainSHA)
+		} else {
+			fmt.Fprintf(wr, "  epoch %d: REJECT — %s (chain %.12s)\n", v.Epoch, v.Reason, v.ChainSHA)
+		}
+	}
+}
+
+// printLedger prints the final audit ledger at shutdown.
+func printLedger(wr io.Writer, mgr *epoch.Manager, auditor *epoch.Auditor) {
+	st := mgr.Status()
+	verdicts := auditor.Verdicts()
+	fmt.Fprintf(wr, "sealed %d epochs; audited %d\n", len(st.Sealed), len(verdicts))
+	for _, v := range verdicts {
+		if v.Accepted {
+			fmt.Fprintf(wr, "  epoch %d: ACCEPT — %d requests in %v (chain %.12s)\n",
+				v.Epoch, v.Requests, v.AuditTime, v.ChainSHA)
+		} else {
+			fmt.Fprintf(wr, "  epoch %d: REJECT — %s (chain %.12s)\n", v.Epoch, v.Reason, v.ChainSHA)
+		}
+	}
+	if auditor.ChainAccepted() {
+		fmt.Fprintln(wr, "chain verdict: ACCEPT")
+	} else {
+		fmt.Fprintln(wr, "chain verdict: REJECT")
 	}
 }
 
@@ -161,7 +334,8 @@ func httpToInput(r *http.Request) (trace.Input, error) {
 	return in, nil
 }
 
-// driveWorkload replays workload requests through the HTTP front end.
+// driveWorkload replays workload requests through the HTTP front end,
+// cycling through the workload when n exceeds the generated pool.
 func driveWorkload(listen string, w *workload.Workload, n, conc int) error {
 	base := "http://127.0.0.1" + listen
 	if !strings.HasPrefix(listen, ":") {
@@ -174,14 +348,15 @@ func driveWorkload(listen string, w *workload.Workload, n, conc int) error {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-	if n > len(w.Requests) {
-		n = len(w.Requests)
+	if len(w.Requests) == 0 {
+		return fmt.Errorf("empty workload")
 	}
 	sem := make(chan struct{}, conc)
 	var wg sync.WaitGroup
 	var firstErr error
 	var mu sync.Mutex
-	for _, in := range w.Requests[:n] {
+	for i := 0; i < n; i++ {
+		in := w.Requests[i%len(w.Requests)]
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(in trace.Input) {

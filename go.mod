@@ -1,0 +1,3 @@
+module orochi
+
+go 1.24

@@ -1,0 +1,22 @@
+// Package encio holds small helpers shared by the gob+gzip codecs in
+// trace, reports, and object.
+package encio
+
+import (
+	"fmt"
+	"io"
+)
+
+// ExpectEOF verifies that r has been fully consumed. Reading the one
+// extra byte also forces a gzip reader to validate its trailer
+// checksum, so truncated-then-repadded streams cannot slip through.
+func ExpectEOF(r io.Reader) error {
+	switch n, err := io.CopyN(io.Discard, r, 1); {
+	case err == io.EOF && n == 0:
+		return nil
+	case err != nil && err != io.EOF:
+		return err
+	default:
+		return fmt.Errorf("trailing data after encoded stream")
+	}
+}

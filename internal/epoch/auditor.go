@@ -1,0 +1,399 @@
+package epoch
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"orochi/internal/lang"
+	"orochi/internal/object"
+	"orochi/internal/verifier"
+)
+
+// AuditorOptions configures a chain auditor.
+type AuditorOptions struct {
+	// Workers bounds how many epochs are loaded and integrity-checked
+	// concurrently, ahead of the (inherently sequential) verification
+	// stage (default 2). Verification is sequential because epoch N+1's
+	// trusted initial state is epoch N's verified final snapshot.
+	Workers int
+	// Poll is how often Run rescans for newly sealed epochs when no
+	// notification channel fires (default 250ms).
+	Poll time.Duration
+	// Notify, if non-nil, wakes Run early (the manager's Notify channel).
+	Notify <-chan struct{}
+	// From is the first epoch to audit (default 1). Starting past 1
+	// requires Init or a checkpoint for From-1 (see Checkpoints).
+	From int64
+	// To is the last epoch to audit (0 = unbounded; Run keeps watching).
+	To int64
+	// Init overrides the trusted initial state of epoch From. When
+	// zero-valued, epoch 1 uses its manifest's init snapshot and
+	// From > 1 loads checkpoint From-1.
+	Init *object.Snapshot
+	// Checkpoints, when true, persists each accepted epoch's verified
+	// final snapshot under <dir>/checkpoints/, so a later audit run can
+	// resume from the middle of the chain (default off; the CLI enables
+	// it).
+	Checkpoints bool
+	// Verify configures the underlying verifier.
+	Verify verifier.Options
+}
+
+func (o AuditorOptions) withDefaults() AuditorOptions {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.Poll <= 0 {
+		o.Poll = 250 * time.Millisecond
+	}
+	if o.From <= 0 {
+		o.From = 1
+	}
+	return o
+}
+
+// Verdict is one entry of the audit ledger.
+type Verdict struct {
+	Epoch    int64
+	Accepted bool
+	Reason   string // empty when accepted
+	Events   int
+	Requests int
+	// AuditTime is the verifier's wall time for this epoch (zero when
+	// the epoch was rejected before verification, e.g. on an integrity
+	// failure).
+	AuditTime time.Duration
+	// Stats is the verifier's cost decomposition (zero value when
+	// verification never ran).
+	Stats verifier.Stats
+	// ManifestSHA is the digest of this epoch's manifest file.
+	ManifestSHA string
+	// ChainSHA is the running ledger digest: H(prev ChainSHA ||
+	// ManifestSHA || verdict byte). Two auditors that agree on the last
+	// ChainSHA agree on every verdict before it.
+	ChainSHA string
+}
+
+// Auditor verifies a chain of sealed epochs, continuously or in
+// batches, concurrently with live serving. Epoch N+1's trusted initial
+// state is epoch N's verified final snapshot (verifier.Result.
+// FinalSnapshot), so a single REJECT — including an integrity failure
+// such as a flipped byte in a sealed segment — poisons the chain: later
+// epochs have no trusted initial state and are reported as blocked
+// rather than audited.
+type Auditor struct {
+	dir  string
+	prog *lang.Program
+	opts AuditorOptions
+
+	mu       sync.Mutex
+	verdicts []Verdict
+	next     int64 // next epoch number to audit
+	init     *object.Snapshot
+	prevSHA  string // manifest digest the next epoch must chain to
+	chainSHA string
+	broken   bool
+}
+
+// NewAuditor builds an auditor over the epoch chain in dir.
+func NewAuditor(prog *lang.Program, dir string, opts AuditorOptions) *Auditor {
+	opts = opts.withDefaults()
+	return &Auditor{dir: dir, prog: prog, opts: opts, next: opts.From, init: opts.Init}
+}
+
+// Run audits sealed epochs as they appear until ctx is cancelled (or,
+// when To is set, until To has been audited or the chain breaks). It
+// returns ctx.Err on cancellation, nil on a completed bounded run.
+func (a *Auditor) Run(ctx context.Context) error {
+	for {
+		if _, err := a.RunOnce(); err != nil {
+			return err
+		}
+		a.mu.Lock()
+		done := a.broken || (a.opts.To > 0 && a.next > a.opts.To)
+		a.mu.Unlock()
+		if done {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-a.notifyChan():
+		case <-time.After(a.opts.Poll):
+		}
+	}
+}
+
+func (a *Auditor) notifyChan() <-chan struct{} {
+	if a.opts.Notify != nil {
+		return a.opts.Notify
+	}
+	return make(chan struct{}) // never fires; the Poll timer drives us
+}
+
+// RunOnce audits every currently sealed, not-yet-audited epoch in chain
+// order and returns how many verdicts it appended. A REJECT stops the
+// chain; a non-nil error is an internal fault (not a verdict).
+func (a *Auditor) RunOnce() (int, error) {
+	a.mu.Lock()
+	if a.broken {
+		a.mu.Unlock()
+		return 0, nil
+	}
+	start := a.next
+	a.mu.Unlock()
+
+	// Probe epoch directories directly from `start` — the naming scheme
+	// is deterministic, so discovering new work is O(new epochs), not a
+	// full O(chain length) rescan on every poll. The probe stops at the
+	// first unsealed epoch, which also enforces chain contiguity: a gap
+	// (an epoch lost before sealing) simply never closes, and later
+	// sealed epochs stay unaudited — surfaced by callers comparing
+	// NextEpoch against what exists on disk.
+	var batch []*Sealed
+	for n := start; a.opts.To == 0 || n <= a.opts.To; n++ {
+		epochDir := filepath.Join(a.dir, epochDirName(n))
+		m, sha, err := ReadManifest(epochDir)
+		switch {
+		case os.IsNotExist(err):
+			// Not sealed yet (or a gap): stop here.
+		case err != nil:
+			// Damaged manifest: audit evidence, not a fault — it will
+			// become a REJECT verdict and break the chain there.
+			batch = append(batch, &Sealed{Number: n, Dir: epochDir, ManifestSHA: sha, Err: err})
+		case m.Epoch != n:
+			batch = append(batch, &Sealed{Number: n, Dir: epochDir, ManifestSHA: sha,
+				Err: fmt.Errorf("epoch: manifest in %s claims epoch %d", epochDir, m.Epoch)})
+		default:
+			batch = append(batch, &Sealed{Number: n, Dir: epochDir, Manifest: m, ManifestSHA: sha})
+			continue
+		}
+		break
+	}
+	if len(batch) == 0 {
+		return 0, nil
+	}
+
+	// Resolve the manifest digest the first epoch must chain to.
+	if start > 1 {
+		if err := a.ensurePrevSHA(start); err != nil {
+			return 0, err
+		}
+	}
+
+	// Stage 1 (worker pool): load + integrity-check epochs concurrently.
+	// A semaphore slot is held from load start until stage 2 consumes
+	// the result, so at most Workers fully decoded epochs sit in memory
+	// ahead of the (slower) sequential verification stage. A single
+	// dispatcher acquires slots in chain order — were loaders to race
+	// for slots themselves, later epochs could hold every slot while
+	// the consumer waits on an earlier epoch that can never start.
+	futures := make([]chan loadResult, len(batch))
+	for i := range futures {
+		futures[i] = make(chan loadResult, 1)
+	}
+	sem := make(chan struct{}, a.opts.Workers)
+	go func() {
+		for i, s := range batch {
+			sem <- struct{}{}
+			go func(i int, s *Sealed) {
+				l, err := Load(s)
+				futures[i] <- loadResult{loaded: l, err: err}
+			}(i, s)
+		}
+	}()
+	consumed := 0
+	defer func() {
+		// On an early return (verifier fault or chain break), drain the
+		// abandoned prefetches in the background so their loader
+		// goroutines don't block on the semaphore forever.
+		go func(from int) {
+			for i := from; i < len(batch); i++ {
+				<-futures[i]
+				<-sem
+			}
+		}(consumed)
+	}()
+
+	// Stage 2 (sequential): verify in chain order, threading the
+	// verified final snapshot forward.
+	audited := 0
+	for i, s := range batch {
+		r := <-futures[i]
+		<-sem
+		consumed = i + 1
+		verdict, snapNext, err := a.auditOne(s, r)
+		if err != nil {
+			return audited, err
+		}
+		a.mu.Lock()
+		a.verdicts = append(a.verdicts, verdict)
+		if verdict.Accepted {
+			a.init = snapNext
+			a.prevSHA = s.ManifestSHA
+			a.next = s.Number + 1
+		} else {
+			a.broken = true
+		}
+		a.mu.Unlock()
+		audited++
+		if !verdict.Accepted {
+			break
+		}
+		if a.opts.Checkpoints {
+			if err := a.writeCheckpoint(s.Number, snapNext); err != nil {
+				return audited, err
+			}
+		}
+	}
+	return audited, nil
+}
+
+type loadResult struct {
+	loaded *Loaded
+	err    error
+}
+
+// auditOne produces the verdict for one epoch and, on acceptance, the
+// verified final snapshot that seeds the next epoch.
+func (a *Auditor) auditOne(s *Sealed, r loadResult) (Verdict, *object.Snapshot, error) {
+	v := Verdict{Epoch: s.Number, ManifestSHA: s.ManifestSHA}
+	if s.Manifest != nil {
+		v.Events = s.Manifest.Events
+		v.Requests = s.Manifest.Requests
+	}
+	reject := func(reason string) (Verdict, *object.Snapshot, error) {
+		v.Accepted = false
+		v.Reason = reason
+		v.ChainSHA = a.extendChain(s.ManifestSHA, false)
+		return v, nil, nil
+	}
+	if r.err != nil {
+		if _, ok := r.err.(*IntegrityError); ok {
+			return reject(r.err.Error())
+		}
+		return v, nil, r.err
+	}
+	a.mu.Lock()
+	prevSHA := a.prevSHA
+	init := a.init
+	a.mu.Unlock()
+	if s.Manifest.PrevManifestSHA256 != prevSHA {
+		return reject(fmt.Sprintf("manifest chain mismatch: epoch %d links to %s, previous manifest is %s",
+			s.Number, short(s.Manifest.PrevManifestSHA256), short(prevSHA)))
+	}
+	if init == nil {
+		if r.loaded.Init == nil {
+			return reject(fmt.Sprintf("epoch %d has no trusted initial state (no chained snapshot, no init in manifest)", s.Number))
+		}
+		init = r.loaded.Init
+	}
+	res, err := verifier.Audit(a.prog, r.loaded.Trace, r.loaded.Reports, init, a.opts.Verify)
+	if err != nil {
+		return v, nil, err
+	}
+	v.AuditTime = res.Stats.Total
+	v.Stats = res.Stats
+	if !res.Accepted {
+		return reject(res.Reason)
+	}
+	snapNext, err := res.FinalSnapshot()
+	if err != nil {
+		return v, nil, err
+	}
+	v.Accepted = true
+	v.ChainSHA = a.extendChain(s.ManifestSHA, true)
+	return v, snapNext, nil
+}
+
+// extendChain advances the running ledger digest.
+func (a *Auditor) extendChain(manifestSHA string, accepted bool) string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	h := sha256.New()
+	h.Write([]byte(a.chainSHA))
+	h.Write([]byte(manifestSHA))
+	if accepted {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	a.chainSHA = hex.EncodeToString(h.Sum(nil))
+	return a.chainSHA
+}
+
+// ensurePrevSHA fills in the manifest digest epoch `start` must link
+// to, reading epoch start-1's manifest from disk. (Its contents are
+// vouched for by the checkpoint trust assumption, not re-verified.)
+func (a *Auditor) ensurePrevSHA(start int64) error {
+	a.mu.Lock()
+	have := a.prevSHA != ""
+	a.mu.Unlock()
+	if have {
+		return nil
+	}
+	_, sha, err := ReadManifest(filepath.Join(a.dir, epochDirName(start-1)))
+	if err != nil {
+		return fmt.Errorf("epoch: auditing from %d needs epoch %d's manifest: %w", start, start-1, err)
+	}
+	a.mu.Lock()
+	a.prevSHA = sha
+	a.mu.Unlock()
+	return nil
+}
+
+// checkpointPath names the persisted verified final snapshot of epoch n.
+func checkpointPath(dir string, n int64) string {
+	return filepath.Join(dir, "checkpoints", fmt.Sprintf("epoch-%06d.bin", n))
+}
+
+func (a *Auditor) writeCheckpoint(n int64, snap *object.Snapshot) error {
+	data, err := snap.Encode()
+	if err != nil {
+		return err
+	}
+	path := checkpointPath(a.dir, n)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return writeFileSync(path, data)
+}
+
+// LoadCheckpoint reads the verified final snapshot of epoch n, written
+// by an auditor running with Checkpoints enabled. It lets a later run
+// audit from epoch n+1 without replaying the whole chain, trusting the
+// earlier run's verdicts.
+func LoadCheckpoint(dir string, n int64) (*object.Snapshot, error) {
+	data, err := os.ReadFile(checkpointPath(dir, n))
+	if err != nil {
+		return nil, err
+	}
+	return object.DecodeSnapshot(data)
+}
+
+// Verdicts returns a copy of the ledger so far, in epoch order.
+func (a *Auditor) Verdicts() []Verdict {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Verdict(nil), a.verdicts...)
+}
+
+// ChainAccepted reports whether every audited epoch so far accepted.
+func (a *Auditor) ChainAccepted() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return !a.broken
+}
+
+// NextEpoch reports the next epoch the auditor will verify.
+func (a *Auditor) NextEpoch() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.next
+}

@@ -1,0 +1,133 @@
+package epoch
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"orochi/internal/object"
+	"orochi/internal/reports"
+	"orochi/internal/trace"
+)
+
+// IntegrityError reports that a sealed epoch's artifacts fail
+// verification against the manifest (missing file, digest mismatch,
+// damaged framing, count mismatch). It is evidence tampering or loss,
+// so auditors surface it as a REJECT verdict, not an internal fault.
+type IntegrityError struct {
+	Epoch  int64
+	Detail string
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("epoch %d integrity: %s", e.Epoch, e.Detail)
+}
+
+// Loaded is a sealed epoch whose artifacts have been read back and
+// verified against the manifest digests.
+type Loaded struct {
+	*Sealed
+	Trace   *trace.Trace
+	Reports *reports.Reports
+	// Init is the trusted initial snapshot (first epoch of a chain
+	// only; nil otherwise).
+	Init *object.Snapshot
+}
+
+// Load reads a sealed epoch's segments, reports, and (if present)
+// initial snapshot, verifying every file against the manifest's SHA-256
+// digests, every record against its CRC, and the decoded event counts
+// against the manifest. Failures are *IntegrityError.
+func Load(s *Sealed) (*Loaded, error) {
+	fail := func(format string, args ...any) (*Loaded, error) {
+		return nil, &IntegrityError{Epoch: s.Number, Detail: fmt.Sprintf(format, args...)}
+	}
+	if s.Err != nil {
+		return fail("damaged manifest: %v", s.Err)
+	}
+	if s.Manifest == nil {
+		return fail("no manifest")
+	}
+	var events []trace.Event
+	for _, seg := range s.Manifest.Segments {
+		data, err := os.ReadFile(filepath.Join(s.Dir, seg.Name))
+		if err != nil {
+			return fail("segment %s: %v", seg.Name, err)
+		}
+		if got := fileSHA(data); got != seg.SHA256 {
+			return fail("segment %s: digest mismatch (manifest %s, disk %s)", seg.Name, short(seg.SHA256), short(got))
+		}
+		if int64(len(data)) != seg.Bytes {
+			return fail("segment %s: size mismatch (manifest %d, disk %d)", seg.Name, seg.Bytes, len(data))
+		}
+		recs, _, err := parseSegment(data, true)
+		if err != nil {
+			return fail("segment %s: %v", seg.Name, err)
+		}
+		n := 0
+		for _, r := range recs {
+			if r.typ != recEvents {
+				continue
+			}
+			tr, err := trace.Decode(r.payload)
+			if err != nil {
+				return fail("segment %s: undecodable record: %v", seg.Name, err)
+			}
+			events = append(events, tr.Events...)
+			n += len(tr.Events)
+		}
+		if n != seg.Events {
+			return fail("segment %s: event count mismatch (manifest %d, decoded %d)", seg.Name, seg.Events, n)
+		}
+	}
+	if len(events) != s.Manifest.Events {
+		return fail("event count mismatch (manifest %d, decoded %d)", s.Manifest.Events, len(events))
+	}
+	tr := &trace.Trace{Events: events}
+	if got := tr.RequestCount(); got != s.Manifest.Requests {
+		return fail("request count mismatch (manifest %d, decoded %d)", s.Manifest.Requests, got)
+	}
+
+	repData, err := os.ReadFile(filepath.Join(s.Dir, s.Manifest.Reports.Name))
+	if err != nil {
+		return fail("reports: %v", err)
+	}
+	if got := fileSHA(repData); got != s.Manifest.Reports.SHA256 {
+		return fail("reports: digest mismatch (manifest %s, disk %s)", short(s.Manifest.Reports.SHA256), short(got))
+	}
+	rep, err := decodeReportsSegment(repData)
+	if err != nil {
+		return fail("reports: %v", err)
+	}
+
+	out := &Loaded{Sealed: s, Trace: tr, Reports: rep}
+	if s.Manifest.Init != nil {
+		initData, err := os.ReadFile(filepath.Join(s.Dir, s.Manifest.Init.Name))
+		if err != nil {
+			return fail("init snapshot: %v", err)
+		}
+		if got := fileSHA(initData); got != s.Manifest.Init.SHA256 {
+			return fail("init snapshot: digest mismatch (manifest %s, disk %s)", short(s.Manifest.Init.SHA256), short(got))
+		}
+		snap, err := object.DecodeSnapshot(initData)
+		if err != nil {
+			return fail("init snapshot: %v", err)
+		}
+		out.Init = snap
+	}
+	return out, nil
+}
+
+func fileSHA(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+func short(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}

@@ -1,0 +1,160 @@
+package epoch
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Standard file names inside an epoch directory.
+const (
+	ManifestName = "MANIFEST.json"
+	ReportsName  = "reports.seg"
+	InitName     = "init.bin"
+)
+
+// FileInfo pins one epoch file by name, size, and content digest.
+type FileInfo struct {
+	Name   string `json:"name"`
+	Bytes  int64  `json:"bytes"`
+	SHA256 string `json:"sha256"`
+}
+
+// Manifest is the seal record of one epoch. Writing it (atomically, as
+// the last step of sealing) is what makes an epoch visible to auditors;
+// its PrevManifestSHA256 links epochs into a hash chain, so tampering
+// with any sealed artifact — or with a past manifest itself — breaks
+// verification of everything downstream.
+type Manifest struct {
+	Epoch      int64 `json:"epoch"`
+	SealedUnix int64 `json:"sealed_unix"`
+	Events     int   `json:"events"`
+	Requests   int   `json:"requests"`
+	// Segments lists the event-log segments in order.
+	Segments []SegmentInfo `json:"segments"`
+	// Reports pins the report bundle file.
+	Reports FileInfo `json:"reports"`
+	// Init pins the trusted initial snapshot; only the first epoch of a
+	// chain carries one — later epochs derive their trusted initial
+	// state from the previous epoch's verified audit (§4.1, §4.5).
+	Init *FileInfo `json:"init_snapshot,omitempty"`
+	// PrevManifestSHA256 is the digest of the previous epoch's manifest
+	// file ("" for the first epoch).
+	PrevManifestSHA256 string `json:"prev_manifest_sha256"`
+}
+
+// WriteManifest seals dir with m: the manifest is written to a temp
+// file, fsynced, and atomically renamed into place. It returns the
+// manifest digest the next epoch must chain to.
+func WriteManifest(dir string, m *Manifest) (string, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("epoch: write manifest: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := filepath.Join(dir, ManifestName+".tmp")
+	if err := writeFileSync(tmp, data); err != nil {
+		return "", fmt.Errorf("epoch: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		return "", fmt.Errorf("epoch: write manifest: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// ReadManifest loads an epoch's manifest and returns it with the digest
+// of its on-disk bytes (the value the next epoch chains to). When the
+// file exists but fails to parse, the digest is still returned so the
+// damaged bytes can be pinned in an audit verdict.
+func ReadManifest(dir string) (*Manifest, string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, "", err
+	}
+	sum := sha256.Sum256(data)
+	sha := hex.EncodeToString(sum[:])
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, sha, fmt.Errorf("epoch: read manifest in %s: %w", dir, err)
+	}
+	return &m, sha, nil
+}
+
+// epochDirName formats the directory name of epoch n.
+func epochDirName(n int64) string { return fmt.Sprintf("epoch-%06d", n) }
+
+// epochDirNumber parses an epoch directory name, returning 0 unless the
+// name matches the exact epoch-%06d shape — Sscanf alone would accept
+// trailing junk like "epoch-2.bak" and alias it to epoch 2.
+func epochDirNumber(name string) int64 {
+	if !strings.HasPrefix(name, "epoch-") {
+		return 0
+	}
+	var n int64
+	if _, err := fmt.Sscanf(name, "epoch-%d", &n); err != nil || n <= 0 {
+		return 0
+	}
+	if name != epochDirName(n) {
+		return 0
+	}
+	return n
+}
+
+// Sealed describes one sealed epoch found on disk. A manifest that
+// exists but is damaged (unparsable, or claiming the wrong epoch)
+// still yields an entry, with Err set and Manifest nil: damaged seals
+// are audit evidence — they must surface as REJECT verdicts, not
+// vanish from the chain or abort the scan.
+type Sealed struct {
+	Number      int64
+	Dir         string
+	Manifest    *Manifest // nil when Err is set
+	ManifestSHA string
+	Err         error // non-nil when the manifest is damaged
+}
+
+// ListSealed scans dir for sealed epochs (those whose manifest exists,
+// intact or damaged) and returns them in epoch order. Unsealed epoch
+// directories — the one currently being written, or debris from a
+// crash — are skipped.
+func ListSealed(dir string) ([]*Sealed, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Sealed
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		n := epochDirNumber(e.Name())
+		if n == 0 {
+			continue
+		}
+		epochDir := filepath.Join(dir, e.Name())
+		m, sha, err := ReadManifest(epochDir)
+		switch {
+		case os.IsNotExist(err):
+			continue // not sealed yet
+		case err != nil:
+			out = append(out, &Sealed{Number: n, Dir: epochDir, ManifestSHA: sha, Err: err})
+			continue
+		case m.Epoch != n:
+			out = append(out, &Sealed{Number: n, Dir: epochDir, ManifestSHA: sha,
+				Err: fmt.Errorf("epoch: manifest in %s claims epoch %d", epochDir, m.Epoch)})
+			continue
+		}
+		out = append(out, &Sealed{Number: n, Dir: epochDir, Manifest: m, ManifestSHA: sha})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Number < out[j].Number })
+	return out, nil
+}

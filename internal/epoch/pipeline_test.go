@@ -1,0 +1,485 @@
+package epoch
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"orochi/internal/lang"
+	"orochi/internal/object"
+	"orochi/internal/server"
+	"orochi/internal/trace"
+	"orochi/internal/verifier"
+)
+
+// pipelineApp exercises all three object kinds plus nondeterminism, so
+// epoch audits cover registers, KV, the DB, and nondet records.
+var pipelineApp = map[string]string{
+	"visit": `
+$user = $_COOKIE["user"];
+$sess = session_get("sess:" . $user);
+if (!is_array($sess)) {
+  $sess = ["visits" => 0];
+}
+$sess["visits"] = $sess["visits"] + 1;
+session_set("sess:" . $user, $sess);
+$hits = apc_get("hits");
+if ($hits === null) { $hits = 0; }
+apc_set("hits", $hits + 1);
+echo "hello " . $user . ", visit " . $sess["visits"];
+`,
+	"post": `
+$title = $_POST["title"];
+$r = db_exec("INSERT INTO posts (title, votes) VALUES (" . db_quote($title) . ", 0)");
+echo "created post " . $r["insert_id"];
+`,
+	"vote": `
+$id = intval($_GET["id"]);
+db_exec("UPDATE posts SET votes = votes + 1 WHERE id = " . $id);
+$rows = db_query("SELECT votes FROM posts WHERE id = " . $id);
+if (count($rows) > 0) {
+  echo "votes=" . $rows[0]["votes"];
+} else {
+  echo "no such post";
+}
+`,
+	"now": `
+$t = time();
+$r = mt_rand(1, 100);
+echo "t=" . ($t > 0 ? "ok" : "bad") . " r=" . (($r >= 1 && $r <= 100) ? "ok" : "bad");
+`,
+}
+
+var pipelineSchema = []string{
+	`CREATE TABLE posts (id INT PRIMARY KEY AUTOINCREMENT, title TEXT, votes INT)`,
+}
+
+func compilePipelineApp(t *testing.T) *lang.Program {
+	t.Helper()
+	prog, err := lang.Compile(pipelineApp)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+// burst is one balanced batch of requests: epochs can only cut between
+// bursts, so bursts make sealing deterministic in tests.
+func burst(n, salt int) []trace.Input {
+	var out []trace.Input
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			out = append(out, trace.Input{Script: "visit", Cookie: map[string]string{"user": "alice"}})
+		case 1:
+			out = append(out, trace.Input{Script: "post", Post: map[string]string{"title": fmt.Sprintf("t%d-%d", salt, i)}})
+		case 2:
+			out = append(out, trace.Input{Script: "vote", Get: map[string]string{"id": "1"}})
+		default:
+			out = append(out, trace.Input{Script: "now"})
+		}
+	}
+	return out
+}
+
+// startPipeline builds a recording server with the epoch manager
+// attached, ready to serve.
+func startPipeline(t *testing.T, dir string, epochEvents int) (*lang.Program, *server.Server, *Manager) {
+	t.Helper()
+	prog := compilePipelineApp(t)
+	srv := server.New(prog, server.Options{Record: true})
+	if err := srv.Setup(pipelineSchema); err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := StartManager(dir, srv, srv.Snapshot(), ManagerOptions{
+		EpochEvents: epochEvents,
+		Log:         LogWriterOptions{SegmentEvents: 16, BatchEvents: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, srv, mgr
+}
+
+func TestEpochPipelineEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	prog, srv, mgr := startPipeline(t, dir, 40)
+
+	// 3 bursts of 25 requests = 50 events each >= 40: each burst ends
+	// with a cut, plus Close seals nothing extra (last burst cut).
+	for b := 0; b < 3; b++ {
+		srv.ServeAll(burst(25, b), 4)
+	}
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sealed, err := ListSealed(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) < 3 {
+		t.Fatalf("sealed %d epochs, want >= 3", len(sealed))
+	}
+	// Segment rotation happened inside epochs (50 events, 16/segment).
+	if len(sealed[0].Manifest.Segments) < 3 {
+		t.Fatalf("epoch 1 has %d segments, want >= 3", len(sealed[0].Manifest.Segments))
+	}
+	// The manifest hash chain must link every epoch to its predecessor.
+	if sealed[0].Manifest.PrevManifestSHA256 != "" {
+		t.Fatal("epoch 1 must not link to a predecessor")
+	}
+	if sealed[0].Manifest.Init == nil {
+		t.Fatal("epoch 1 must carry the trusted init snapshot")
+	}
+	for i := 1; i < len(sealed); i++ {
+		if sealed[i].Manifest.PrevManifestSHA256 != sealed[i-1].ManifestSHA {
+			t.Fatalf("epoch %d chain link broken", sealed[i].Number)
+		}
+		if sealed[i].Manifest.Init != nil {
+			t.Fatalf("epoch %d must not carry an init snapshot", sealed[i].Number)
+		}
+	}
+
+	a := NewAuditor(prog, dir, AuditorOptions{})
+	if _, err := a.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	verdicts := a.Verdicts()
+	if len(verdicts) != len(sealed) {
+		t.Fatalf("audited %d epochs, sealed %d", len(verdicts), len(sealed))
+	}
+	reqs := 0
+	for _, v := range verdicts {
+		if !v.Accepted {
+			t.Fatalf("epoch %d rejected: %s", v.Epoch, v.Reason)
+		}
+		if v.ChainSHA == "" {
+			t.Fatalf("epoch %d has no ledger digest", v.Epoch)
+		}
+		reqs += v.Requests
+	}
+	if reqs != 75 {
+		t.Fatalf("ledger covers %d requests, want 75", reqs)
+	}
+}
+
+// TestEpochTamperBreaksChain flips one byte in a sealed segment: the
+// auditor must reject that epoch on its content digest and refuse to
+// audit anything after it (the chain has no trusted state anymore).
+func TestEpochTamperBreaksChain(t *testing.T) {
+	dir := t.TempDir()
+	prog, srv, mgr := startPipeline(t, dir, 40)
+	for b := 0; b < 3; b++ {
+		srv.ServeAll(burst(25, b), 4)
+	}
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := ListSealed(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) < 3 {
+		t.Fatalf("sealed %d epochs, want >= 3", len(sealed))
+	}
+
+	// Flip one byte in the middle of epoch 2's first segment.
+	seg := sealed[1].Manifest.Segments[0]
+	segPath := filepath.Join(sealed[1].Dir, seg.Name)
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(segPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	a := NewAuditor(prog, dir, AuditorOptions{})
+	if _, err := a.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	verdicts := a.Verdicts()
+	if len(verdicts) != 2 {
+		t.Fatalf("got %d verdicts, want 2 (accept, then reject stops the chain)", len(verdicts))
+	}
+	if !verdicts[0].Accepted {
+		t.Fatalf("epoch 1 rejected: %s", verdicts[0].Reason)
+	}
+	if verdicts[1].Accepted {
+		t.Fatal("tampered epoch 2 was accepted")
+	}
+	if a.ChainAccepted() {
+		t.Fatal("chain still accepted after tamper")
+	}
+	// Later runs must not advance past the break.
+	if n, err := a.RunOnce(); err != nil || n != 0 {
+		t.Fatalf("auditor advanced past a broken chain: n=%d err=%v", n, err)
+	}
+}
+
+// TestSnapshotChainingAcrossEpochs pins the §4.1/§4.5 hand-off: epoch
+// N+1's audit must depend on epoch N's verified final snapshot, and a
+// stale initial state must be rejected.
+func TestSnapshotChainingAcrossEpochs(t *testing.T) {
+	dir := t.TempDir()
+	prog, srv, mgr := startPipeline(t, dir, 12)
+
+	// Epoch 1: alice visits twice and creates a post.
+	srv.ServeAll([]trace.Input{
+		{Script: "visit", Cookie: map[string]string{"user": "alice"}},
+		{Script: "visit", Cookie: map[string]string{"user": "alice"}},
+		{Script: "post", Post: map[string]string{"title": "first"}},
+		{Script: "now"},
+		{Script: "now"},
+		{Script: "now"},
+	}, 1)
+	// Epoch 2: her third visit and a vote on the epoch-1 post — both
+	// reproducible only from epoch 1's final state. Concurrency 1 keeps
+	// the trace order deterministic for the response check below.
+	srv.ServeAll([]trace.Input{
+		{Script: "visit", Cookie: map[string]string{"user": "alice"}},
+		{Script: "vote", Get: map[string]string{"id": "1"}},
+		{Script: "now"},
+		{Script: "now"},
+		{Script: "now"},
+		{Script: "now"},
+	}, 1)
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := ListSealed(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) != 2 {
+		t.Fatalf("sealed %d epochs, want 2", len(sealed))
+	}
+
+	// Chained audit: epoch 2 inherits epoch 1's FinalSnapshot.
+	ep1, err := Load(sealed[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := verifier.Audit(prog, ep1.Trace, ep1.Reports, ep1.Init, verifier.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.Accepted {
+		t.Fatalf("epoch 1 rejected: %s", res1.Reason)
+	}
+	chained, err := res1.FinalSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := Load(sealed[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := verifier.Audit(prog, ep2.Trace, ep2.Reports, chained, verifier.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Accepted {
+		t.Fatalf("epoch 2 rejected under chained state: %s", res2.Reason)
+	}
+	// Epoch 2's responses really did depend on epoch 1's state.
+	if body, ok := ep2.Trace.ResponseOf(ep2.Trace.Requests()[0].RID); !ok || body != "hello alice, visit 3" {
+		t.Fatalf("epoch 2 visit response %q does not continue epoch 1's session", body)
+	}
+	// A stale initial state (epoch 1's start) must be rejected.
+	res2stale, err := verifier.Audit(prog, ep2.Trace, ep2.Reports, object.EmptySnapshot(), verifier.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2stale.Accepted {
+		t.Fatal("epoch 2 accepted under stale initial state")
+	}
+
+	// Tampering with epoch 1's sealed segment must be caught by its
+	// content digest before any re-execution happens.
+	seg := sealed[0].Manifest.Segments[0]
+	segPath := filepath.Join(sealed[0].Dir, seg.Name)
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-5] ^= 0x40
+	if err := os.WriteFile(segPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(sealed[0]); err == nil {
+		t.Fatal("tampered epoch 1 loaded without error")
+	} else if _, ok := err.(*IntegrityError); !ok {
+		t.Fatalf("tamper surfaced as %T, want *IntegrityError", err)
+	}
+	a := NewAuditor(prog, dir, AuditorOptions{})
+	if _, err := a.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if a.ChainAccepted() {
+		t.Fatal("chain accepted despite epoch 1 tamper")
+	}
+}
+
+// TestServeWhileAudit runs the background auditor concurrently with
+// live serving: verdicts accumulate while new epochs are still being
+// produced, and the ledger ends complete and accepted.
+func TestServeWhileAudit(t *testing.T) {
+	dir := t.TempDir()
+	prog, srv, mgr := startPipeline(t, dir, 30)
+
+	a := NewAuditor(prog, dir, AuditorOptions{
+		Notify: mgr.Notify(),
+		Poll:   20 * time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = a.Run(ctx)
+	}()
+
+	for b := 0; b < 5; b++ {
+		srv.ServeAll(burst(16, b), 4) // 32 events per burst >= 30
+	}
+	// Let the background auditor make progress while serving could
+	// still continue, then drain and close.
+	deadline := time.After(5 * time.Second)
+	for len(a.Verdicts()) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("background auditor made no progress while serving")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	<-done
+
+	// Catch up on anything sealed after the background loop stopped.
+	for {
+		n, err := a.RunOnce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+	}
+	sealed, err := ListSealed(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) < 5 {
+		t.Fatalf("sealed %d epochs, want >= 5", len(sealed))
+	}
+	verdicts := a.Verdicts()
+	if len(verdicts) != len(sealed) {
+		t.Fatalf("audited %d epochs, sealed %d", len(verdicts), len(sealed))
+	}
+	for _, v := range verdicts {
+		if !v.Accepted {
+			t.Fatalf("epoch %d rejected: %s", v.Epoch, v.Reason)
+		}
+	}
+	if !a.ChainAccepted() {
+		t.Fatal("chain rejected")
+	}
+}
+
+// TestAuditorCheckpointResume audits a chain with checkpoints on, then
+// re-audits only the tail from the persisted checkpoint.
+func TestAuditorCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	prog, srv, mgr := startPipeline(t, dir, 20)
+	for b := 0; b < 3; b++ {
+		srv.ServeAll(burst(12, b), 3) // 24 events per burst >= 20
+	}
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := NewAuditor(prog, dir, AuditorOptions{Checkpoints: true})
+	if _, err := full.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if !full.ChainAccepted() || len(full.Verdicts()) < 3 {
+		t.Fatalf("full audit failed: %+v", full.Verdicts())
+	}
+
+	snap, err := LoadCheckpoint(dir, 2)
+	if err != nil {
+		t.Fatalf("checkpoint for epoch 2 missing: %v", err)
+	}
+	tail := NewAuditor(prog, dir, AuditorOptions{From: 3, Init: snap})
+	if _, err := tail.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	verdicts := tail.Verdicts()
+	if len(verdicts) == 0 || verdicts[0].Epoch != 3 {
+		t.Fatalf("tail audit did not start at epoch 3: %+v", verdicts)
+	}
+	for _, v := range verdicts {
+		if !v.Accepted {
+			t.Fatalf("epoch %d rejected on resume: %s", v.Epoch, v.Reason)
+		}
+	}
+}
+
+func TestManagerRefusesDirtyDir(t *testing.T) {
+	dir := t.TempDir()
+	prog, srv, mgr := startPipeline(t, dir, 12)
+	_ = prog
+	srv.ServeAll(burst(8, 0), 2)
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := server.New(compilePipelineApp(t), server.Options{Record: true})
+	if err := srv2.Setup(pipelineSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StartManager(dir, srv2, srv2.Snapshot(), ManagerOptions{}); err == nil {
+		t.Fatal("manager accepted a directory that already holds an epoch chain")
+	}
+}
+
+// TestDamagedManifestRejects: a garbled MANIFEST.json must surface as
+// a REJECT verdict for that epoch, not abort the scan — and the intact
+// prefix before it must still be audited.
+func TestDamagedManifestRejects(t *testing.T) {
+	dir := t.TempDir()
+	prog, srv, mgr := startPipeline(t, dir, 20)
+	for b := 0; b < 3; b++ {
+		srv.ServeAll(burst(12, b), 3)
+	}
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	manPath := filepath.Join(dir, "epoch-000002", ManifestName)
+	if err := os.WriteFile(manPath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAuditor(prog, dir, AuditorOptions{})
+	if _, err := a.RunOnce(); err != nil {
+		t.Fatalf("damaged manifest aborted the audit instead of rejecting: %v", err)
+	}
+	verdicts := a.Verdicts()
+	if len(verdicts) != 2 {
+		t.Fatalf("got %d verdicts, want 2", len(verdicts))
+	}
+	if !verdicts[0].Accepted {
+		t.Fatalf("intact epoch 1 rejected: %s", verdicts[0].Reason)
+	}
+	if verdicts[1].Accepted || verdicts[1].Epoch != 2 {
+		t.Fatalf("damaged epoch 2 not rejected: %+v", verdicts[1])
+	}
+	if a.ChainAccepted() {
+		t.Fatal("chain accepted despite damaged manifest")
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"os"
 	"strconv"
 
+	"orochi/internal/encio"
+
 	"orochi/internal/lang"
 	"orochi/internal/sqlmini"
 )
@@ -61,7 +63,9 @@ func (s *Snapshot) Encode() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// DecodeSnapshot deserializes a snapshot produced by Encode.
+// DecodeSnapshot deserializes a snapshot produced by Encode. Truncated
+// input and trailing garbage are errors, so corrupted on-disk state can
+// never load silently as a shortened snapshot.
 func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	zr, err := gzip.NewReader(bytes.NewReader(data))
 	if err != nil {
@@ -70,6 +74,9 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	defer zr.Close()
 	var wire snapshotWire
 	if err := gob.NewDecoder(zr).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("object: decode snapshot: %w", err)
+	}
+	if err := encio.ExpectEOF(zr); err != nil {
 		return nil, fmt.Errorf("object: decode snapshot: %w", err)
 	}
 	out := &Snapshot{

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"orochi/internal/encio"
 	"orochi/internal/lang"
 )
 
@@ -180,7 +181,9 @@ func (r *Reports) Encode() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Decode deserializes reports produced by Encode.
+// Decode deserializes reports produced by Encode. Truncated input and
+// trailing garbage are errors, so a corrupted on-disk bundle can never
+// pass silently as a shortened one.
 func Decode(data []byte) (*Reports, error) {
 	zr, err := gzip.NewReader(bytes.NewReader(data))
 	if err != nil {
@@ -189,6 +192,9 @@ func Decode(data []byte) (*Reports, error) {
 	defer zr.Close()
 	var r Reports
 	if err := gob.NewDecoder(zr).Decode(&r); err != nil {
+		return nil, fmt.Errorf("reports: decode: %w", err)
+	}
+	if err := encio.ExpectEOF(zr); err != nil {
 		return nil, fmt.Errorf("reports: decode: %w", err)
 	}
 	return &r, nil

@@ -176,3 +176,25 @@ func TestObjectIDString(t *testing.T) {
 		t.Fatal("kind strings")
 	}
 }
+
+func TestDecodeRejectsTruncatedAndTrailing(t *testing.T) {
+	r := &Reports{
+		Groups:   map[uint64][]string{1: {"r1"}},
+		Scripts:  map[uint64]string{1: "s"},
+		OpCounts: map[string]int{"r1": 0},
+		NonDet:   map[string][]NDEntry{},
+	}
+	data, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data[:len(data)-4]); err == nil {
+		t.Fatal("Decode accepted truncated input")
+	}
+	if _, err := Decode(append(data, 'j', 'u', 'n', 'k')); err == nil {
+		t.Fatal("Decode accepted trailing garbage")
+	}
+	if _, err := Decode(data); err != nil {
+		t.Fatalf("clean stream rejected: %v", err)
+	}
+}

@@ -32,18 +32,23 @@ type Options struct {
 	// a misbehaving executor. The trace records the tampered response
 	// (the collector sees what clients see).
 	TamperResponse func(rid, body string) string
+	// Tap, if set, is installed on the embedded collector: it observes
+	// every trace event in order and may cut audit periods at balanced
+	// boundaries. The epoch pipeline (internal/epoch) installs its
+	// manager here to tee the live trace into a durable segmented log.
+	Tap trace.Tap
 }
 
 // Server is one executor instance.
 type Server struct {
 	Prog      *lang.Program
 	Store     *object.Store
-	Rec       *reports.Recorder // nil when recording is disabled
 	Collector *trace.Collector
 
 	opts Options
 
 	mu   sync.Mutex
+	rec  *reports.Recorder // nil when recording is disabled; guarded by mu
 	rng  *rand.Rand
 	cpu  time.Duration // accumulated handler CPU (wall) time
 	reqs int64
@@ -59,9 +64,37 @@ func New(prog *lang.Program, opts Options) *Server {
 		rng:       rand.New(rand.NewSource(opts.RandSeed + 1)),
 	}
 	if opts.Record {
-		s.Rec = reports.NewRecorder()
+		s.rec = reports.NewRecorder()
+	}
+	if opts.Tap != nil {
+		s.Collector.SetTap(opts.Tap)
 	}
 	return s
+}
+
+// Recorder returns the current recorder (nil when recording is
+// disabled). The recorder in use can change across audit periods — see
+// SwapRecorder — so callers must not cache it across requests.
+func (s *Server) Recorder() *reports.Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec
+}
+
+// SwapRecorder replaces the recorder with a fresh one and returns the
+// one that recorded the finished period (nil when recording is
+// disabled). The caller must invoke it only at a balanced point — no
+// requests in flight — or in-flight requests would split their records
+// across periods. The epoch manager calls it from the collector's Cut
+// hook, where balance holds by construction.
+func (s *Server) SwapRecorder() *reports.Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.rec
+	if old != nil {
+		s.rec = reports.NewRecorder()
+	}
+	return old
 }
 
 // Setup executes SQL statements against the database before the audited
@@ -116,18 +149,20 @@ func (s *Server) Process(rid string, in trace.Input) string {
 }
 
 func (s *Server) run(rid string, in trace.Input) string {
-	bridge := object.NewBridge(s.Store, s.Rec)
+	s.mu.Lock()
+	seed := s.rng.Int63()
+	rec := s.rec
+	s.mu.Unlock()
+
+	bridge := object.NewBridge(s.Store, rec)
 	defer bridge.Close()
 	if s.opts.Clock != nil {
 		bridge.Clock = s.opts.Clock
 	}
-	s.mu.Lock()
-	seed := s.rng.Int63()
-	s.mu.Unlock()
 	bridge.Rand = rand.New(rand.NewSource(seed))
 
 	mode := lang.ModePlain
-	if s.Rec != nil {
+	if rec != nil {
 		mode = lang.ModeRecord
 	}
 	res, err := lang.Run(s.Prog, lang.Config{
@@ -140,9 +175,9 @@ func (s *Server) run(rid string, in trace.Input) string {
 	if err != nil {
 		return "HTTP 500: " + err.Error()
 	}
-	if s.Rec != nil {
-		s.Rec.RecordGroup(res.Digest, in.Script, rid)
-		s.Rec.RecordOpCount(rid, res.OpCount)
+	if rec != nil {
+		rec.RecordGroup(res.Digest, in.Script, rid)
+		rec.RecordOpCount(rid, res.OpCount)
 	}
 	return res.Output(0)
 }
@@ -175,9 +210,7 @@ func (s *Server) ServeAll(inputs []trace.Input, concurrency int) {
 // periods (§4.7: "the server must be drained prior to an audit").
 func (s *Server) NewPeriod() {
 	s.Collector.Reset()
-	if s.Rec != nil {
-		s.Rec = reports.NewRecorder()
-	}
+	s.SwapRecorder()
 }
 
 // CPU returns the accumulated handler execution time and request count —
@@ -191,10 +224,11 @@ func (s *Server) CPU() (time.Duration, int64) {
 // Reports finalizes and returns the recorded reports (nil when recording
 // is disabled).
 func (s *Server) Reports() *reports.Reports {
-	if s.Rec == nil {
+	rec := s.Recorder()
+	if rec == nil {
 		return nil
 	}
-	return s.Rec.Finalize()
+	return rec.Finalize()
 }
 
 // Trace returns the collected trace snapshot.

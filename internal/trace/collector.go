@@ -5,6 +5,27 @@ import (
 	"sync"
 )
 
+// Tap observes the live event stream and controls audit-period
+// boundaries. Both methods are invoked while the collector's lock is
+// held, so implementations see events in exact trace order and must not
+// call back into the collector (or into anything that does).
+//
+// Event is invoked after every appended event; open is the number of
+// requests whose response has not yet been recorded, and total is the
+// number of events buffered in the current period (including ev). A
+// true return asks the collector to end the period; the collector
+// honours the request only at a balanced point (open == 0), because a
+// period split mid-request would be unbalanced and unauditable (§4.7:
+// "the server must be drained prior to an audit").
+//
+// Cut receives ownership of the finished period's events. After Cut
+// returns, the collector's buffer is empty and its clock restarts at
+// zero, while requestIDs remain globally unique across periods.
+type Tap interface {
+	Event(ev Event, open, total int) (cut bool)
+	Cut(events []Event)
+}
+
 // Collector plays the role of the trusted middlebox at the network edge
 // (§1, §4.1). It assigns logical timestamps and requestIDs and records an
 // accurate, time-ordered trace of the requests entering and the responses
@@ -15,12 +36,38 @@ type Collector struct {
 	mu     sync.Mutex
 	clock  int64
 	nextID int64
+	open   int // requests awaiting their response
 	events []Event
+	tap    Tap
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
 	return &Collector{}
+}
+
+// SetTap installs (or, with nil, removes) the stream tap. The epoch
+// pipeline uses it to tee events into a durable log and to cut epoch
+// boundaries at balanced points.
+func (c *Collector) SetTap(t Tap) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tap = t
+}
+
+// append records ev and runs the tap, cutting the period if the tap
+// requests it at a balanced point. The caller holds c.mu.
+func (c *Collector) append(ev Event) {
+	c.events = append(c.events, ev)
+	if c.tap == nil {
+		return
+	}
+	if c.tap.Event(ev, c.open, len(c.events)) && c.open == 0 {
+		evs := c.events
+		c.events = nil
+		c.clock = 0
+		c.tap.Cut(evs)
+	}
 }
 
 // BeginRequest records the arrival of a request and returns the assigned
@@ -30,8 +77,9 @@ func (c *Collector) BeginRequest(in Input) string {
 	defer c.mu.Unlock()
 	c.nextID++
 	c.clock++
+	c.open++
 	rid := fmt.Sprintf("r%06d", c.nextID)
-	c.events = append(c.events, Event{Kind: Request, RID: rid, Time: c.clock, In: in.Clone()})
+	c.append(Event{Kind: Request, RID: rid, Time: c.clock, In: in.Clone()})
 	return rid
 }
 
@@ -42,7 +90,8 @@ func (c *Collector) BeginRequestWithID(rid string, in Input) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.clock++
-	c.events = append(c.events, Event{Kind: Request, RID: rid, Time: c.clock, In: in.Clone()})
+	c.open++
+	c.append(Event{Kind: Request, RID: rid, Time: c.clock, In: in.Clone()})
 }
 
 // EndRequest records the departure of the response for rid.
@@ -50,7 +99,10 @@ func (c *Collector) EndRequest(rid string, body string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.clock++
-	c.events = append(c.events, Event{Kind: Response, RID: rid, Time: c.clock, Body: body})
+	if c.open > 0 {
+		c.open--
+	}
+	c.append(Event{Kind: Response, RID: rid, Time: c.clock, Body: body})
 }
 
 // Trace returns a snapshot of the collected trace. The snapshot is
@@ -63,9 +115,14 @@ func (c *Collector) Trace() *Trace {
 	return &Trace{Events: evs}
 }
 
-// Reset discards all collected events, starting a fresh audit period.
+// Reset discards all collected events and restarts the logical clock,
+// starting a fresh audit period whose timestamps begin at 1 again.
+// requestIDs stay monotonic across periods so rids remain globally
+// unique over the lifetime of the collector.
 func (c *Collector) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.events = nil
+	c.clock = 0
+	c.open = 0
 }

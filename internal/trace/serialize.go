@@ -5,8 +5,9 @@ import (
 	"compress/gzip"
 	"encoding/gob"
 	"fmt"
-	"io"
 	"os"
+
+	"orochi/internal/encio"
 )
 
 // Encode serializes the trace with gob+gzip — the format the collector
@@ -23,7 +24,10 @@ func (t *Trace) Encode() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Decode deserializes a trace produced by Encode.
+// Decode deserializes a trace produced by Encode. Truncated input and
+// trailing garbage are errors: on-disk segments must decode exactly or
+// not at all, so corruption can never pass silently as an empty or
+// shortened trace.
 func Decode(data []byte) (*Trace, error) {
 	zr, err := gzip.NewReader(bytes.NewReader(data))
 	if err != nil {
@@ -31,7 +35,10 @@ func Decode(data []byte) (*Trace, error) {
 	}
 	defer zr.Close()
 	var t Trace
-	if err := gob.NewDecoder(zr).Decode(&t); err != nil && err != io.EOF {
+	if err := gob.NewDecoder(zr).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if err := encio.ExpectEOF(zr); err != nil {
 		return nil, fmt.Errorf("trace: decode: %w", err)
 	}
 	return &t, nil

@@ -314,3 +314,108 @@ func randomBalancedTrace(rng *rand.Rand, n int) *Trace {
 	}
 	return &Trace{Events: evs}
 }
+
+func TestCollectorResetRestartsClockKeepsRIDs(t *testing.T) {
+	c := NewCollector()
+	rid1 := c.BeginRequest(Input{Script: "s"})
+	c.EndRequest(rid1, "x")
+	c.Reset()
+	rid2 := c.BeginRequest(Input{Script: "s"})
+	c.EndRequest(rid2, "y")
+	tr := c.Trace()
+	if tr.Events[0].Time != 1 || tr.Events[1].Time != 2 {
+		t.Fatalf("timestamps after Reset must restart at 1: got %d, %d",
+			tr.Events[0].Time, tr.Events[1].Time)
+	}
+	if rid1 == rid2 {
+		t.Fatalf("rids must stay unique across periods, got %s twice", rid1)
+	}
+}
+
+// tapRecorder cuts whenever the event count reaches limit at a balanced
+// point, collecting each finished period.
+type tapRecorder struct {
+	limit   int
+	periods [][]Event
+	seen    int
+}
+
+func (tp *tapRecorder) Event(ev Event, open, total int) bool {
+	tp.seen++
+	return total >= tp.limit
+}
+
+func (tp *tapRecorder) Cut(events []Event) { tp.periods = append(tp.periods, events) }
+
+func TestCollectorTapCutsAtBalancedPoints(t *testing.T) {
+	c := NewCollector()
+	tp := &tapRecorder{limit: 4}
+	c.SetTap(tp)
+	// Two overlapping requests: the threshold (4 events) is reached at
+	// r1's response while r2 is still open, so the cut must wait for
+	// the balanced point at r2's response.
+	r1 := c.BeginRequest(Input{Script: "a"})
+	r2 := c.BeginRequest(Input{Script: "b"})
+	c.EndRequest(r1, "x") // 3 events, open=1: no cut
+	c.EndRequest(r2, "y") // 4 events, open=0: cut here
+	r3 := c.BeginRequest(Input{Script: "c"})
+	c.EndRequest(r3, "z")
+	if len(tp.periods) != 1 {
+		t.Fatalf("got %d cuts, want 1", len(tp.periods))
+	}
+	if n := len(tp.periods[0]); n != 4 {
+		t.Fatalf("cut period holds %d events, want 4", n)
+	}
+	if err := (&Trace{Events: tp.periods[0]}).Balanced(); err != nil {
+		t.Fatalf("cut period unbalanced: %v", err)
+	}
+	tr := c.Trace()
+	if tr.Len() != 2 {
+		t.Fatalf("collector holds %d events after cut, want 2", tr.Len())
+	}
+	if tr.Events[0].Time != 1 {
+		t.Fatalf("post-cut timestamps must restart at 1, got %d", tr.Events[0].Time)
+	}
+	if tp.seen != 6 {
+		t.Fatalf("tap observed %d events, want 6", tp.seen)
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Kind: Request, RID: "r1", Time: 1, In: Input{Script: "s"}},
+		{Kind: Response, RID: "r1", Time: 2, Body: "x"},
+	}}
+	data, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data[:len(data)-4]); err == nil {
+		t.Fatal("Decode accepted truncated input")
+	}
+	if _, err := Decode(data[:len(data)/2]); err == nil {
+		t.Fatal("Decode accepted half the stream")
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Kind: Request, RID: "r1", Time: 1, In: Input{Script: "s"}},
+		{Kind: Response, RID: "r1", Time: 2, Body: "x"},
+	}}
+	data, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(append(data, 0xDE, 0xAD)); err == nil {
+		t.Fatal("Decode accepted trailing garbage")
+	}
+	// The clean stream still round-trips.
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("round trip lost events: %d", got.Len())
+	}
+}
