@@ -185,3 +185,15 @@ func ForumWorkload() *workload.Workload { return workload.Forum(workload.Default
 
 // HotCRPWorkload generates the HotCRP workload (§5).
 func HotCRPWorkload() *workload.Workload { return workload.HotCRP(workload.DefaultHotCRPParams()) }
+
+// WithErrors mixes faulting requests (unknown script, undefined
+// function, bad SQL) into a workload at the given rate. Faulted
+// requests are first-class auditable outcomes: an honest period
+// containing them still ACCEPTs.
+func WithErrors(w *workload.Workload, rate float64, seed int64) *workload.Workload {
+	return workload.WithErrors(w, workload.ErrorMixParams{Rate: rate, Seed: seed})
+}
+
+// RenderFault renders a runtime fault as the canonical error-response
+// body the server serves and the verifier reproduces during the audit.
+func RenderFault(err error) string { return lang.RenderFault(err) }

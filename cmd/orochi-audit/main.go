@@ -34,6 +34,7 @@ import (
 	"orochi/internal/reports"
 	"orochi/internal/trace"
 	"orochi/internal/verifier"
+	"orochi/internal/workload"
 )
 
 func main() {
@@ -49,6 +50,7 @@ func main() {
 	checkpoints := flag.Bool("checkpoints", true, "persist verified final snapshots for resumable audits (with -epochs)")
 	maxGroup := flag.Int("maxgroup", 3000, "maximum requests per re-execution batch")
 	stats := flag.Bool("stats", false, "print per-group statistics")
+	withErrors := flag.Bool("with-errors", false, "the serve run injected faulting requests (orochi-serve -fault-rate); audit against the app extended with the fault scripts")
 	flag.Parse()
 
 	if *epochsDir != "" {
@@ -56,7 +58,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "orochi-audit: -epochs replaces -trace/-reports/-state")
 			os.Exit(2)
 		}
-		prog, err := loadProgram(*appName, *srcDir)
+		prog, err := loadProgram(*appName, *srcDir, *withErrors)
 		exitOn(err)
 		auditEpochs(prog, *epochsDir, *from, *to, *workers, *checkpoints, *maxGroup, *stats)
 		return
@@ -68,7 +70,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	prog, err := loadProgram(*appName, *srcDir)
+	prog, err := loadProgram(*appName, *srcDir, *withErrors)
 	exitOn(err)
 
 	tr, err := trace.ReadFile(*tracePath)
@@ -195,7 +197,7 @@ func sealedPastGap(dir string, next, to int64) (int, error) {
 	return n, nil
 }
 
-func loadProgram(appName, srcDir string) (*lang.Program, error) {
+func loadProgram(appName, srcDir string, withErrors bool) (*lang.Program, error) {
 	switch {
 	case appName != "" && srcDir != "":
 		return nil, fmt.Errorf("orochi-audit: use only one of -app and -src")
@@ -204,8 +206,14 @@ func loadProgram(appName, srcDir string) (*lang.Program, error) {
 		if app == nil {
 			return nil, fmt.Errorf("orochi-audit: unknown app %q (want wiki, forum or hotcrp)", appName)
 		}
+		if withErrors {
+			app = workload.WithErrorScripts(app)
+		}
 		return app.Compile(), nil
 	case srcDir != "":
+		if withErrors {
+			return nil, fmt.Errorf("orochi-audit: -with-errors applies only to -app (add the fault scripts to your -src directory instead)")
+		}
 		entries, err := os.ReadDir(srcDir)
 		if err != nil {
 			return nil, err

@@ -59,6 +59,7 @@ func main() {
 	epochDir := flag.String("epoch-dir", "", "enable the epoch pipeline, writing sealed epochs to this directory")
 	epochEvents := flag.Int("epoch-events", 4096, "seal an epoch after this many trace events (with -epoch-dir)")
 	epochAudit := flag.Bool("epoch-audit", true, "run the background auditor over sealed epochs (with -epoch-dir)")
+	faultRate := flag.Float64("fault-rate", 0, "inject faulting requests (unknown script, undefined function, bad SQL) into the workload at this rate; the audit must still ACCEPT")
 	flag.Parse()
 
 	app := apps.ByName(*appName)
@@ -78,10 +79,15 @@ func main() {
 		p := workload.DefaultHotCRPParams().Scale(20)
 		w = workload.HotCRP(p)
 	}
+	if *faultRate > 0 {
+		// Faulted requests are first-class auditable outcomes: the mix
+		// produces canonical 500s that the audit re-executes and accepts.
+		w = workload.WithErrors(w, workload.ErrorMixParams{Rate: *faultRate, Seed: 42})
+	}
 
-	prog := app.Compile()
+	prog := w.App.Compile()
 	srv := server.New(prog, server.Options{Record: true})
-	exitOn(srv.Setup(app.Schema))
+	exitOn(srv.Setup(w.App.Schema))
 	exitOn(srv.Setup(w.Seed))
 	snap := srv.Snapshot()
 

@@ -99,21 +99,15 @@ func (ex *exec) invokeBuiltin(name string, fn builtinFn, args []Value, line int)
 		return fn(ex, args, line)
 	}
 	ex.countInstr(true)
-	vals := make([]Value, ex.lanes)
-	for i := 0; i < ex.lanes; i++ {
+	return ex.forLanes(func(i int) (Value, error) {
 		laneArgs := make([]Value, len(args))
 		for j, a := range args {
 			// Deep copy: the builtin could have modified its argument
 			// differently in the original executions.
 			laneArgs[j] = CloneValue(MaterializeLane(a, i))
 		}
-		v, err := fn(ex, laneArgs, line)
-		if err != nil {
-			return nil, err
-		}
-		vals[i] = v
-	}
-	return NewMulti(vals), nil
+		return fn(ex, laneArgs, line)
+	})
 }
 
 // callRefBuiltin handles builtins whose first argument is by-reference
@@ -165,9 +159,8 @@ func (ex *exec) callRefBuiltin(sc *scope, call *Call) (Value, error) {
 		newTarget = arr
 	} else {
 		ex.countInstr(true)
-		resVals := make([]Value, ex.lanes)
 		tgtVals := make([]Value, ex.lanes)
-		for i := 0; i < ex.lanes; i++ {
+		result, err = ex.forLanes(func(i int) (Value, error) {
 			laneCur := CloneValue(MaterializeLane(cur, i))
 			arr, ok := laneCur.(*Array)
 			if !ok {
@@ -185,10 +178,12 @@ func (ex *exec) callRefBuiltin(sc *scope, call *Call) (Value, error) {
 			if err != nil {
 				return nil, err
 			}
-			resVals[i] = r
 			tgtVals[i] = arr
+			return r, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		result = NewMulti(resVals)
 		newTarget = NewMulti(tgtVals)
 	}
 	if err := ex.assignTo(sc, lv, newTarget); err != nil {
@@ -220,58 +215,80 @@ func (ex *exec) callStateOp(sc *scope, call *Call) (Value, error) {
 		}
 	}
 	ex.countInstr(anyMulti)
+	// Validate the call shape BEFORE consuming an opnum: a call that
+	// faults on its arguments never reaches a shared object, so it must
+	// not count toward report M — the server records no log entry for
+	// it, and the verifier's re-execution must agree on the count.
+	if err := ex.checkStateOpArgs(call.Name, args, call.Line); err != nil {
+		return nil, err
+	}
 	opnum := ex.opnum
 	ex.opnum++
-	vals := make([]Value, ex.lanes)
-	for i := 0; i < ex.lanes; i++ {
+	return ex.forLanes(func(i int) (Value, error) {
 		laneArgs := make([]Value, len(args))
 		for j, a := range args {
 			laneArgs[j] = MaterializeLane(a, i)
 		}
-		v, err := ex.stateOpLane(call.Name, ex.rids[i], opnum, laneArgs, call.Line)
-		if err != nil {
-			return nil, err
-		}
-		vals[i] = v
-	}
-	return NewMulti(vals), nil
+		return ex.stateOpLane(call.Name, ex.rids[i], opnum, laneArgs, call.Line)
+	})
 }
 
-func (ex *exec) stateOpLane(name, rid string, opnum int, args []Value, line int) (Value, error) {
+// checkStateOpArgs rejects malformed state-op calls (arity, operand
+// shape) as request-level faults, per lane where the shape is
+// lane-dependent. It runs before the opnum is allocated.
+func (ex *exec) checkStateOpArgs(name string, args []Value, line int) error {
 	argErr := func(want string) error {
 		return &RuntimeError{Msg: fmt.Sprintf("%s() expects %s", name, want), Line: line}
 	}
 	switch name {
-	case "session_get":
+	case "session_get", "apc_get", "db_query", "db_exec":
 		if len(args) != 1 {
-			return nil, argErr("1 argument")
+			return argErr("1 argument")
 		}
+	case "session_set", "apc_set":
+		if len(args) != 2 {
+			return argErr("2 arguments")
+		}
+	case "db_transaction":
+		if len(args) != 1 {
+			return argErr("an array of statements")
+		}
+		// Lane (not MaterializeLane): the shape check needs only the
+		// top-level type and length, so skip the deep materialization —
+		// the issue path materializes each lane once anyway.
+		_, err := ex.forLanes(func(i int) (Value, error) {
+			arr, ok := Lane(args[0], i).(*Array)
+			if !ok || arr.Len() == 0 {
+				return nil, argErr("a non-empty array of statements")
+			}
+			return nil, nil
+		})
+		return err
+	default:
+		return &RuntimeError{Msg: "unknown state op " + name, Line: line}
+	}
+	return nil
+}
+
+// stateOpLane issues one lane's operation; the call shape was already
+// validated by checkStateOpArgs.
+func (ex *exec) stateOpLane(name, rid string, opnum int, args []Value, line int) (Value, error) {
+	switch name {
+	case "session_get":
 		return ex.bridge.RegisterRead(rid, opnum, ToString(args[0]))
 	case "session_set":
-		if len(args) != 2 {
-			return nil, argErr("2 arguments")
-		}
 		if err := ex.bridge.RegisterWrite(rid, opnum, ToString(args[0]), args[1]); err != nil {
 			return nil, err
 		}
 		return true, nil
 	case "apc_get":
-		if len(args) != 1 {
-			return nil, argErr("1 argument")
-		}
 		return ex.bridge.KvGet(rid, opnum, ToString(args[0]))
 	case "apc_set":
-		if len(args) != 2 {
-			return nil, argErr("2 arguments")
-		}
 		if err := ex.bridge.KvSet(rid, opnum, ToString(args[0]), args[1]); err != nil {
 			return nil, err
 		}
 		return true, nil
 	case "db_query", "db_exec":
-		if len(args) != 1 {
-			return nil, argErr("1 argument")
-		}
 		res, err := ex.bridge.DBOp(rid, opnum, []string{ToString(args[0])})
 		if err != nil {
 			return nil, err
@@ -283,19 +300,15 @@ func (ex *exec) stateOpLane(name, rid string, opnum int, args []Value, line int)
 		}
 		return res, nil
 	case "db_transaction":
-		if len(args) != 1 {
-			return nil, argErr("an array of statements")
-		}
 		arr, ok := args[0].(*Array)
 		if !ok {
-			return nil, argErr("an array of statements")
+			// checkStateOpArgs validated the lane shapes already; keep the
+			// graceful fault in case the two resolutions ever disagree.
+			return nil, &RuntimeError{Msg: "db_transaction() expects a non-empty array of statements", Line: line}
 		}
 		stmts := make([]string, 0, arr.Len())
 		for _, v := range arr.Values() {
 			stmts = append(stmts, ToString(v))
-		}
-		if len(stmts) == 0 {
-			return nil, argErr("a non-empty array of statements")
 		}
 		return ex.bridge.DBOp(rid, opnum, stmts)
 	default:
@@ -321,25 +334,16 @@ func (ex *exec) callNonDet(sc *scope, call *Call) (Value, error) {
 		}
 	}
 	ex.countInstr(anyMulti)
-	vals := make([]Value, ex.lanes)
-	for i := 0; i < ex.lanes; i++ {
+	return ex.forLanes(func(i int) (Value, error) {
 		laneArgs := make([]Value, len(args))
 		for j, a := range args {
 			laneArgs[j] = MaterializeLane(a, i)
 		}
-		var v Value
-		var err error
 		if ex.bridge == nil {
-			v, err = nativeNonDet(call.Name, laneArgs)
-		} else {
-			v, err = ex.bridge.NonDet(ex.rids[i], call.Name, laneArgs)
+			return nativeNonDet(call.Name, laneArgs)
 		}
-		if err != nil {
-			return nil, err
-		}
-		vals[i] = v
-	}
-	return NewMulti(vals), nil
+		return ex.bridge.NonDet(ex.rids[i], call.Name, laneArgs)
+	})
 }
 
 // stateOps names the builtins that operate on shared objects.

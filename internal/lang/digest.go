@@ -35,5 +35,23 @@ func (d *Digest) Branch(site Site, direction int) {
 	d.h = (d.h ^ uint64(uint32(direction))) * fnvPrime
 }
 
+// faultMarker separates faulted executions from every branch-only
+// digest: Branch never folds this byte sequence, so an execution that
+// faulted at a site can never share a tag with one that completed.
+const faultMarker = 0x0badfa17
+
+// Fault folds a runtime fault into the digest: the marker, the fault
+// site (source line), and the rendered message. Requests that fault at
+// different points — or at the same point with different messages —
+// land in different control-flow groups, which is what lets the
+// verifier demand one shared canonical error rendering per group.
+func (d *Digest) Fault(line int, msg string) {
+	d.h = (d.h ^ uint64(faultMarker)) * fnvPrime
+	d.h = (d.h ^ uint64(uint32(line))) * fnvPrime
+	for i := 0; i < len(msg); i++ {
+		d.h = (d.h ^ uint64(msg[i])) * fnvPrime
+	}
+}
+
 // Sum returns the current digest value (the opaque control-flow tag).
 func (d *Digest) Sum() uint64 { return d.h }

@@ -341,15 +341,12 @@ func (ex *exec) binaryOp(op string, l, r Value, line int) (Value, error) {
 	if lIsM && len(lm.V) != lanes || rIsM && len(rm.V) != lanes {
 		return nil, &RuntimeError{Msg: "multivalue cardinality mismatch", Line: line}
 	}
-	vals := make([]Value, lanes)
-	for i := 0; i < lanes; i++ {
-		v, err := scalarBinary(op, Lane(l, i), Lane(r, i), line)
-		if err != nil {
-			return nil, err
-		}
-		vals[i] = v
-	}
-	return NewMulti(vals), nil
+	// Per-lane faults (division by zero, bad operand types in one lane)
+	// merge under the error-group rule: all lanes faulting identically
+	// is a shared group fault, anything mixed is divergence.
+	return ex.forLanes(func(i int) (Value, error) {
+		return scalarBinary(op, Lane(l, i), Lane(r, i), line)
+	})
 }
 
 func scalarBinary(op string, l, r Value, line int) (Value, error) {
@@ -477,15 +474,9 @@ func asIntOperand(v Value) (int64, bool) {
 func (ex *exec) unaryOp(op string, v Value, line int) (Value, error) {
 	if m, ok := v.(*Multi); ok {
 		ex.countInstr(true)
-		vals := make([]Value, len(m.V))
-		for i, lv := range m.V {
-			r, err := scalarUnary(op, lv, line)
-			if err != nil {
-				return nil, err
-			}
-			vals[i] = r
-		}
-		return NewMulti(vals), nil
+		return ex.forLanes(func(i int) (Value, error) {
+			return scalarUnary(op, m.V[i], line)
+		})
 	}
 	ex.countInstr(false)
 	return scalarUnary(op, v, line)

@@ -1,0 +1,81 @@
+package lang
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Faulted executions are first-class, auditable outcomes. A request
+// whose script raises a RuntimeError still produces a Result: in
+// ModeRecord the control-flow digest is folded with the fault site and
+// message (so faulted requests land in their own control-flow groups)
+// and OpCount covers the state operations issued before the fault. The
+// server serves the canonical rendering of the fault; the verifier
+// re-executes the error group, demands that every lane fault at the
+// same point with the same rendering, and compares that rendering
+// against the traced responses. Completeness then covers real web
+// workloads (where requests do fail) without weakening soundness: a
+// forged, relocated, or edited error response still rejects.
+
+// RenderFault renders a runtime fault as the canonical error-response
+// body. The server and the verifier must agree byte-for-byte: the
+// server serves this rendering for a faulted request, and during the
+// audit the re-executed fault's rendering is compared against the
+// traced response. The fault site (source line) is part of the
+// rendering, so an error body relocated to a different site is a
+// response the program could not have produced — it REJECTs on the
+// output comparison, matching what Digest.Fault folds into the group
+// tag.
+func RenderFault(err error) string {
+	var rt *RuntimeError
+	if errors.As(err, &rt) && rt.Line > 0 {
+		return fmt.Sprintf("HTTP 500: line %d: %s", rt.Line, rt.Msg)
+	}
+	return "HTTP 500: " + err.Error()
+}
+
+// sameFault reports whether two faults are the same auditable outcome:
+// identical message and site. Lanes of a control-flow group that fault
+// differently did not share control flow.
+func (e *RuntimeError) sameFault(o *RuntimeError) bool {
+	return e.Msg == o.Msg && e.Line == o.Line
+}
+
+// forLanes runs f once per lane and merges the outcomes under the
+// error-group rule: if no lane faults the per-lane values merge into a
+// multivalue; if every lane faults with the same rendered fault, the
+// shared fault propagates (the whole group faults here, exactly as each
+// request did on the server); any mixed or unequal outcome means the
+// lanes did not share control flow, which is divergence (Fig. 3 line
+// 34). Non-fault errors — divergence from nested execution, multivalue
+// fallback, CheckOp rejects from the verifier bridge — propagate
+// immediately.
+func (ex *exec) forLanes(f func(lane int) (Value, error)) (Value, error) {
+	vals := make([]Value, ex.lanes)
+	var fault *RuntimeError
+	for i := 0; i < ex.lanes; i++ {
+		v, err := f(i)
+		if err == nil {
+			if fault != nil {
+				return nil, ErrDivergence // earlier lanes faulted, this one did not
+			}
+			vals[i] = v
+			continue
+		}
+		var rt *RuntimeError
+		if !errors.As(err, &rt) {
+			return nil, err
+		}
+		if i > 0 && fault == nil {
+			return nil, ErrDivergence // earlier lanes succeeded, this one faulted
+		}
+		if fault != nil && !fault.sameFault(rt) {
+			return nil, ErrDivergence // lanes faulted at different sites or with different messages
+		}
+		fault = rt
+	}
+	if fault != nil {
+		return nil, fault
+	}
+	return NewMulti(vals), nil
+}

@@ -107,11 +107,18 @@ func (r *Result) OutputEqual(i int, want string) bool {
 const defaultMaxSteps = 100_000_000
 
 // Run executes a script under cfg.
+//
+// A request-level fault — the script raised a RuntimeError, or cfg
+// names a script the program does not contain — returns BOTH a usable
+// *Result and the error: the Result carries the control-flow digest
+// folded with the fault site (ModeRecord), the count of state
+// operations issued before the fault, and the partial output. The
+// server records faulted requests into control-flow groups from this
+// Result and serves RenderFault(err); the verifier re-executes those
+// error groups and checks the rendering against the trace. Errors that
+// are not request-level faults (divergence, multivalue fallback,
+// bridge rejects, configuration mistakes) return a nil Result.
 func Run(prog *Program, cfg Config) (*Result, error) {
-	script, ok := prog.Scripts[cfg.Script]
-	if !ok {
-		return nil, &RuntimeError{Msg: fmt.Sprintf("unknown script %q", cfg.Script)}
-	}
 	lanes := len(cfg.RIDs)
 	if lanes == 0 {
 		return nil, &RuntimeError{Msg: "no lanes"}
@@ -121,6 +128,23 @@ func Run(prog *Program, cfg Config) (*Result, error) {
 	}
 	if cfg.Mode != ModeSIMD && lanes != 1 {
 		return nil, &RuntimeError{Msg: "multi-lane execution requires ModeSIMD"}
+	}
+	if cfg.Mode == ModeRecord && cfg.Bridge == nil {
+		return nil, &RuntimeError{Msg: "ModeRecord requires a bridge"}
+	}
+	script, ok := prog.Scripts[cfg.Script]
+	if !ok {
+		// The script name is client-controlled input, so this is a
+		// request-level fault, not a caller bug: produce an auditable
+		// fault result (zero ops, empty output, digest of the fault).
+		rt := &RuntimeError{Msg: fmt.Sprintf("unknown script %q", cfg.Script)}
+		res := &Result{out: newOutput(lanes)}
+		if cfg.Mode == ModeRecord {
+			d := NewDigest(cfg.Script)
+			d.Fault(rt.Line, rt.Msg)
+			res.Digest = d.Sum()
+		}
+		return res, rt
 	}
 	maxSteps := cfg.MaxSteps
 	if maxSteps <= 0 {
@@ -140,22 +164,36 @@ func Run(prog *Program, cfg Config) (*Result, error) {
 	}
 	if cfg.Mode == ModeRecord {
 		ex.digest = NewDigest(cfg.Script)
-		if ex.bridge == nil {
-			return nil, &RuntimeError{Msg: "ModeRecord requires a bridge"}
-		}
 	}
 	ex.super = buildSuperglobals(cfg.Inputs)
 	sc := &scope{vars: ex.globals, isGlobal: true, ex: ex}
 	_, _, err := ex.execStmts(sc, script.Body)
-	if err != nil {
-		return nil, err
-	}
 	res := &Result{
 		OpCount:    ex.opnum - 1,
 		InstrUni:   ex.instrUni,
 		InstrMulti: ex.instrMulti,
 		Steps:      ex.steps,
 		out:        ex.out,
+	}
+	if err != nil {
+		var rt *RuntimeError
+		if !errors.As(err, &rt) {
+			// A FallbackError in a single-lane execution cannot mean
+			// "re-execute individually" — there is nothing to split. The
+			// unsupported construct is deterministic, so it is an
+			// auditable runtime fault: the server serves its canonical
+			// rendering and the verifier's one-lane replay reproduces it.
+			var fb *FallbackError
+			if ex.lanes != 1 || !errors.As(err, &fb) {
+				return nil, err
+			}
+			rt = &RuntimeError{Msg: "unsupported construct: " + fb.Reason}
+		}
+		if ex.digest != nil {
+			ex.digest.Fault(rt.Line, rt.Msg)
+			res.Digest = ex.digest.Sum()
+		}
+		return res, rt
 	}
 	if ex.digest != nil {
 		res.Digest = ex.digest.Sum()
@@ -528,22 +566,27 @@ func (ex *exec) execForeach(sc *scope, st *Foreach) (ctrl, Value, error) {
 		return ctrlNone, nil, nil
 	case *Multi:
 		// The container itself is a multivalue: lock-step iteration over
-		// per-lane materialized arrays.
+		// per-lane materialized arrays. A non-array lane is a per-lane
+		// fault, merged under the error-group rule: every lane faulting
+		// identically is a shared group fault, anything mixed diverged.
 		laneKeys := make([][]Key, ex.lanes)
 		laneVals := make([][]Value, ex.lanes)
 		n := -1
-		for i, lv := range subj.V {
-			a, ok := MaterializeLane(lv, i).(*Array)
+		if _, err := ex.forLanes(func(i int) (Value, error) {
+			a, ok := MaterializeLane(subj.V[i], i).(*Array)
 			if !ok {
-				return ctrlNone, nil, &RuntimeError{Msg: "foreach over non-array", Line: st.Line}
+				return nil, &RuntimeError{Msg: "foreach over non-array", Line: st.Line}
 			}
 			if n == -1 {
 				n = a.Len()
 			} else if a.Len() != n {
 				// Different iteration counts = control-flow divergence.
-				return ctrlNone, nil, ErrDivergence
+				return nil, ErrDivergence
 			}
 			laneKeys[i], laneVals[i] = a.snapshot()
+			return nil, nil
+		}); err != nil {
+			return ctrlNone, nil, err
 		}
 		for it := 0; it < n; it++ {
 			ex.branch(st.Site, 1)

@@ -172,12 +172,19 @@ func (s *Server) run(rid string, in trace.Input) string {
 		Inputs: []lang.RequestInput{{Get: in.Get, Post: in.Post, Cookie: in.Cookie}},
 		Bridge: bridge,
 	})
-	if err != nil {
-		return "HTTP 500: " + err.Error()
-	}
-	if rec != nil {
+	// A faulted request is a first-class, auditable outcome: Run still
+	// returned a Result whose digest is folded with the fault site, so
+	// the request joins an error group and report M covers the
+	// operations it issued before faulting. The recording is therefore
+	// identical for completed and faulted requests; only the served
+	// body differs — the client receives the canonical rendering, which
+	// the verifier will reproduce when it re-executes the group.
+	if rec != nil && res != nil {
 		rec.RecordGroup(res.Digest, in.Script, rid)
 		rec.RecordOpCount(rid, res.OpCount)
+	}
+	if err != nil {
+		return lang.RenderFault(err)
 	}
 	return res.Output(0)
 }

@@ -158,10 +158,12 @@ func TestMaxStepsGuard(t *testing.T) {
 	}
 }
 
-func TestServer500NotAuditable(t *testing.T) {
-	// A request whose handler raises a runtime error produces an error
-	// response and no group membership: the audit rejects. This is the
-	// documented model boundary (§A.1: programs run to completion).
+func TestServer500Audits(t *testing.T) {
+	// A request whose handler raises a runtime error produces the
+	// canonical error response AND a group membership: faulted requests
+	// are first-class auditable outcomes, so an honest period containing
+	// one ACCEPTs (the §A.1 "programs run to completion" boundary is
+	// lifted).
 	prog, err := lang.Compile(map[string]string{
 		"boom": `nosuchfn();`,
 	})
@@ -177,8 +179,34 @@ func TestServer500NotAuditable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if !res.Accepted {
+		t.Fatalf("honest faulted request must be accepted, got: %s", res.Reason)
+	}
+}
+
+func TestServer500TamperedBodyRejected(t *testing.T) {
+	// The same faulted request with the error body edited on the wire: a
+	// tampered error response must still REJECT (soundness is preserved
+	// by re-deriving the canonical rendering during re-execution).
+	prog, err := lang.Compile(map[string]string{
+		"boom": `nosuchfn();`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(prog, server.Options{Record: true, TamperResponse: func(rid, body string) string {
+		return strings.Replace(body, "nosuchfn", "harmless", 1)
+	}})
+	_, body := srv.Handle(trace.Input{Script: "boom"})
+	if !strings.HasPrefix(body, "HTTP 500") {
+		t.Fatalf("body = %q", body)
+	}
+	res, err := Audit(prog, srv.Trace(), srv.Reports(), srv.Snapshot(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Accepted {
-		t.Fatal("errored requests are outside the model and must not be accepted")
+		t.Fatal("tampered error body must be rejected")
 	}
 }
 

@@ -136,18 +136,27 @@ func OOOAudit(prog *lang.Program, tr *trace.Trace, rep *reports.Reports, init *o
 			sched.start(prog, key.RID, in)
 		case core.OpInf:
 			out, runErr := sched.finish(key.RID)
+			var fault *lang.RuntimeError
 			if runErr != nil {
 				var rej *core.RejectError
 				if errors.As(runErr, &rej) {
 					return reject(rej.Error())
 				}
-				return reject("re-execution failed for " + key.RID + ": " + runErr.Error())
+				if !errors.As(runErr, &fault) || out == nil {
+					return reject("re-execution failed for " + key.RID + ": " + runErr.Error())
+				}
+				// A faulted request: audit its canonical error response
+				// below, exactly as the grouped verifier does.
 			}
 			if out.OpCount != rep.OpCounts[key.RID] {
 				return reject(fmt.Sprintf("request %s issued %d ops, M says %d",
 					key.RID, out.OpCount, rep.OpCounts[key.RID]))
 			}
-			if !out.OutputEqual(0, responses[key.RID]) {
+			if fault != nil {
+				if responses[key.RID] != lang.RenderFault(fault) {
+					return reject("error output mismatch for " + key.RID)
+				}
+			} else if !out.OutputEqual(0, responses[key.RID]) {
 				return reject("output mismatch for " + key.RID)
 			}
 			res.Stats.RequestsReplayed++

@@ -217,6 +217,16 @@ func Audit(prog *lang.Program, tr *trace.Trace, rep *reports.Reports, init *obje
 				if e.Key != objID.Name {
 					return reject(fmt.Sprintf("register log %v entry %d names key %q", objID, j, e.Key))
 				}
+				// A write the verifier cannot decode can never match an
+				// honest re-executed write, and if it were the register's
+				// LAST write it would silently chain a stale value into
+				// the next period's trusted snapshot via finalRegisters.
+				// Reject it here, symmetric with the KV log validation.
+				if e.Type == lang.RegisterWrite {
+					if _, derr := lang.DecodeValue(e.Value); derr != nil {
+						return reject(fmt.Sprintf("undecodable register write in log %v entry %d: %v", objID, j, derr))
+					}
+				}
 			}
 		default:
 			return reject(fmt.Sprintf("unknown object kind %v", objID.Kind))
@@ -272,7 +282,9 @@ func Audit(prog *lang.Program, tr *trace.Trace, rep *reports.Reports, init *obje
 }
 
 // finalRegisters derives each register's post-period value: its last
-// logged write, or its initial value if never written.
+// logged write, or its initial value if never written. It runs only on
+// accepted audits, where Phase 2 has already validated that every
+// logged register write decodes.
 func finalRegisters(rep *reports.Reports, init *object.Snapshot) map[string]lang.Value {
 	out := make(map[string]lang.Value, len(init.Registers))
 	for k, v := range init.Registers {
@@ -285,9 +297,13 @@ func finalRegisters(rep *reports.Reports, init *object.Snapshot) map[string]lang
 		log := rep.OpLogs[i]
 		for j := len(log) - 1; j >= 0; j-- {
 			if log[j].Type == lang.RegisterWrite {
-				if v, err := lang.DecodeValue(log[j].Value); err == nil {
-					out[objID.Name] = v
+				v, err := lang.DecodeValue(log[j].Value)
+				if err != nil {
+					// Unreachable after Phase 2 validation; never chain a
+					// value we could not decode.
+					panic(fmt.Sprintf("verifier: undecodable register write survived Phase 2: %v", err))
 				}
+				out[objID.Name] = v
 				break
 			}
 		}
@@ -307,6 +323,16 @@ func runGroup(prog *lang.Program, env *auditEnv, script string, tag uint64, rids
 		if !ok {
 			return fmt.Sprintf("group %x names unknown request %s", tag, rid), nil
 		}
+		// The group's alleged entry point must be the one the trace
+		// recorded for each member. Without this check a malicious
+		// executor could deny any request by serving the canonical
+		// fault of a nonexistent script and grouping the rid under that
+		// script name — re-execution would faithfully reproduce the
+		// forged "unknown script" fault and accept it.
+		if in.Script != script {
+			return fmt.Sprintf("group %x claims script %q but request %s arrived for %q",
+				tag, script, rid, in.Script), nil
+		}
 		gInputs[i] = lang.RequestInput{Get: in.Get, Post: in.Post, Cookie: in.Cookie}
 	}
 	bridge := newAuditBridge(env)
@@ -316,6 +342,7 @@ func runGroup(prog *lang.Program, env *auditEnv, script string, tag uint64, rids
 	})
 	stats.DedupHits += bridge.cache.Hits
 	stats.DedupMisses += bridge.cache.Misses
+	var fault *lang.RuntimeError
 	switch {
 	case err == nil:
 		// fall through to checks below
@@ -340,28 +367,49 @@ func runGroup(prog *lang.Program, env *auditEnv, script string, tag uint64, rids
 			return rej.Error(), nil
 		}
 		var rt *lang.RuntimeError
-		if errors.As(err, &rt) {
+		if !errors.As(err, &rt) {
+			return "", err
+		}
+		if res == nil {
 			return fmt.Sprintf("group %x: runtime error during re-execution: %v", tag, rt), nil
 		}
-		return "", err
+		// An error group: every lane faulted at the same point with the
+		// same fault (anything else surfaced as divergence above). The
+		// checks below then hold the group to the same standard as a
+		// completed one — partial op counts against M, and the canonical
+		// fault rendering against each traced response.
+		fault = rt
 	}
 	// Op-count check (Fig. 12 line 51): each request must have issued
 	// exactly M(rid) operations. Exceeding M is caught by CheckOp
 	// ((rid,opnum) absent from OpMap); finishing early is caught here.
+	// For an error group, M covers the operations issued before the
+	// fault, so the same check applies.
 	for _, rid := range rids {
 		if res.OpCount < env.rep.OpCounts[rid] {
 			return fmt.Sprintf("request %s finished with %d ops, M says %d", rid, res.OpCount, env.rep.OpCounts[rid]), nil
 		}
 	}
-	// Compare each lane's produced output against the trace response,
-	// walking output segments so shared bytes are compared once per
-	// group rather than once per request.
+	// Compare outputs against the trace. A completed group walks output
+	// segments so shared bytes are compared once per group; an error
+	// group compares the canonical fault rendering (what the honest
+	// server served) — a tampered error body, a fault relocated to a
+	// different site, or a successful request forged into an error
+	// group all mismatch here.
+	rendered := ""
+	if fault != nil {
+		rendered = lang.RenderFault(fault)
+	}
 	for i, rid := range rids {
 		want, ok := responses[rid]
 		if !ok {
 			return fmt.Sprintf("group %x names request %s with no response in the trace", tag, rid), nil
 		}
-		if !res.OutputEqual(i, want) {
+		if fault != nil {
+			if want != rendered {
+				return fmt.Sprintf("error output mismatch for %s", rid), nil
+			}
+		} else if !res.OutputEqual(i, want) {
 			return fmt.Sprintf("output mismatch for %s", rid), nil
 		}
 		produced[rid] = true

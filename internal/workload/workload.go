@@ -372,6 +372,90 @@ func min(a, b int) int {
 	return b
 }
 
+// ErrorMixParams configures fault injection into an existing workload.
+// Real web workloads contain failing requests — typo'd URLs, handlers
+// hitting missing helpers, queries against dropped tables — and the
+// audit must stay complete across them, so every workload can opt into
+// a deterministic sprinkling of faults.
+type ErrorMixParams struct {
+	// Rate is the fraction of requests replaced by faulting ones.
+	Rate float64
+	Seed int64
+}
+
+// Faulting entry points injected by WithErrors. ErrorUnknownScript
+// never exists in any app (an unknown-script fault); the other two are
+// added to the app's sources and fault at runtime.
+const (
+	ErrorUnknownScript = "nosuchscript"
+	ErrorUndefinedFn   = "brokenfn"
+	ErrorBadSQL        = "brokensql"
+)
+
+// errorSources are the faulting scripts WithErrors grafts onto the app:
+// a call to an undefined function, and a query against a missing table
+// whose false result is then iterated (the PHP-API idiom for unchecked
+// SQL failure).
+var errorSources = map[string]string{
+	ErrorUndefinedFn: `$q = $_GET["q"];
+echo "about to fail ";
+undefined_helper($q);
+echo "unreached";
+`,
+	ErrorBadSQL: `$rows = db_query("SELECT nothing FROM missing_table");
+foreach ($rows as $row) {
+  echo "unreached";
+}
+echo "fine";
+`,
+}
+
+// WithErrorScripts returns a copy of app extended with the faulting
+// entry points, under a derived name so program caching stays coherent.
+// The serving side uses it through WithErrors; the offline auditor
+// (cmd/orochi-audit) uses it directly, because it must re-execute the
+// same program the fault-injecting serve run deployed.
+func WithErrorScripts(app *apps.App) *apps.App {
+	src := make(map[string]string, len(app.Sources)+len(errorSources))
+	for k, v := range app.Sources {
+		src[k] = v
+	}
+	for k, v := range errorSources {
+		src[k] = v
+	}
+	return &apps.App{
+		Name:    app.Name + "+errors",
+		Sources: src,
+		Schema:  append([]string(nil), app.Schema...),
+	}
+}
+
+// WithErrors returns a copy of w whose request stream deterministically
+// mixes in faulting requests — an unknown script, an undefined-function
+// call, and a bad-SQL handler, in rotation — and whose application is
+// extended with the faulting scripts. Seed SQL is unchanged.
+func WithErrors(w *Workload, p ErrorMixParams) *Workload {
+	out := &Workload{
+		App:      WithErrorScripts(w.App),
+		Seed:     append([]string(nil), w.Seed...),
+		Requests: append([]trace.Input(nil), w.Requests...),
+	}
+	faults := []trace.Input{
+		{Script: ErrorUnknownScript},
+		{Script: ErrorUndefinedFn, Get: map[string]string{"q": "x"}},
+		{Script: ErrorBadSQL},
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	k := 0
+	for i := range out.Requests {
+		if rng.Float64() < p.Rate {
+			out.Requests[i] = faults[k%len(faults)]
+			k++
+		}
+	}
+	return out
+}
+
 // The 3625-character average review length of SIGCOMM 2009 is
 // approximated with repeated sentences.
 func reviewText(rng *rand.Rand, paper, version int) string {
