@@ -15,6 +15,7 @@ package orochi_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"orochi/internal/core"
@@ -52,6 +53,9 @@ func benchFig8Audit(b *testing.B, w *workload.Workload) {
 	b.ResetTimer()
 	var last *verifier.Result
 	for i := 0; i < b.N; i++ {
+		// Workers defaults to all CPUs: speedup_x measures the full
+		// engine (dedup × parallelism) against single-core naive
+		// re-execution. BenchmarkAuditWorkers* isolates the scaling.
 		res, err := served.Audit(verifier.Options{})
 		if err != nil {
 			b.Fatal(err)
@@ -74,6 +78,36 @@ func benchFig8Audit(b *testing.B, w *workload.Workload) {
 func BenchmarkFig8AuditWiki(b *testing.B)   { benchFig8Audit(b, benchWorkloads()["Wiki"]) }
 func BenchmarkFig8AuditForum(b *testing.B)  { benchFig8Audit(b, benchWorkloads()["Forum"]) }
 func BenchmarkFig8AuditHotCRP(b *testing.B) { benchFig8Audit(b, benchWorkloads()["HotCRP"]) }
+
+// --- Parallel audit engine: worker-pool scaling (cmd/orochi-bench
+// -fig workers runs the paper-sized sweep) ---
+
+func benchAuditWorkers(b *testing.B, w *workload.Workload) {
+	served, err := harness.Serve(w, harness.ServeConfig{Record: true, Concurrency: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	widths := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		widths = append(widths, n)
+	}
+	for _, workers := range widths {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := served.Audit(verifier.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Accepted {
+					b.Fatalf("audit rejected: %s", res.Reason)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAuditWorkersWiki(b *testing.B)  { benchAuditWorkers(b, benchWorkloads()["Wiki"]) }
+func BenchmarkAuditWorkersForum(b *testing.B) { benchAuditWorkers(b, benchWorkloads()["Forum"]) }
 
 // --- Fig. 8 left: server CPU overhead (baseline vs recording) ---
 
@@ -131,7 +165,9 @@ func benchFig9(b *testing.B, w *workload.Workload) {
 	b.ResetTimer()
 	var last *verifier.Result
 	for i := 0; i < b.N; i++ {
-		res, err := served.Audit(verifier.Options{})
+		// Sequential: the Fig. 9 decomposition reports CPU costs, which
+		// only add up on one worker (DBQuery is summed across workers).
+		res, err := served.Audit(verifier.Options{Workers: 1})
 		if err != nil || !res.Accepted {
 			b.Fatalf("audit: %v %v", err, res)
 		}
@@ -380,7 +416,9 @@ func BenchmarkAblationGroupedAudit(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := served.Audit(verifier.Options{})
+		// Sequential, so the ablation isolates grouping against the
+		// (unparallelized) OOO audit rather than measuring worker count.
+		res, err := served.Audit(verifier.Options{Workers: 1})
 		if err != nil || !res.Accepted {
 			b.Fatalf("%v %v", err, res)
 		}

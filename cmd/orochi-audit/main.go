@@ -6,6 +6,10 @@
 //	orochi-audit -app wiki -trace trace.bin -reports reports.bin -state state.bin
 //	orochi-audit -src ./myapp -trace ... -reports ... -state ...
 //
+// Re-execution fans out across all CPUs by default; -audit-workers N
+// bounds the worker pool (1 = sequential). The verdict is identical at
+// any worker count.
+//
 // With -epochs it instead verifies an epoch chain produced by
 // orochi-serve's epoch pipeline: each sealed epoch's segments and
 // report bundle are integrity-checked against the manifest digests, the
@@ -26,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"orochi/internal/apps"
 	"orochi/internal/epoch"
@@ -47,6 +52,7 @@ func main() {
 	from := flag.Int64("from", 0, "first epoch to audit (with -epochs; default 1, >1 resumes from a checkpoint)")
 	to := flag.Int64("to", 0, "last epoch to audit (with -epochs; default: all sealed)")
 	workers := flag.Int("workers", 2, "epochs loaded/integrity-checked concurrently (with -epochs)")
+	auditWorkers := flag.Int("audit-workers", 0, "concurrent re-execution workers inside each audit (0 = all CPUs, 1 = sequential)")
 	checkpoints := flag.Bool("checkpoints", true, "persist verified final snapshots for resumable audits (with -epochs)")
 	maxGroup := flag.Int("maxgroup", 3000, "maximum requests per re-execution batch")
 	stats := flag.Bool("stats", false, "print per-group statistics")
@@ -60,7 +66,8 @@ func main() {
 		}
 		prog, err := loadProgram(*appName, *srcDir, *withErrors)
 		exitOn(err)
-		auditEpochs(prog, *epochsDir, *from, *to, *workers, *checkpoints, *maxGroup, *stats)
+		auditEpochs(prog, *epochsDir, *from, *to, *workers, *checkpoints,
+			verifier.Options{MaxGroup: *maxGroup, CollectStats: *stats, Workers: *auditWorkers})
 		return
 	}
 
@@ -88,6 +95,7 @@ func main() {
 	res, err := verifier.Audit(prog, tr, rep, init, verifier.Options{
 		MaxGroup:     *maxGroup,
 		CollectStats: *stats,
+		Workers:      *auditWorkers,
 	})
 	exitOn(err)
 
@@ -114,13 +122,14 @@ func main() {
 }
 
 // auditEpochs verifies a sealed epoch chain and prints the ledger.
-func auditEpochs(prog *lang.Program, dir string, from, to int64, workers int, checkpoints bool, maxGroup int, stats bool) {
+func auditEpochs(prog *lang.Program, dir string, from, to int64, workers int, checkpoints bool, verify verifier.Options) {
+	stats := verify.CollectStats
 	opts := epoch.AuditorOptions{
 		Workers:     workers,
 		From:        from,
 		To:          to,
 		Checkpoints: checkpoints,
-		Verify:      verifier.Options{MaxGroup: maxGroup, CollectStats: stats},
+		Verify:      verify,
 	}
 	if from > 1 {
 		snap, err := epoch.LoadCheckpoint(dir, from-1)
@@ -132,13 +141,10 @@ func auditEpochs(prog *lang.Program, dir string, from, to int64, workers int, ch
 		opts.Init = snap
 	}
 	a := epoch.NewAuditor(prog, dir, opts)
-	for {
-		n, err := a.RunOnce()
-		exitOn(err)
-		if n == 0 {
-			break
-		}
-	}
+	_, err := a.DrainSealed(200*time.Millisecond, func(err error) {
+		fmt.Fprintln(os.Stderr, "orochi-audit:", err)
+	})
+	exitOn(err)
 	verdicts := a.Verdicts()
 	if len(verdicts) == 0 {
 		fmt.Fprintf(os.Stderr, "orochi-audit: no sealed epochs to audit in %s\n", dir)

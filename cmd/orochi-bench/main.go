@@ -9,7 +9,12 @@
 //	orochi-bench -fig 10           Fig. 10 per-instruction costs
 //	orochi-bench -fig 11           Fig. 11 group characteristics
 //	orochi-bench -fig frontier     §3.5/§A.8 time-precedence algorithm
+//	orochi-bench -fig workers      parallel audit: speedup vs sequential per worker count
 //	orochi-bench -fig all          everything
+//
+// -audit-workers sets the verifier's worker pool for the audit-running
+// figures (0 = all CPUs); -fig workers sweeps worker counts in the
+// style of `go test -cpu` and reports the speedup over one worker.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"text/tabwriter"
 	"time"
@@ -31,31 +37,39 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure/table to regenerate (8, 8lat, 9, 10, 11, frontier, all)")
+	fig := flag.String("fig", "all", "which figure/table to regenerate (8, 8lat, 9, 10, 11, frontier, workers, all)")
 	scale := flag.Int("scale", 10, "divide paper-sized workloads by this factor (1 = full size)")
 	conc := flag.Int("concurrency", 8, "in-flight requests while serving")
+	// The paper-shape figures default to the sequential audit so the
+	// printed columns stay comparable to the paper's single-core
+	// reference numbers (and Fig. 9's CPU decomposition adds up);
+	// parallelism is measured by the dedicated -fig workers sweep.
+	auditWorkers := flag.Int("audit-workers", 1, "verifier worker pool for the audit-running figures (1 = sequential/paper-faithful, 0 = all CPUs)")
 	flag.Parse()
 
 	switch *fig {
 	case "8":
-		fig8(*scale, *conc)
+		fig8(*scale, *conc, *auditWorkers)
 	case "8lat":
 		fig8lat(*scale, *conc)
 	case "9":
-		fig9(*scale, *conc)
+		fig9(*scale, *conc, *auditWorkers)
 	case "10":
 		fig10()
 	case "11":
-		fig11(*scale, *conc)
+		fig11(*scale, *conc, *auditWorkers)
+	case "workers":
+		figWorkers(*scale, *conc)
+	case "all":
+		fig8(*scale, *conc, *auditWorkers)
+		fig9(*scale, *conc, *auditWorkers)
+		fig10()
+		fig11(*scale, *conc, *auditWorkers)
+		figFrontier()
+		figWorkers(*scale, *conc)
+		fig8lat(*scale, *conc)
 	case "frontier":
 		figFrontier()
-	case "all":
-		fig8(*scale, *conc)
-		fig9(*scale, *conc)
-		fig10()
-		fig11(*scale, *conc)
-		figFrontier()
-		fig8lat(*scale, *conc)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
 		os.Exit(2)
@@ -78,7 +92,7 @@ func workloads(scale int) []struct {
 
 // fig8 prints the Fig. 8 left table: audit speedup, server CPU overhead,
 // report sizes, and DB overheads per application.
-func fig8(scale, conc int) {
+func fig8(scale, conc, auditWorkers int) {
 	fmt.Printf("\n=== Figure 8 (left): OROCHI vs simple re-execution (scale 1/%d) ===\n", scale)
 	fmt.Println("paper: speedup 10.9x/5.6x/6.2x; server ovhd 4.7%/8.6%/5.9%;")
 	fmt.Println("       reports 1.7/0.3/0.4 KB/req; temp DB 1.0x/1.7x/1.5x; permanent 1x")
@@ -96,7 +110,7 @@ func fig8(scale, conc int) {
 		// Baseline audit = sequential re-execution of the trace.
 		baseAudit, err := harness.BaselineReplay(item.w, served)
 		check(err)
-		res, err := served.Audit(verifier.Options{})
+		res, err := served.Audit(verifier.Options{Workers: auditWorkers})
 		check(err)
 		if !res.Accepted {
 			fmt.Fprintf(os.Stderr, "%s: AUDIT REJECTED: %s\n", item.name, res.Reason)
@@ -222,7 +236,7 @@ func provision(w *workload.Workload, record bool) interface {
 }
 
 // fig9 prints the audit-cost decomposition.
-func fig9(scale, conc int) {
+func fig9(scale, conc, auditWorkers int) {
 	fmt.Printf("\n=== Figure 9: decomposition of audit-time CPU costs (scale 1/%d) ===\n", scale)
 	fmt.Println("paper shape: PHP re-execution dominates; ProcOpRep/DB-redo are small;")
 	fmt.Println("             query dedup keeps 'DB query' far below baseline DB time")
@@ -233,7 +247,7 @@ func fig9(scale, conc int) {
 		check(err)
 		base, err := harness.BaselineReplay(item.w, served)
 		check(err)
-		res, err := served.Audit(verifier.Options{})
+		res, err := served.Audit(verifier.Options{Workers: auditWorkers})
 		check(err)
 		if !res.Accepted {
 			fmt.Fprintf(os.Stderr, "%s: AUDIT REJECTED: %s\n", item.name, res.Reason)
@@ -371,13 +385,13 @@ echo "done";`, iters)})
 }
 
 // fig11 prints the control-flow group triples for the wiki workload.
-func fig11(scale, conc int) {
+func fig11(scale, conc, auditWorkers int) {
 	fmt.Printf("\n=== Figure 11: control-flow groups, MediaWiki workload (scale 1/%d) ===\n", scale)
 	fmt.Println("paper shape: many groups with large n; alpha > 0.95 for all groups")
 	w := workload.Wiki(workload.DefaultWikiParams().Scale(scale))
 	served, err := harness.Serve(w, harness.ServeConfig{Record: true, Concurrency: conc})
 	check(err)
-	res, err := served.Audit(verifier.Options{CollectStats: true})
+	res, err := served.Audit(verifier.Options{CollectStats: true, Workers: auditWorkers})
 	check(err)
 	if !res.Accepted {
 		fmt.Fprintf(os.Stderr, "AUDIT REJECTED: %s\n", res.Reason)
@@ -406,6 +420,58 @@ func fig11(scale, conc int) {
 			break
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%.4f\n", g.Script, g.N, g.Len, g.Alpha)
+	}
+	tw.Flush()
+}
+
+// figWorkers sweeps the verifier's worker pool in the style of `go test
+// -cpu`: each workload is served once, then audited at 1, 2, 4, ...
+// workers, reporting the audit time and the speedup over the sequential
+// (one-worker) audit. The verdict must be identical at every width.
+func figWorkers(scale, conc int) {
+	max := runtime.GOMAXPROCS(0)
+	fmt.Printf("\n=== Parallel audit: worker sweep 1..%d (scale 1/%d) ===\n", max, scale)
+	fmt.Println("groups re-execute independently (§3.1, §4.7): audit time should")
+	fmt.Println("shrink with workers while the verdict stays bit-identical")
+	var widths []int
+	for wN := 1; wN < max; wN *= 2 {
+		widths = append(widths, wN)
+	}
+	widths = append(widths, max)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	header := "app"
+	for _, wN := range widths {
+		header += fmt.Sprintf("\tw=%d", wN)
+	}
+	fmt.Fprintln(tw, header+"\tspeedup")
+	for _, item := range workloads(scale) {
+		served, err := harness.Serve(item.w, harness.ServeConfig{Record: true, Concurrency: conc})
+		check(err)
+		row := item.name
+		var seq, best time.Duration
+		for _, wN := range widths {
+			// Best of 2 runs per width to keep scheduler noise out.
+			var t time.Duration = math.MaxInt64
+			for rep := 0; rep < 2; rep++ {
+				res, err := served.Audit(verifier.Options{Workers: wN})
+				check(err)
+				if !res.Accepted {
+					fmt.Fprintf(os.Stderr, "%s: AUDIT REJECTED at %d workers: %s\n", item.name, wN, res.Reason)
+					os.Exit(1)
+				}
+				if res.Stats.Total < t {
+					t = res.Stats.Total
+				}
+			}
+			if wN == 1 {
+				seq = t
+			}
+			if best == 0 || t < best {
+				best = t
+			}
+			row += "\t" + round(t)
+		}
+		fmt.Fprintf(tw, "%s\t%.2fx\n", row, float64(seq)/float64(best))
 	}
 	tw.Flush()
 }

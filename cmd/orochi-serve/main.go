@@ -37,6 +37,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"syscall"
@@ -59,6 +60,7 @@ func main() {
 	epochDir := flag.String("epoch-dir", "", "enable the epoch pipeline, writing sealed epochs to this directory")
 	epochEvents := flag.Int("epoch-events", 4096, "seal an epoch after this many trace events (with -epoch-dir)")
 	epochAudit := flag.Bool("epoch-audit", true, "run the background auditor over sealed epochs (with -epoch-dir)")
+	auditWorkers := flag.Int("audit-workers", 0, "concurrent re-execution workers in the background auditor (0 = half the CPUs, to leave room for serving; 1 = sequential)")
 	faultRate := flag.Float64("fault-rate", 0, "inject faulting requests (unknown script, undefined function, bad SQL) into the workload at this rate; the audit must still ACCEPT")
 	flag.Parse()
 
@@ -103,10 +105,17 @@ func main() {
 		mgr, err = epoch.StartManager(*epochDir, srv, snap, epoch.ManagerOptions{EpochEvents: *epochEvents})
 		exitOn(err)
 		if *epochAudit {
+			// The background auditor shares the machine with live
+			// serving: default its worker pool to half the CPUs so epoch
+			// audits don't starve request handling.
+			vw := *auditWorkers
+			if vw <= 0 {
+				vw = max(1, runtime.GOMAXPROCS(0)/2)
+			}
 			auditor = epoch.NewAuditor(prog, *epochDir, epoch.AuditorOptions{
 				Notify:      mgr.Notify(),
 				Checkpoints: true,
-				Verify:      verifier.Options{},
+				Verify:      verifier.Options{Workers: vw},
 			})
 			var auditCtx context.Context
 			auditCtx, stopAudit = context.WithCancel(context.Background())
@@ -242,13 +251,10 @@ func main() {
 			// RunOnce calls never interleave.
 			stopAudit()
 			<-auditDone
-			for {
-				n, err := auditor.RunOnce()
-				exitOn(err)
-				if n == 0 {
-					break
-				}
-			}
+			_, derr := auditor.DrainSealed(200*time.Millisecond, func(err error) {
+				fmt.Fprintln(os.Stderr, "orochi-serve:", err)
+			})
+			exitOn(derr)
 			printLedger(os.Stdout, mgr, auditor)
 			if !auditor.ChainAccepted() {
 				os.Exit(1)

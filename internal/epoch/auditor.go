@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -91,6 +92,10 @@ type Auditor struct {
 	dir  string
 	prog *lang.Program
 	opts AuditorOptions
+	// never is the shared never-firing channel notifyChan falls back to
+	// when no Notify channel is configured, so polling iterations don't
+	// allocate a fresh channel each time around.
+	never chan struct{}
 
 	mu       sync.Mutex
 	verdicts []Verdict
@@ -99,24 +104,91 @@ type Auditor struct {
 	prevSHA  string // manifest digest the next epoch must chain to
 	chainSHA string
 	broken   bool
+	// pendingCkpt holds a verified final snapshot whose checkpoint write
+	// failed; the next RunOnce retries it before auditing further, so a
+	// transient write failure never permanently skips an epoch's
+	// checkpoint (which would break a later -from resume).
+	pendingCkpt *pendingCheckpoint
 }
+
+type pendingCheckpoint struct {
+	n    int64
+	snap *object.Snapshot
+}
+
+// CheckpointError reports a failed write of an epoch's verified final
+// snapshot. The epoch's verdict is already published and the snapshot
+// is parked for a retry on the next RunOnce, so the failure is
+// transient from the chain's point of view: Run keeps polling through
+// it instead of abandoning the audit loop.
+type CheckpointError struct {
+	Epoch int64
+	Err   error
+}
+
+func (e *CheckpointError) Error() string {
+	return fmt.Sprintf("epoch %d: checkpoint write failed (will retry): %v", e.Epoch, e.Err)
+}
+
+func (e *CheckpointError) Unwrap() error { return e.Err }
 
 // NewAuditor builds an auditor over the epoch chain in dir.
 func NewAuditor(prog *lang.Program, dir string, opts AuditorOptions) *Auditor {
 	opts = opts.withDefaults()
-	return &Auditor{dir: dir, prog: prog, opts: opts, next: opts.From, init: opts.Init}
+	return &Auditor{dir: dir, prog: prog, opts: opts, never: make(chan struct{}),
+		next: opts.From, init: opts.Init}
+}
+
+// maxCheckpointRetries bounds how many consecutive failed checkpoint
+// writes Run polls through before surfacing the error: transient
+// failures self-heal within a few poll ticks, while a permanently
+// unwritable checkpoint path must not stall auditing silently forever.
+const maxCheckpointRetries = 10
+
+// ckptRetryBudget is the consecutive-stalled-failure rule shared by Run
+// and DrainSealed: forward progress resets the budget, and only a
+// CheckpointError within the budget is retryable.
+type ckptRetryBudget struct{ failures int }
+
+// observe classifies one RunOnce outcome. It returns true when err is a
+// retryable checkpoint failure within budget (the caller should wait
+// and call RunOnce again); false means err must be surfaced as-is (or
+// is nil).
+func (b *ckptRetryBudget) observe(n int, err error) bool {
+	if n > 0 || err == nil {
+		// Forward progress (new verdicts, or a pass without a write
+		// failure): only *consecutive* stalled failures count against the
+		// budget — per-epoch transient flaps that heal on the next poll
+		// must not accumulate into an abort.
+		b.failures = 0
+	}
+	if err == nil {
+		return false
+	}
+	var ck *CheckpointError
+	if !errors.As(err, &ck) || b.failures >= maxCheckpointRetries {
+		return false
+	}
+	b.failures++
+	return true
 }
 
 // Run audits sealed epochs as they appear until ctx is cancelled (or,
-// when To is set, until To has been audited or the chain breaks). It
-// returns ctx.Err on cancellation, nil on a completed bounded run.
+// when To is set, until To has been audited — and its checkpoint
+// persisted — or the chain breaks). It returns ctx.Err on cancellation,
+// nil on a completed bounded run. A CheckpointError from RunOnce is
+// retryable (the verdict is published, only the snapshot write is
+// owed), so Run keeps polling through it; after maxCheckpointRetries
+// consecutive failures it returns the error instead.
 func (a *Auditor) Run(ctx context.Context) error {
+	var budget ckptRetryBudget
 	for {
-		if _, err := a.RunOnce(); err != nil {
+		n, err := a.RunOnce()
+		if !budget.observe(n, err) && err != nil {
 			return err
 		}
 		a.mu.Lock()
-		done := a.broken || (a.opts.To > 0 && a.next > a.opts.To)
+		done := a.broken || (a.opts.To > 0 && a.next > a.opts.To && a.pendingCkpt == nil)
 		a.mu.Unlock()
 		if done {
 			return nil
@@ -134,7 +206,7 @@ func (a *Auditor) notifyChan() <-chan struct{} {
 	if a.opts.Notify != nil {
 		return a.opts.Notify
 	}
-	return make(chan struct{}) // never fires; the Poll timer drives us
+	return a.never // never fires; the Poll timer drives us
 }
 
 // RunOnce audits every currently sealed, not-yet-audited epoch in chain
@@ -148,6 +220,13 @@ func (a *Auditor) RunOnce() (int, error) {
 	}
 	start := a.next
 	a.mu.Unlock()
+
+	// A checkpoint whose write failed last time must land before any new
+	// verdicts: its epoch has already been published and a.next advanced
+	// past it, so this retry is the only path that ever writes it.
+	if err := a.flushPendingCheckpoint(); err != nil {
+		return 0, err
+	}
 
 	// Probe epoch directories directly from `start` — the naming scheme
 	// is deterministic, so discovering new work is O(new epochs), not a
@@ -248,11 +327,45 @@ func (a *Auditor) RunOnce() (int, error) {
 		}
 		if a.opts.Checkpoints {
 			if err := a.writeCheckpoint(s.Number, snapNext); err != nil {
-				return audited, err
+				// The verdict is already published and a.next advanced, so
+				// park the snapshot for a retry on the next RunOnce instead
+				// of losing this epoch's checkpoint forever.
+				a.mu.Lock()
+				a.pendingCkpt = &pendingCheckpoint{n: s.Number, snap: snapNext}
+				a.mu.Unlock()
+				return audited, &CheckpointError{Epoch: s.Number, Err: err}
 			}
 		}
 	}
 	return audited, nil
+}
+
+// DrainSealed synchronously audits every currently sealed,
+// not-yet-audited epoch — the catch-up counterpart of Run for CLI use.
+// Retryable checkpoint-write failures are polled through with the same
+// maxCheckpointRetries budget as Run, waiting `wait` between attempts
+// and resetting on forward progress; onRetry, when non-nil, observes
+// each retried error. It returns the number of verdicts appended.
+func (a *Auditor) DrainSealed(wait time.Duration, onRetry func(error)) (int, error) {
+	total := 0
+	var budget ckptRetryBudget
+	for {
+		n, err := a.RunOnce()
+		total += n
+		if budget.observe(n, err) {
+			if onRetry != nil {
+				onRetry(err)
+			}
+			time.Sleep(wait)
+			continue
+		}
+		if err != nil {
+			return total, err
+		}
+		if n == 0 {
+			return total, nil
+		}
+	}
 }
 
 type loadResult struct {
@@ -351,6 +464,27 @@ func (a *Auditor) ensurePrevSHA(start int64) error {
 // checkpointPath names the persisted verified final snapshot of epoch n.
 func checkpointPath(dir string, n int64) string {
 	return filepath.Join(dir, "checkpoints", fmt.Sprintf("epoch-%06d.bin", n))
+}
+
+// flushPendingCheckpoint retries a checkpoint write that failed on a
+// previous RunOnce. It returns the write error (leaving the checkpoint
+// pending) until the write succeeds.
+func (a *Auditor) flushPendingCheckpoint() error {
+	a.mu.Lock()
+	p := a.pendingCkpt
+	a.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	if err := a.writeCheckpoint(p.n, p.snap); err != nil {
+		return &CheckpointError{Epoch: p.n, Err: err}
+	}
+	a.mu.Lock()
+	if a.pendingCkpt == p {
+		a.pendingCkpt = nil
+	}
+	a.mu.Unlock()
+	return nil
 }
 
 func (a *Auditor) writeCheckpoint(n int64, snap *object.Snapshot) error {

@@ -1,0 +1,264 @@
+package verifier
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"orochi/internal/lang"
+	"orochi/internal/reports"
+	"orochi/internal/trace"
+)
+
+// This file implements the parallel audit engine. The paper observes
+// that control-flow groups are re-executed independently — "the verifier
+// can re-execute groups in any order" (§3.1, §4.7) — and that the Phase
+// 2 redo has no cross-object ordering constraints (each shared object
+// has its own operation log, §3.3), so both phases fan out across a
+// worker pool. Parallelism must not change the verdict: a rejecting
+// audit reports the exact failure a sequential scan would find first,
+// and an accepting audit merges per-task state in task order, so
+// Workers: N and Workers: 1 produce bit-identical results.
+
+// normWorkers resolves the Workers option: <= 0 means one worker per
+// available CPU.
+func normWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// runPool runs n indexed tasks on up to `workers` goroutines. Workers
+// pull indexes in increasing order and run(i) stores its own result;
+// runPool returns once every index has been handled.
+func runPool(n, workers int, run func(i int)) {
+	if n == 0 {
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < min(workers, n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// --- Phase 2: versioned redo across independent objects ---
+
+// redoOutcome is one redo task's failure (a nil outcome means the task
+// passed). objIdx is the object-log index where the failure occurred;
+// among parallel failures the lowest objIdx wins, which is the failure
+// a sequential object-order scan reports.
+type redoOutcome struct {
+	objIdx int
+	msg    string
+}
+
+// runRedo replays the operation logs into the versioned stores (Phase
+// 2, §4.5) on a pool of workers. Logs that feed one store are a single
+// task processed in object order — all DB logs build env.vdb, all KV
+// logs build env.vkv — while each register log, which is validated but
+// builds nothing, is a task of its own. It returns the reject message
+// of the earliest failure in object order, or "" when every log passed.
+func runRedo(env *auditEnv, rep *reports.Reports, workers int) string {
+	var dbObjs, kvObjs []int
+	var tasks []func() *redoOutcome
+	for i, objID := range rep.Objects {
+		switch objID.Kind {
+		case reports.DBObj:
+			env.dbLogIdx = i
+			dbObjs = append(dbObjs, i)
+		case reports.KVObj:
+			kvObjs = append(kvObjs, i)
+		case reports.RegisterObj:
+			tasks = append(tasks, func() *redoOutcome { return redoRegisterLog(rep, i) })
+		default:
+			tasks = append(tasks, func() *redoOutcome {
+				return &redoOutcome{objIdx: i, msg: fmt.Sprintf("unknown object kind %v", objID.Kind)}
+			})
+		}
+	}
+	if len(dbObjs) > 0 {
+		tasks = append(tasks, func() *redoOutcome { return redoDBLogs(env, rep, dbObjs) })
+	}
+	if len(kvObjs) > 0 {
+		tasks = append(tasks, func() *redoOutcome { return redoKVLogs(env, rep, kvObjs) })
+	}
+	outcomes := make([]*redoOutcome, len(tasks))
+	runPool(len(tasks), workers, func(i int) { outcomes[i] = tasks[i]() })
+	var first *redoOutcome
+	for _, o := range outcomes {
+		if o != nil && (first == nil || o.objIdx < first.objIdx) {
+			first = o
+		}
+	}
+	if first != nil {
+		return first.msg
+	}
+	return ""
+}
+
+// redoDBLogs replays the DB operation logs into the versioned database.
+// Only this task touches env.vdb (including its RedoTxns/RedoQueries
+// counters), so the build needs no locking.
+func redoDBLogs(env *auditEnv, rep *reports.Reports, objs []int) *redoOutcome {
+	for _, i := range objs {
+		for j, e := range rep.OpLogs[i] {
+			if e.Type != lang.DBOp {
+				return &redoOutcome{objIdx: i, msg: fmt.Sprintf("non-DB op in DB log at %d", j)}
+			}
+			if !e.OK {
+				continue // aborted transaction: no state effect
+			}
+			if err := env.vdb.ApplyTxn(int64(j+1), e.Stmts); err != nil {
+				return &redoOutcome{objIdx: i, msg: "versioned redo failed: " + err.Error()}
+			}
+		}
+	}
+	return nil
+}
+
+// redoKVLogs replays the KV operation logs into the versioned KV store;
+// only this task touches env.vkv.
+func redoKVLogs(env *auditEnv, rep *reports.Reports, objs []int) *redoOutcome {
+	for _, i := range objs {
+		for j, e := range rep.OpLogs[i] {
+			switch e.Type {
+			case lang.KvSet:
+				v, derr := lang.DecodeValue(e.Value)
+				if derr != nil {
+					return &redoOutcome{objIdx: i, msg: fmt.Sprintf("undecodable KV write at %d: %v", j, derr)}
+				}
+				env.vkv.AddSet(e.Key, int64(j+1), v)
+			case lang.KvGet:
+				// reads contribute nothing to the build
+			default:
+				return &redoOutcome{objIdx: i, msg: fmt.Sprintf("non-KV op in KV log at %d", j)}
+			}
+		}
+	}
+	return nil
+}
+
+// redoRegisterLog validates one register log. Registers are simulated
+// from the log itself at re-execution time, so this pass only checks
+// well-formedness.
+func redoRegisterLog(rep *reports.Reports, i int) *redoOutcome {
+	objID := rep.Objects[i]
+	for j, e := range rep.OpLogs[i] {
+		if e.Type != lang.RegisterRead && e.Type != lang.RegisterWrite {
+			return &redoOutcome{objIdx: i, msg: fmt.Sprintf("non-register op in register log at %d", j)}
+		}
+		if e.Key != objID.Name {
+			return &redoOutcome{objIdx: i, msg: fmt.Sprintf("register log %v entry %d names key %q", objID, j, e.Key)}
+		}
+		// A write the verifier cannot decode can never match an honest
+		// re-executed write, and if it were the register's LAST write it
+		// would silently chain a stale value into the next period's
+		// trusted snapshot via finalRegisters. Reject it here, symmetric
+		// with the KV log validation.
+		if e.Type == lang.RegisterWrite {
+			if _, derr := lang.DecodeValue(e.Value); derr != nil {
+				return &redoOutcome{objIdx: i, msg: fmt.Sprintf("undecodable register write in log %v entry %d: %v", objID, j, derr)}
+			}
+		}
+	}
+	return nil
+}
+
+// --- Phase 3: grouped re-execution on a worker pool ---
+
+// groupTask is one (tag, chunk) batch of a control-flow group.
+type groupTask struct {
+	tag    uint64
+	script string
+	rids   []string
+}
+
+// buildGroupTasks flattens SortGroups into MaxGroup-sized batches in
+// the canonical (tag, chunk) order — the order a sequential audit runs
+// them in, and the order in which parallel failures are arbitrated.
+func buildGroupTasks(rep *reports.Reports, maxGroup int) []groupTask {
+	var tasks []groupTask
+	for _, tag := range rep.SortGroups() {
+		rids := dedupeRIDs(rep.Groups[tag])
+		script := rep.Scripts[tag]
+		for chunk := 0; chunk < len(rids); chunk += maxGroup {
+			end := min(chunk+maxGroup, len(rids))
+			tasks = append(tasks, groupTask{tag: tag, script: script, rids: rids[chunk:end]})
+		}
+	}
+	return tasks
+}
+
+// groupOutcome is the result of one group task. produced and stats are
+// task-local and merged in task order afterwards, so the accumulated
+// audit state never depends on worker scheduling.
+type groupOutcome struct {
+	msg      string // non-empty: verification reject
+	err      error  // non-nil: internal fault
+	produced map[string]bool
+	stats    Stats
+	skipped  bool
+}
+
+// runGroupTasks executes the group tasks on a pool of workers. Workers
+// pull tasks in order; once any task fails, tasks ordered after the
+// earliest known failure are skipped — group re-execution is
+// side-effect-free on shared audit state, so a task's outcome is a
+// deterministic function of the task alone, and the first failure in
+// task order decides the verdict exactly as in a sequential audit.
+// Every task ordered at or before that failure is guaranteed to run.
+func runGroupTasks(prog *lang.Program, env *auditEnv, tasks []groupTask,
+	inputs map[string]trace.Input, responses map[string]string,
+	opts Options, workers int) []*groupOutcome {
+
+	outcomes := make([]*groupOutcome, len(tasks))
+	var failedAt atomic.Int64
+	failedAt.Store(int64(len(tasks)))
+	runPool(len(tasks), workers, func(i int) {
+		if int64(i) > failedAt.Load() {
+			// A task ordered strictly before this one already failed, so
+			// this task can no longer affect the verdict. (failedAt only
+			// ever decreases.)
+			outcomes[i] = &groupOutcome{skipped: true}
+			return
+		}
+		out := &groupOutcome{produced: make(map[string]bool, len(tasks[i].rids))}
+		out.msg, out.err = runGroup(prog, env, tasks[i].script, tasks[i].tag, tasks[i].rids,
+			inputs, responses, out.produced, opts, &out.stats)
+		outcomes[i] = out
+		if out.msg != "" || out.err != nil {
+			for {
+				cur := failedAt.Load()
+				if int64(i) >= cur || failedAt.CompareAndSwap(cur, int64(i)) {
+					break
+				}
+			}
+		}
+	})
+	return outcomes
+}
+
+// mergeStats folds one task-local Stats into the audit-wide Stats.
+// Phase timings are owned by Audit itself and are not merged here.
+func mergeStats(dst, src *Stats) {
+	dst.DedupHits += src.DedupHits
+	dst.DedupMisses += src.DedupMisses
+	dst.InstrUni += src.InstrUni
+	dst.InstrMulti += src.InstrMulti
+	dst.Groups = append(dst.Groups, src.Groups...)
+	dst.FallbackRequests += src.FallbackRequests
+}

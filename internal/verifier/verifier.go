@@ -30,6 +30,14 @@ type Options struct {
 	CollectStats bool
 	// MaxSteps bounds each group re-execution (0 = interpreter default).
 	MaxSteps int64
+	// Workers is the number of concurrent audit workers: Phase 2 replays
+	// independent object logs in parallel and Phase 3 re-executes
+	// control-flow groups on a worker pool ("the verifier can re-execute
+	// groups in any order", §3.1/§4.7). <= 0 uses every available CPU;
+	// 1 reproduces the sequential audit. Any setting yields a
+	// bit-identical verdict: a reject deterministically reports the
+	// first failure in group order.
+	Workers int
 }
 
 // GroupStat describes one re-executed control-flow group: the (n_c,
@@ -45,7 +53,9 @@ type GroupStat struct {
 // Stats carries the audit-time cost decomposition (Fig. 9) and group
 // statistics (Fig. 11).
 type Stats struct {
-	// Phase timings.
+	// Phase timings. ReExec is wall time of the (possibly parallel)
+	// re-execution phase; DBQuery is versioned-SELECT time summed across
+	// workers, so with Workers > 1 it can exceed ReExec.
 	ProcOpRep time.Duration // ProcessOpReports (Figures 5 & 6)
 	DBRedo    time.Duration // versioned redo pass (§4.5)
 	ReExec    time.Duration // grouped re-execution (SIMD + simulate-and-check)
@@ -115,14 +125,22 @@ func Audit(prog *lang.Program, tr *trace.Trace, rep *reports.Reports, init *obje
 	if opts.MaxGroup <= 0 {
 		opts.MaxGroup = 3000
 	}
+	workers := normWorkers(opts.Workers)
 	if init == nil {
 		init = object.EmptySnapshot()
 	}
 	start := time.Now()
 	res := &Result{}
+	var env *auditEnv
 	reject := func(reason string) (*Result, error) {
 		res.Accepted = false
 		res.Reason = reason
+		if env != nil {
+			// A rejected audit still reports the versioned-query time it
+			// spent (the Fig. 9 decomposition); a mid-Phase-3 reject would
+			// otherwise under-report DBQuery as zero.
+			res.Stats.DBQuery = env.dbQueryTime()
+		}
 		res.Stats.Total = time.Since(start)
 		return res, nil
 	}
@@ -154,9 +172,11 @@ func Audit(prog *lang.Program, tr *trace.Trace, rep *reports.Reports, init *obje
 		return nil, err
 	}
 
-	// Phase 2: versioned redo (§4.5).
+	// Phase 2: versioned redo (§4.5), parallel across independent
+	// objects — the DB logs, the KV logs, and each register log have no
+	// cross-object ordering constraints.
 	t0 = time.Now()
-	env := &auditEnv{
+	env = &auditEnv{
 		rep:       rep,
 		opMap:     proc.OpMap,
 		vdb:       vstore.NewVersionedDB(),
@@ -179,84 +199,40 @@ func Audit(prog *lang.Program, tr *trace.Trace, rep *reports.Reports, init *obje
 	for _, k := range kvKeys {
 		env.vkv.LoadInitial(k, init.KV[k])
 	}
-	for i, objID := range rep.Objects {
-		switch objID.Kind {
-		case reports.DBObj:
-			env.dbLogIdx = i
-			for j, e := range rep.OpLogs[i] {
-				if e.Type != lang.DBOp {
-					return reject(fmt.Sprintf("non-DB op in DB log at %d", j))
-				}
-				if !e.OK {
-					continue // aborted transaction: no state effect
-				}
-				if err := env.vdb.ApplyTxn(int64(j+1), e.Stmts); err != nil {
-					return reject("versioned redo failed: " + err.Error())
-				}
-			}
-		case reports.KVObj:
-			for j, e := range rep.OpLogs[i] {
-				switch e.Type {
-				case lang.KvSet:
-					v, derr := lang.DecodeValue(e.Value)
-					if derr != nil {
-						return reject(fmt.Sprintf("undecodable KV write at %d: %v", j, derr))
-					}
-					env.vkv.AddSet(e.Key, int64(j+1), v)
-				case lang.KvGet:
-					// reads contribute nothing to the build
-				default:
-					return reject(fmt.Sprintf("non-KV op in KV log at %d", j))
-				}
-			}
-		case reports.RegisterObj:
-			for j, e := range rep.OpLogs[i] {
-				if e.Type != lang.RegisterRead && e.Type != lang.RegisterWrite {
-					return reject(fmt.Sprintf("non-register op in register log at %d", j))
-				}
-				if e.Key != objID.Name {
-					return reject(fmt.Sprintf("register log %v entry %d names key %q", objID, j, e.Key))
-				}
-				// A write the verifier cannot decode can never match an
-				// honest re-executed write, and if it were the register's
-				// LAST write it would silently chain a stale value into
-				// the next period's trusted snapshot via finalRegisters.
-				// Reject it here, symmetric with the KV log validation.
-				if e.Type == lang.RegisterWrite {
-					if _, derr := lang.DecodeValue(e.Value); derr != nil {
-						return reject(fmt.Sprintf("undecodable register write in log %v entry %d: %v", objID, j, derr))
-					}
-				}
-			}
-		default:
-			return reject(fmt.Sprintf("unknown object kind %v", objID.Kind))
-		}
-	}
+	redoMsg := runRedo(env, rep, workers)
 	res.Stats.DBRedo = time.Since(t0)
+	if redoMsg != "" {
+		return reject(redoMsg)
+	}
 
-	// Phase 3: grouped re-execution (Fig. 12 ReExec2). Output comparison
-	// happens inside each group, walking output segments; Phase 4 then
-	// only checks coverage.
+	// Phase 3: grouped re-execution (Fig. 12 ReExec2) on a worker pool —
+	// groups are independent and re-execute "in any order" (§3.1, §4.7).
+	// Output comparison happens inside each group, walking output
+	// segments; Phase 4 then only checks coverage. Task outcomes are
+	// folded in canonical group order, so the verdict, statistics, and
+	// final state never depend on worker scheduling.
 	inputs := tr.Inputs()
 	responses := tr.Responses()
 	produced := make(map[string]bool, len(inputs))
 
 	t0 = time.Now()
-	for _, tag := range rep.SortGroups() {
-		rids := dedupeRIDs(rep.Groups[tag])
-		script := rep.Scripts[tag]
-		for chunk := 0; chunk < len(rids); chunk += opts.MaxGroup {
-			end := chunk + opts.MaxGroup
-			if end > len(rids) {
-				end = len(rids)
-			}
-			batch := rids[chunk:end]
-			if msg, err := runGroup(prog, env, script, tag, batch, inputs, responses, produced, opts, &res.Stats); err != nil {
-				return nil, err
-			} else if msg != "" {
-				res.Stats.ReExec = time.Since(t0)
-				return reject(msg)
-			}
+	tasks := buildGroupTasks(rep, opts.MaxGroup)
+	for _, out := range runGroupTasks(prog, env, tasks, inputs, responses, opts, workers) {
+		if out.skipped {
+			// Only tasks ordered after the deciding failure are skipped,
+			// and that failure returns below before the scan gets here.
+			break
+		}
+		mergeStats(&res.Stats, &out.stats)
+		for rid := range out.produced {
+			produced[rid] = true
+		}
+		if out.err != nil {
+			return nil, out.err
+		}
+		if out.msg != "" {
+			res.Stats.ReExec = time.Since(t0)
+			return reject(out.msg)
 		}
 	}
 	res.Stats.ReExec = time.Since(t0)

@@ -69,6 +69,13 @@ type vtable struct {
 // VersionedDB is the audit-time versioned database V (with the redo
 // buffer M folded in: applying a transaction uses the live map, which
 // plays M's role of a fast buffer in front of the version history).
+//
+// Concurrency contract: the build phase (LoadInitial, ApplyTxn — which
+// alone touches the RedoTxns/RedoQueries counters) must run on a single
+// goroutine; after it completes, Query/QuerySQL, WriteResult, ModEpoch,
+// and the size accessors are pure reads and safe from any number of
+// goroutines, which is what the parallel verifier (verifier.Options.
+// Workers) relies on during grouped re-execution.
 type VersionedDB struct {
 	tables map[string]*vtable
 	// writeResults[seq][q] holds the redo-derived result of write

@@ -12,6 +12,11 @@ import (
 // highest sequence number strictly less than seq — which is exactly what
 // replaying the log prefix OL[1..seq-1] against an abstract key-value
 // store and then issuing get(key) would return (§A.7).
+//
+// Concurrency contract: the build phase (LoadInitial, AddSet) must run
+// on a single goroutine; after it completes, Get/Final/Keys are pure
+// reads and safe from any number of goroutines — the parallel verifier
+// consults the store from every re-execution worker.
 type VersionedKV struct {
 	m map[string][]kvVersion
 }
