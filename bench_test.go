@@ -138,6 +138,46 @@ func BenchmarkFig8ServeOrochiHotCRP(b *testing.B) {
 	benchFig8Serve(b, benchWorkloads()["HotCRP"], true)
 }
 
+// --- Sharded serving path: throughput vs in-flight requests ---
+
+// BenchmarkServeConcurrency sweeps ServeAll concurrency for the
+// recording executor on the lock-striped serving path (object-store
+// shards, striped recorder, RW database lock, lock-free server stats).
+// On a multi-core runner req/s should rise with the goroutine count
+// instead of flat-lining on global mutexes; the "/shards=1" variants pin
+// the single-stripe reference. cmd/orochi-bench -fig serve prints the
+// paper-sized comparison table.
+func BenchmarkServeConcurrency(b *testing.B) {
+	w := benchWorkloads()["Forum"]
+	widths := []int{1, 2, 4, 8}
+	if n := runtime.GOMAXPROCS(0); n > 8 {
+		widths = append(widths, n)
+	}
+	for _, shards := range []int{1, 0} {
+		label := "sharded"
+		if shards == 1 {
+			label = "shards=1"
+		}
+		for _, conc := range widths {
+			b.Run(fmt.Sprintf("%s/c=%d", label, conc), func(b *testing.B) {
+				var reqs int
+				var wall float64
+				for i := 0; i < b.N; i++ {
+					served, err := harness.Serve(w, harness.ServeConfig{
+						Record: true, Concurrency: conc, Shards: shards,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					reqs += served.Requests
+					wall += served.ServeWall.Seconds()
+				}
+				b.ReportMetric(float64(reqs)/wall, "req/s")
+			})
+		}
+	}
+}
+
 // --- Fig. 8 right: latency under load (scaled; full sweep in cmd) ---
 
 func BenchmarkFig8Latency(b *testing.B) {

@@ -10,6 +10,7 @@
 //	orochi-bench -fig 11           Fig. 11 group characteristics
 //	orochi-bench -fig frontier     §3.5/§A.8 time-precedence algorithm
 //	orochi-bench -fig workers      parallel audit: speedup vs sequential per worker count
+//	orochi-bench -fig serve        serving throughput vs concurrency, global-ish lock vs sharded
 //	orochi-bench -fig all          everything
 //
 // -audit-workers sets the verifier's worker pool for the audit-running
@@ -37,7 +38,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure/table to regenerate (8, 8lat, 9, 10, 11, frontier, workers, all)")
+	fig := flag.String("fig", "all", "which figure/table to regenerate (8, 8lat, 9, 10, 11, frontier, workers, serve, all)")
 	scale := flag.Int("scale", 10, "divide paper-sized workloads by this factor (1 = full size)")
 	conc := flag.Int("concurrency", 8, "in-flight requests while serving")
 	// The paper-shape figures default to the sequential audit so the
@@ -60,6 +61,8 @@ func main() {
 		fig11(*scale, *conc, *auditWorkers)
 	case "workers":
 		figWorkers(*scale, *conc)
+	case "serve":
+		figServe(*scale)
 	case "all":
 		fig8(*scale, *conc, *auditWorkers)
 		fig9(*scale, *conc, *auditWorkers)
@@ -67,6 +70,7 @@ func main() {
 		fig11(*scale, *conc, *auditWorkers)
 		figFrontier()
 		figWorkers(*scale, *conc)
+		figServe(*scale)
 		fig8lat(*scale, *conc)
 	case "frontier":
 		figFrontier()
@@ -472,6 +476,44 @@ func figWorkers(scale, conc int) {
 			row += "\t" + round(t)
 		}
 		fmt.Fprintf(tw, "%s\t%.2fx\n", row, float64(seq)/float64(best))
+	}
+	tw.Flush()
+}
+
+// figServe sweeps serving concurrency for the recording executor,
+// comparing one lock stripe (≈ the old global-mutex serving path) with
+// the default sharded configuration. Each cell serves the workload once
+// (best of 2) and reports requests/second; the sharded column should
+// keep climbing with goroutine count where the single stripe flattens.
+func figServe(scale int) {
+	maxConc := runtime.GOMAXPROCS(0)
+	fmt.Printf("\n=== Serving throughput vs concurrency: striped vs single-stripe (scale 1/%d) ===\n", scale)
+	fmt.Println("per-object shard locks + lock-free executor stats: serving should scale")
+	fmt.Println("with in-flight requests instead of serializing on global mutexes")
+	var widths []int
+	for c := 1; c < maxConc; c *= 2 {
+		widths = append(widths, c)
+	}
+	widths = append(widths, maxConc)
+	rate := func(w *workload.Workload, conc, shards int) float64 {
+		best := 0.0
+		for rep := 0; rep < 2; rep++ {
+			served, err := harness.Serve(w, harness.ServeConfig{Record: true, Concurrency: conc, Shards: shards})
+			check(err)
+			if r := float64(served.Requests) / served.ServeWall.Seconds(); r > best {
+				best = r
+			}
+		}
+		return best
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "app\tconcurrency\tshards=1 req/s\tsharded req/s\tspeedup")
+	for _, item := range workloads(scale) {
+		for _, conc := range widths {
+			one := rate(item.w, conc, 1)
+			many := rate(item.w, conc, 0)
+			fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.0f\t%.2fx\n", item.name, conc, one, many, many/one)
+		}
 	}
 	tw.Flush()
 }

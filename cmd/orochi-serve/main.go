@@ -62,6 +62,7 @@ func main() {
 	epochAudit := flag.Bool("epoch-audit", true, "run the background auditor over sealed epochs (with -epoch-dir)")
 	auditWorkers := flag.Int("audit-workers", 0, "concurrent re-execution workers in the background auditor (0 = half the CPUs, to leave room for serving; 1 = sequential)")
 	faultRate := flag.Float64("fault-rate", 0, "inject faulting requests (unknown script, undefined function, bad SQL) into the workload at this rate; the audit must still ACCEPT")
+	shards := flag.Int("shards", 0, "lock-stripe count for the object store and recorder (0 = default); reports are identical at every setting")
 	flag.Parse()
 
 	app := apps.ByName(*appName)
@@ -88,7 +89,7 @@ func main() {
 	}
 
 	prog := w.App.Compile()
-	srv := server.New(prog, server.Options{Record: true})
+	srv := server.New(prog, server.Options{Record: true, Shards: *shards})
 	exitOn(srv.Setup(w.App.Schema))
 	exitOn(srv.Setup(w.Seed))
 	snap := srv.Snapshot()
@@ -159,9 +160,30 @@ func main() {
 		}
 		fmt.Fprintf(rw, "flushed to %s\n", *outDir)
 	})
+	// Live throughput counters: the stats read path is entirely atomic
+	// (no lock shared with serving), so polling /-/stats under full load
+	// never perturbs the executor's hot path.
+	serveStart := time.Now()
+	var lastStats struct {
+		sync.Mutex
+		at   time.Time
+		reqs int64
+	}
+	lastStats.at = serveStart
 	mux.HandleFunc("/-/stats", func(rw http.ResponseWriter, r *http.Request) {
 		cpu, n := srv.CPU()
-		fmt.Fprintf(rw, "requests=%d cpu=%v\n", n, cpu)
+		now := time.Now()
+		avgRate := float64(n) / now.Sub(serveStart).Seconds()
+		// Instantaneous rate over the window since the previous poll.
+		lastStats.Lock()
+		instRate := avgRate
+		if dt := now.Sub(lastStats.at).Seconds(); dt > 0 && lastStats.reqs <= n {
+			instRate = float64(n-lastStats.reqs) / dt
+		}
+		lastStats.at, lastStats.reqs = now, n
+		lastStats.Unlock()
+		fmt.Fprintf(rw, "requests=%d cpu=%v inflight=%d reqs_per_sec=%.1f reqs_per_sec_avg=%.1f uptime=%v\n",
+			n, cpu, srv.InFlight(), instRate, avgRate, now.Sub(serveStart).Round(time.Millisecond))
 	})
 	mux.HandleFunc("/-/epochs", func(rw http.ResponseWriter, r *http.Request) {
 		if mgr == nil {

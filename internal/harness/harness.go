@@ -28,6 +28,9 @@ type ServeConfig struct {
 	Clock func() time.Time
 	// RandSeed seeds server-side randomness.
 	RandSeed int64
+	// Shards is the lock-stripe count of the object store and recorder
+	// (0 = default). Reports are identical at every setting.
+	Shards int
 	// TamperResponse is the misbehaving-executor hook.
 	TamperResponse func(rid, body string) string
 }
@@ -58,6 +61,7 @@ func Serve(w *workload.Workload, cfg ServeConfig) (*Served, error) {
 		Record:         cfg.Record,
 		Clock:          cfg.Clock,
 		RandSeed:       cfg.RandSeed,
+		Shards:         cfg.Shards,
 		TamperResponse: cfg.TamperResponse,
 	})
 	if err := srv.Setup(w.App.Schema); err != nil {

@@ -18,75 +18,132 @@ import (
 )
 
 // Store holds all shared objects of one server.
+//
+// Registers and the KV store are lock-striped: object state lives in
+// Shards shards, each owning its maps and mutex, with an object assigned
+// to the shard its name hashes to. An operation takes exactly its
+// object's shard lock, which preserves the paper's consistency
+// contracts — a register stays atomic (all ops on one register serialize
+// on one shard lock) and the KV store stays linearizable (ops on one key
+// serialize on one shard lock; ops on different keys commute, and the
+// recorder's ticket counter orders them consistently with real time, see
+// reports.Recorder) — while concurrent requests touching different
+// objects no longer contend on a global mutex.
+//
+// Operation recording happens inside the shard's critical section, so
+// each object's log order provably matches its serialization order: the
+// same lock that orders the state change orders the log append.
 type Store struct {
-	regMu sync.Mutex
-	regs  map[string]lang.Value
-
-	kvMu sync.Mutex
-	kv   map[string]lang.Value
+	shards []storeShard
 
 	// DB is the SQL database (exported: the server seeds schemas and
 	// benchmarks inspect sizes).
 	DB *sqlmini.DB
 }
 
-// NewStore returns an empty store with a fresh database.
-func NewStore() *Store {
-	return &Store{
-		regs: make(map[string]lang.Value),
-		kv:   make(map[string]lang.Value),
-		DB:   sqlmini.NewDB(),
-	}
+// storeShard is one lock stripe of the store. Registers and KV keys
+// hash into stripes independently (the kind participates in the hash).
+type storeShard struct {
+	mu   sync.Mutex
+	regs map[string]lang.Value
+	kv   map[string]lang.Value
 }
 
-// RegisterRead atomically reads register name, logging under the lock.
+// NewStore returns an empty store with a fresh database and the default
+// shard count.
+func NewStore() *Store {
+	return NewStoreShards(0)
+}
+
+// NewStoreShards returns an empty store with n lock stripes (n <= 0
+// selects reports.DefaultShards). The stripe count affects only lock
+// contention, never consistency or the recorded reports.
+func NewStoreShards(n int) *Store {
+	n = reports.NormShards(n)
+	s := &Store{
+		shards: make([]storeShard, n),
+		DB:     sqlmini.NewDB(),
+	}
+	for i := range s.shards {
+		s.shards[i].regs = make(map[string]lang.Value)
+		s.shards[i].kv = make(map[string]lang.Value)
+	}
+	return s
+}
+
+// ShardCount reports the number of lock stripes.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+func (s *Store) shard(kind reports.ObjectKind, name string) *storeShard {
+	return &s.shards[reports.StripeIndex(kind, name, len(s.shards))]
+}
+
+// RegisterRead atomically reads register name, logging under the shard
+// lock. The clone happens outside the critical section: stored values
+// are never mutated in place (every write stores a fresh clone), so the
+// reference grabbed under the lock stays immutable.
 func (s *Store) RegisterRead(name string, rec *reports.Recorder, rid string, opnum int) lang.Value {
-	s.regMu.Lock()
-	defer s.regMu.Unlock()
-	v := s.regs[name]
+	sh := s.shard(reports.RegisterObj, name)
+	sh.mu.Lock()
+	v := sh.regs[name]
 	if rec != nil {
 		rec.RecordObjOp(reports.ObjectID{Kind: reports.RegisterObj, Name: name}, reports.OpEntry{
 			RID: rid, Opnum: opnum, Type: lang.RegisterRead, Key: name,
 		})
 	}
+	sh.mu.Unlock()
 	return lang.CloneValue(v)
 }
 
-// RegisterWrite atomically writes register name.
+// RegisterWrite atomically writes register name. The clone and the
+// canonical encoding are computed before the critical section.
 func (s *Store) RegisterWrite(name string, v lang.Value, rec *reports.Recorder, rid string, opnum int) {
-	s.regMu.Lock()
-	defer s.regMu.Unlock()
-	s.regs[name] = lang.CloneValue(v)
+	cl := lang.CloneValue(v)
+	var enc string
+	if rec != nil {
+		enc = lang.EncodeValue(v)
+	}
+	sh := s.shard(reports.RegisterObj, name)
+	sh.mu.Lock()
+	sh.regs[name] = cl
 	if rec != nil {
 		rec.RecordObjOp(reports.ObjectID{Kind: reports.RegisterObj, Name: name}, reports.OpEntry{
-			RID: rid, Opnum: opnum, Type: lang.RegisterWrite, Key: name, Value: lang.EncodeValue(v),
+			RID: rid, Opnum: opnum, Type: lang.RegisterWrite, Key: name, Value: enc,
 		})
 	}
+	sh.mu.Unlock()
 }
 
 // KvGet linearizably reads key from the KV store.
 func (s *Store) KvGet(key string, rec *reports.Recorder, rid string, opnum int) lang.Value {
-	s.kvMu.Lock()
-	defer s.kvMu.Unlock()
-	v := s.kv[key]
+	sh := s.shard(reports.KVObj, key)
+	sh.mu.Lock()
+	v := sh.kv[key]
 	if rec != nil {
 		rec.RecordObjOp(reports.ObjectID{Kind: reports.KVObj, Name: "apc"}, reports.OpEntry{
 			RID: rid, Opnum: opnum, Type: lang.KvGet, Key: key,
 		})
 	}
+	sh.mu.Unlock()
 	return lang.CloneValue(v)
 }
 
 // KvSet linearizably writes key in the KV store.
 func (s *Store) KvSet(key string, v lang.Value, rec *reports.Recorder, rid string, opnum int) {
-	s.kvMu.Lock()
-	defer s.kvMu.Unlock()
-	s.kv[key] = lang.CloneValue(v)
+	cl := lang.CloneValue(v)
+	var enc string
+	if rec != nil {
+		enc = lang.EncodeValue(v)
+	}
+	sh := s.shard(reports.KVObj, key)
+	sh.mu.Lock()
+	sh.kv[key] = cl
 	if rec != nil {
 		rec.RecordObjOp(reports.ObjectID{Kind: reports.KVObj, Name: "apc"}, reports.OpEntry{
-			RID: rid, Opnum: opnum, Type: lang.KvSet, Key: key, Value: lang.EncodeValue(v),
+			RID: rid, Opnum: opnum, Type: lang.KvSet, Key: key, Value: enc,
 		})
 	}
+	sh.mu.Unlock()
 }
 
 // Snapshot is the persistent-object state at an audit boundary; the
@@ -98,22 +155,26 @@ type Snapshot struct {
 	Tables    []*sqlmini.Table
 }
 
-// Snapshot captures the current object state.
+// Snapshot captures the current object state. Call it only at balanced
+// points (no requests in flight), as the audit boundary requires; shard
+// locks are taken one at a time, so a mid-traffic call would not be an
+// atomic cut across shards.
 func (s *Store) Snapshot() *Snapshot {
 	out := &Snapshot{
 		Registers: make(map[string]lang.Value),
 		KV:        make(map[string]lang.Value),
 	}
-	s.regMu.Lock()
-	for k, v := range s.regs {
-		out.Registers[k] = lang.CloneValue(v)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, v := range sh.regs {
+			out.Registers[k] = lang.CloneValue(v)
+		}
+		for k, v := range sh.kv {
+			out.KV[k] = lang.CloneValue(v)
+		}
+		sh.mu.Unlock()
 	}
-	s.regMu.Unlock()
-	s.kvMu.Lock()
-	for k, v := range s.kv {
-		out.KV[k] = lang.CloneValue(v)
-	}
-	s.kvMu.Unlock()
 	for _, name := range s.DB.Tables() {
 		out.Tables = append(out.Tables, s.DB.TableCopy(name))
 	}

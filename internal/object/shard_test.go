@@ -1,0 +1,129 @@
+package object
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"orochi/internal/lang"
+	"orochi/internal/reports"
+)
+
+// TestShardCountsBehaveIdentically: basic register/KV semantics hold at
+// every stripe count, including 1 (the old global-lock shape).
+func TestShardCountsBehaveIdentically(t *testing.T) {
+	for _, n := range []int{1, 2, 16, 64} {
+		s := NewStoreShards(n)
+		if s.ShardCount() != n {
+			t.Fatalf("ShardCount = %d want %d", s.ShardCount(), n)
+		}
+		for i := 0; i < 50; i++ {
+			name := fmt.Sprintf("reg%d", i)
+			s.RegisterWrite(name, int64(i), nil, "r", 1)
+			s.KvSet(fmt.Sprintf("key%d", i), fmt.Sprintf("v%d", i), nil, "r", 2)
+		}
+		for i := 0; i < 50; i++ {
+			if v := s.RegisterRead(fmt.Sprintf("reg%d", i), nil, "r", 3); v != int64(i) {
+				t.Fatalf("shards=%d: reg%d = %v", n, i, v)
+			}
+			if v := s.KvGet(fmt.Sprintf("key%d", i), nil, "r", 4); v != fmt.Sprintf("v%d", i) {
+				t.Fatalf("shards=%d: key%d = %v", n, i, v)
+			}
+		}
+		snap := s.Snapshot()
+		if len(snap.Registers) != 50 || len(snap.KV) != 50 {
+			t.Fatalf("shards=%d: snapshot sizes %d/%d", n, len(snap.Registers), len(snap.KV))
+		}
+	}
+}
+
+// TestShardedKVLogIsLegalLinearization hammers the striped KV store from
+// concurrent writers across many keys and checks the single merged apc
+// log: for every key, the last logged set equals the store's final
+// value, and per-key log order matches each writer's issue order.
+func TestShardedKVLogIsLegalLinearization(t *testing.T) {
+	s := NewStoreShards(8)
+	rec := reports.NewRecorderShards(8)
+	const keys, writes = 12, 30
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			key := fmt.Sprintf("key%d", k)
+			for i := 0; i < writes; i++ {
+				s.KvSet(key, int64(i), rec, fmt.Sprintf("r-%d-%d", k, i), 1)
+			}
+		}(k)
+	}
+	wg.Wait()
+	rep := rec.Finalize()
+	idx := rep.LogIndex(reports.ObjectID{Kind: reports.KVObj, Name: "apc"})
+	if idx < 0 {
+		t.Fatal("apc log missing")
+	}
+	log := rep.OpLogs[idx]
+	if len(log) != keys*writes {
+		t.Fatalf("log length = %d want %d", len(log), keys*writes)
+	}
+	lastLogged := make(map[string]lang.Value, keys)
+	seen := make(map[string]int64, keys)
+	for _, e := range log {
+		v, err := lang.DecodeValue(e.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Per-key order must be the writer's issue order 0,1,2,...
+		if v.(int64) != seen[e.Key] {
+			t.Fatalf("key %s logged %v, want %d (per-key order violated)", e.Key, v, seen[e.Key])
+		}
+		seen[e.Key]++
+		lastLogged[e.Key] = v
+	}
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("key%d", k)
+		final := s.KvGet(key, nil, "x", 1)
+		if !lang.Equal(final, lastLogged[key]) {
+			t.Fatalf("key %s: final %v != last logged %v", key, final, lastLogged[key])
+		}
+	}
+}
+
+// TestShardedRegisterConcurrentDistinctNames: concurrent traffic on
+// distinct registers lands each op in its own per-object log, complete
+// and in per-register program order.
+func TestShardedRegisterConcurrentDistinctNames(t *testing.T) {
+	s := NewStoreShards(4)
+	rec := reports.NewRecorderShards(4)
+	const regs, writes = 9, 25
+	var wg sync.WaitGroup
+	for r := 0; r < regs; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			name := fmt.Sprintf("reg%d", r)
+			for i := 0; i < writes; i++ {
+				s.RegisterWrite(name, int64(i), rec, fmt.Sprintf("r-%d-%d", r, i), 1)
+			}
+		}(r)
+	}
+	wg.Wait()
+	rep := rec.Finalize()
+	for r := 0; r < regs; r++ {
+		name := fmt.Sprintf("reg%d", r)
+		idx := rep.LogIndex(reports.ObjectID{Kind: reports.RegisterObj, Name: name})
+		if idx < 0 {
+			t.Fatalf("register %s log missing", name)
+		}
+		log := rep.OpLogs[idx]
+		if len(log) != writes {
+			t.Fatalf("register %s log length %d want %d", name, len(log), writes)
+		}
+		for i, e := range log {
+			want := lang.EncodeValue(lang.Value(int64(i)))
+			if e.Value != want {
+				t.Fatalf("register %s entry %d = %q want %q", name, i, e.Value, want)
+			}
+		}
+	}
+}

@@ -1,70 +1,190 @@
 package reports
 
 import (
+	"hash/maphash"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Recorder is the server-side recording library (§4.4, §4.6, §4.7). It
 // is safe for concurrent use by many request-handler goroutines.
 //
-// Register and KV operations are appended to per-object logs under the
-// issuing object's lock (the object layer calls the record function
-// while holding it), so log order equals the objects' linearization
-// order. DB operations are recorded per-session into sub-logs carrying
-// the global sequence number that the database engine assigned inside
-// its commit critical section; Finalize "stitches" the sub-logs by
-// sorting on that sequence number, exactly like OROCHI's stitching
-// daemon (§4.7).
+// The recorder is lock-striped: record state is spread over Shards
+// stripes, each guarded by its own mutex, so concurrent request handlers
+// touching unrelated objects (or unrelated requests) never contend on a
+// global recorder lock. Striping never changes the produced reports —
+// Finalize merges the stripes into a canonical, stripe-count-independent
+// artifact (see below) — it only changes which mutex an append takes.
+//
+// Ordering guarantees, per record kind:
+//
+//   - Register operations are appended to per-object logs while the
+//     caller holds the object's lock (the object layer invokes
+//     RecordObjOp inside its shard's critical section), and one register
+//     always lands in one stripe, so log order equals the register's
+//     linearization order.
+//
+//   - KV-store operations are striped by *key* (so that the single
+//     logical KV object does not re-serialize all requests through one
+//     stripe). Each op draws a ticket from an atomic sequence counter
+//     while the caller holds the key's object-shard lock; Finalize
+//     merges the stripes by ticket into the KV object's single log. The
+//     merged order is a legal linearization of the KV store: ops on the
+//     same key are ordered by the shard lock under which their tickets
+//     were drawn, ops on different keys commute, and the counter is
+//     monotonic in real time, so the log also respects the trace's
+//     external (time-precedence) order.
+//
+//   - DB operations are recorded per-session into sub-logs carrying the
+//     global sequence number that the database engine assigned inside
+//     its commit critical section; Finalize "stitches" the sub-logs by
+//     sorting on that sequence number, exactly like OROCHI's stitching
+//     daemon (§4.7).
+//
+//   - Control-flow groups are striped by tag, and op counts /
+//     non-determinism records by requestID, so each map key's entries
+//     live whole in one stripe and per-key order is preserved.
 type Recorder struct {
+	shards []recorderShard
+	// kvSeq tickets KV-store operations into a single total order (see
+	// the linearization argument above).
+	kvSeq atomic.Int64
+	// subRR round-robins finished DB sub-logs across stripes; stitching
+	// sorts by engine sequence number, so placement is immaterial.
+	subRR atomic.Int64
+}
+
+// recorderShard is one lock stripe of the recorder.
+type recorderShard struct {
 	mu       sync.Mutex
 	objIdx   map[ObjectID]int
 	objects  []ObjectID
 	opLogs   [][]OpEntry
+	kvLogs   map[ObjectID][]seqEntry
 	groups   map[uint64][]string
 	scripts  map[uint64]string
 	opCounts map[string]int
 	nonDet   map[string][]NDEntry
-	dbSubs   [][]dbSubEntry
+	dbSubs   [][]seqEntry
 }
 
-type dbSubEntry struct {
+// seqEntry is an operation paired with the sequence number that orders
+// it: the recorder's ticket for KV ops, the engine's commit sequence
+// for DB ops.
+type seqEntry struct {
 	seq   int64
 	entry OpEntry
 }
 
-// NewRecorder returns an empty recorder.
-func NewRecorder() *Recorder {
-	return &Recorder{
-		objIdx:   make(map[ObjectID]int),
-		groups:   make(map[uint64][]string),
-		scripts:  make(map[uint64]string),
-		opCounts: make(map[string]int),
-		nonDet:   make(map[string][]NDEntry),
+// mergeBySeq sorts the entries by sequence number and unwraps them into
+// a plain operation log.
+func mergeBySeq(entries []seqEntry) []OpEntry {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	out := make([]OpEntry, len(entries))
+	for i, e := range entries {
+		out[i] = e.entry
 	}
+	return out
+}
+
+// ridStripeKind is the pseudo-kind under which per-request records (op
+// counts, nondet) hash into stripes. Real object kinds start at 1, so 0
+// is free to namespace requestIDs apart from object names.
+const ridStripeKind ObjectKind = 0
+
+// DefaultShards is the default stripe count of recorders and object
+// stores. It is a fixed constant (not derived from the machine) so that
+// default-configured servers behave identically everywhere.
+const DefaultShards = 16
+
+// NormShards resolves a shard-count option: values <= 0 select
+// DefaultShards, everything else is used as given.
+func NormShards(n int) int {
+	if n <= 0 {
+		return DefaultShards
+	}
+	return n
+}
+
+// stripeSeed seeds the recorder's stripe hash. A process-wide seed keeps
+// stripe selection consistent between a Store and its Recorder.
+var stripeSeed = maphash.MakeSeed()
+
+// StripeIndex maps an object-kind/name pair onto one of n stripes. The
+// object layer uses the same function so that an object's store shard
+// and its recorder stripe coincide.
+func StripeIndex(kind ObjectKind, name string, n int) int {
+	var h maphash.Hash
+	h.SetSeed(stripeSeed)
+	h.WriteByte(byte(kind))
+	h.WriteString(name)
+	return int(h.Sum64() % uint64(n))
+}
+
+// NewRecorder returns an empty recorder with the default stripe count.
+func NewRecorder() *Recorder {
+	return NewRecorderShards(0)
+}
+
+// NewRecorderShards returns an empty recorder with n lock stripes
+// (n <= 0 selects DefaultShards). The stripe count never affects the
+// reports Finalize produces, only lock contention while recording.
+func NewRecorderShards(n int) *Recorder {
+	n = NormShards(n)
+	r := &Recorder{shards: make([]recorderShard, n)}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.objIdx = make(map[ObjectID]int)
+		sh.kvLogs = make(map[ObjectID][]seqEntry)
+		sh.groups = make(map[uint64][]string)
+		sh.scripts = make(map[uint64]string)
+		sh.opCounts = make(map[string]int)
+		sh.nonDet = make(map[string][]NDEntry)
+	}
+	return r
+}
+
+func (r *Recorder) shardByName(kind ObjectKind, name string) *recorderShard {
+	return &r.shards[StripeIndex(kind, name, len(r.shards))]
+}
+
+func (r *Recorder) shardByTag(tag uint64) *recorderShard {
+	return &r.shards[int(tag%uint64(len(r.shards)))]
 }
 
 // RecordObjOp appends an operation to the named object's log. The caller
 // must invoke it while holding the object's lock so that log order
-// matches the linearization order.
+// matches the linearization order. KV-store operations are striped by
+// key and ticketed (see the type comment); all other objects append to
+// their own per-object log in the stripe their name hashes to.
 func (r *Recorder) RecordObjOp(id ObjectID, e OpEntry) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	idx, ok := r.objIdx[id]
-	if !ok {
-		idx = len(r.objects)
-		r.objIdx[id] = idx
-		r.objects = append(r.objects, id)
-		r.opLogs = append(r.opLogs, nil)
+	if id.Kind == KVObj {
+		seq := r.kvSeq.Add(1)
+		sh := r.shardByName(id.Kind, e.Key)
+		sh.mu.Lock()
+		sh.kvLogs[id] = append(sh.kvLogs[id], seqEntry{seq: seq, entry: e})
+		sh.mu.Unlock()
+		return
 	}
-	r.opLogs[idx] = append(r.opLogs[idx], e)
+	sh := r.shardByName(id.Kind, id.Name)
+	sh.mu.Lock()
+	idx, ok := sh.objIdx[id]
+	if !ok {
+		idx = len(sh.objects)
+		sh.objIdx[id] = idx
+		sh.objects = append(sh.objects, id)
+		sh.opLogs = append(sh.opLogs, nil)
+	}
+	sh.opLogs[idx] = append(sh.opLogs[idx], e)
+	sh.mu.Unlock()
 }
 
 // Session is a per-request-handler recording context holding the DB
 // sub-log (per-connection logging, §4.7).
 type Session struct {
 	rec *Recorder
-	sub []dbSubEntry
+	sub []seqEntry
 }
 
 // NewSession opens a recording session for one request handler.
@@ -75,7 +195,7 @@ func (r *Recorder) NewSession() *Session {
 // RecordDBOp appends a DB transaction to the session's sub-log; seq is
 // the global sequence number the engine assigned at commit.
 func (s *Session) RecordDBOp(seq int64, e OpEntry) {
-	s.sub = append(s.sub, dbSubEntry{seq: seq, entry: e})
+	s.sub = append(s.sub, seqEntry{seq: seq, entry: e})
 }
 
 // Close hands the session's sub-log to the recorder.
@@ -83,88 +203,128 @@ func (s *Session) Close() {
 	if len(s.sub) == 0 {
 		return
 	}
-	s.rec.mu.Lock()
-	defer s.rec.mu.Unlock()
-	s.rec.dbSubs = append(s.rec.dbSubs, s.sub)
+	sh := &s.rec.shards[int(uint64(s.rec.subRR.Add(1))%uint64(len(s.rec.shards)))]
+	sh.mu.Lock()
+	sh.dbSubs = append(sh.dbSubs, s.sub)
+	sh.mu.Unlock()
 	s.sub = nil
 }
 
 // RecordGroup assigns a request to its control-flow group.
 func (r *Recorder) RecordGroup(tag uint64, script, rid string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.groups[tag] = append(r.groups[tag], rid)
-	r.scripts[tag] = script
+	sh := r.shardByTag(tag)
+	sh.mu.Lock()
+	sh.groups[tag] = append(sh.groups[tag], rid)
+	sh.scripts[tag] = script
+	sh.mu.Unlock()
 }
 
 // RecordOpCount records report M for one request.
 func (r *Recorder) RecordOpCount(rid string, count int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.opCounts[rid] = count
+	sh := r.shardByName(ridStripeKind, rid)
+	sh.mu.Lock()
+	sh.opCounts[rid] = count
+	sh.mu.Unlock()
 }
 
 // RecordNonDet appends a non-deterministic return value for rid.
 func (r *Recorder) RecordNonDet(rid string, e NDEntry) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.nonDet[rid] = append(r.nonDet[rid], e)
+	sh := r.shardByName(ridStripeKind, rid)
+	sh.mu.Lock()
+	sh.nonDet[rid] = append(sh.nonDet[rid], e)
+	sh.mu.Unlock()
 }
 
-// Finalize stitches the DB sub-logs into the database object's log and
-// returns the complete report bundle. The recorder remains usable; a
-// later Finalize reflects additional recording.
+// Finalize merges the stripes, stitches the DB sub-logs into the
+// database object's log, and returns the complete report bundle. The
+// recorder remains usable; a later Finalize reflects additional
+// recording.
+//
+// The produced artifact is canonical — independent of the stripe count
+// and of which stripe held what:
+//
+//   - Objects are emitted in sorted (Kind, Name) order, with OpLogs
+//     aligned.
+//   - The KV object's log is the seq-ticket merge of its striped
+//     entries; the DB object's log is the engine-seq merge of the
+//     session sub-logs.
+//   - Groups, scripts, op counts and non-determinism records are map
+//     merges whose per-key contents each live whole in one stripe.
+//
+// A Recorder with one stripe therefore serializes to byte-identical
+// reports as one with N stripes for the same recorded history (pinned
+// by TestShardedRecorderEquivalence).
 func (r *Recorder) Finalize() *Reports {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	// Lock all stripes for the duration of the merge so Finalize sees an
+	// atomic snapshot, exactly like the old single-mutex recorder.
+	for i := range r.shards {
+		r.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range r.shards {
+			r.shards[i].mu.Unlock()
+		}
+	}()
+
 	out := &Reports{
-		Groups:   make(map[uint64][]string, len(r.groups)),
-		Scripts:  make(map[uint64]string, len(r.scripts)),
-		OpCounts: make(map[string]int, len(r.opCounts)),
-		NonDet:   make(map[string][]NDEntry, len(r.nonDet)),
+		Groups:   make(map[uint64][]string),
+		Scripts:  make(map[uint64]string),
+		OpCounts: make(map[string]int),
+		NonDet:   make(map[string][]NDEntry),
 	}
-	for k, v := range r.groups {
-		out.Groups[k] = append([]string(nil), v...)
-	}
-	for k, v := range r.scripts {
-		out.Scripts[k] = v
-	}
-	for k, v := range r.opCounts {
-		out.OpCounts[k] = v
-	}
-	for k, v := range r.nonDet {
-		out.NonDet[k] = append([]NDEntry(nil), v...)
-	}
-	out.Objects = append([]ObjectID(nil), r.objects...)
-	out.OpLogs = make([][]OpEntry, len(r.opLogs))
-	for i, log := range r.opLogs {
-		out.OpLogs[i] = append([]OpEntry(nil), log...)
-	}
-	// Stitch DB sub-logs: merge and sort by engine sequence number.
-	var merged []dbSubEntry
-	for _, sub := range r.dbSubs {
-		merged = append(merged, sub...)
-	}
-	if len(merged) > 0 {
-		sort.Slice(merged, func(i, j int) bool { return merged[i].seq < merged[j].seq })
-		id := ObjectID{Kind: DBObj, Name: "main"}
-		idx := -1
-		for i, o := range out.Objects {
-			if o == id {
-				idx = i
-				break
-			}
+	logs := make(map[ObjectID][]OpEntry)
+	kvMerged := make(map[ObjectID][]seqEntry)
+	var dbMerged []seqEntry
+	for i := range r.shards {
+		sh := &r.shards[i]
+		for idx, id := range sh.objects {
+			logs[id] = append(logs[id], sh.opLogs[idx]...)
 		}
-		if idx == -1 {
-			out.Objects = append(out.Objects, id)
-			out.OpLogs = append(out.OpLogs, nil)
-			idx = len(out.Objects) - 1
+		for id, entries := range sh.kvLogs {
+			kvMerged[id] = append(kvMerged[id], entries...)
 		}
-		entries := make([]OpEntry, len(merged))
-		for i, m := range merged {
-			entries[i] = m.entry
+		for k, v := range sh.groups {
+			out.Groups[k] = append([]string(nil), v...)
 		}
-		out.OpLogs[idx] = entries
+		for k, v := range sh.scripts {
+			out.Scripts[k] = v
+		}
+		for k, v := range sh.opCounts {
+			out.OpCounts[k] = v
+		}
+		for k, v := range sh.nonDet {
+			out.NonDet[k] = append([]NDEntry(nil), v...)
+		}
+		for _, sub := range sh.dbSubs {
+			dbMerged = append(dbMerged, sub...)
+		}
+	}
+	// KV logs: merge each KV object's striped entries by ticket.
+	for id, entries := range kvMerged {
+		logs[id] = mergeBySeq(entries)
+	}
+	// DB log: stitch the sub-logs by engine sequence number.
+	if len(dbMerged) > 0 {
+		logs[ObjectID{Kind: DBObj, Name: "main"}] = mergeBySeq(dbMerged)
+	}
+	// Canonical object order: sorted by (Kind, Name). Log order within
+	// each object is the linearization order established above; object
+	// order carries no semantics (the verifier indexes logs by ObjectID),
+	// so sorting pins a stripe-count-independent artifact.
+	ids := make([]ObjectID, 0, len(logs))
+	for id := range logs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Kind != ids[j].Kind {
+			return ids[i].Kind < ids[j].Kind
+		}
+		return ids[i].Name < ids[j].Name
+	})
+	out.Objects = ids
+	out.OpLogs = make([][]OpEntry, len(ids))
+	for i, id := range ids {
+		out.OpLogs[i] = append([]OpEntry(nil), logs[id]...)
 	}
 	return out
 }

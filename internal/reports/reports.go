@@ -166,6 +166,52 @@ func (r *Reports) SortGroups() []uint64 {
 	return tags
 }
 
+// CanonicalBytes renders the reports into a deterministic byte form.
+// Encode (gob) is not canonical — Go randomizes map iteration order — so
+// equivalence tests and content comparisons use this rendering: every
+// map is emitted in sorted key order, slices in their stored order, and
+// every OpEntry field is spelled out. Two Reports values describing the
+// same recorded history produce identical CanonicalBytes regardless of
+// how (or with how many recorder stripes) they were collected.
+func (r *Reports) CanonicalBytes() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "groups %d\n", len(r.Groups))
+	for _, tag := range r.SortGroups() {
+		fmt.Fprintf(&b, "group %x script %q rids %q\n", tag, r.Scripts[tag], r.Groups[tag])
+	}
+	fmt.Fprintf(&b, "objects %d\n", len(r.Objects))
+	for i, id := range r.Objects {
+		fmt.Fprintf(&b, "object %d %v ops %d\n", i, id, len(r.OpLogs[i]))
+		for j, e := range r.OpLogs[i] {
+			fmt.Fprintf(&b, "  op %d rid %q opnum %d type %d key %q value %q stmts %q ok %v\n",
+				j, e.RID, e.Opnum, e.Type, e.Key, e.Value, e.Stmts, e.OK)
+		}
+	}
+	rids := make([]string, 0, len(r.OpCounts))
+	for rid := range r.OpCounts {
+		rids = append(rids, rid)
+	}
+	sort.Strings(rids)
+	fmt.Fprintf(&b, "opcounts %d\n", len(rids))
+	for _, rid := range rids {
+		fmt.Fprintf(&b, "m %q %d\n", rid, r.OpCounts[rid])
+	}
+	nds := make([]string, 0, len(r.NonDet))
+	for rid := range r.NonDet {
+		nds = append(nds, rid)
+	}
+	sort.Strings(nds)
+	fmt.Fprintf(&b, "nondet %d\n", len(nds))
+	for _, rid := range nds {
+		fmt.Fprintf(&b, "nd %q", rid)
+		for _, e := range r.NonDet[rid] {
+			fmt.Fprintf(&b, " %q=%q", e.Fn, e.Value)
+		}
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
 // Encode serializes the reports with gob and gzip — the wire format the
 // verifier downloads, and the basis of the report-size accounting in
 // Fig. 8.

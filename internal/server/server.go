@@ -5,12 +5,22 @@
 //
 // The server itself is UNTRUSTED in the model; nothing it produces
 // (responses or reports) is assumed correct by the verifier.
+//
+// The per-request hot path is lock-free on server state: statistics are
+// atomic counters, each request derives its RNG seed from an atomic
+// ticket, and the recorder pointer sits behind an atomic.Pointer so
+// SwapRecorder (epoch cuts) never contends with request handling. A
+// request loads the recorder pointer once, at the start of execution,
+// and uses it throughout — so all of a request's records land in one
+// recorder even if a swap races the request (the epoch manager only
+// swaps at balanced points, where no request is in flight at all).
 package server
 
 import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"orochi/internal/lang"
@@ -28,6 +38,11 @@ type Options struct {
 	Clock func() time.Time
 	// RandSeed seeds the per-server random source for mt_rand.
 	RandSeed int64
+	// Shards is the lock-stripe count of the object store and the
+	// recorder (0 = reports.DefaultShards). More stripes reduce
+	// contention between concurrent requests; the recorded reports are
+	// identical at every setting (reports.Recorder canonicalizes).
+	Shards int
 	// TamperResponse, if set, rewrites response bodies after execution —
 	// a misbehaving executor. The trace records the tampered response
 	// (the collector sees what clients see).
@@ -47,24 +62,32 @@ type Server struct {
 
 	opts Options
 
-	mu   sync.Mutex
-	rec  *reports.Recorder // nil when recording is disabled; guarded by mu
-	rng  *rand.Rand
-	cpu  time.Duration // accumulated handler CPU (wall) time
-	reqs int64
+	// rec is nil when recording is disabled. It is swapped atomically at
+	// epoch boundaries; see SwapRecorder.
+	rec atomic.Pointer[reports.Recorder]
+
+	// Hot-path statistics: accumulated handler wall time (ns), request
+	// count, and requests currently being processed. Atomics, so stats
+	// reads (CPU, InFlight) never contend with serving.
+	cpuNanos atomic.Int64
+	reqs     atomic.Int64
+	inFlight atomic.Int64
+
+	// seedTicket numbers requests; each request's RNG seed is derived
+	// from (RandSeed, ticket) without any shared lock.
+	seedTicket atomic.Int64
 }
 
 // New builds a server for prog.
 func New(prog *lang.Program, opts Options) *Server {
 	s := &Server{
 		Prog:      prog,
-		Store:     object.NewStore(),
+		Store:     object.NewStoreShards(opts.Shards),
 		Collector: trace.NewCollector(),
 		opts:      opts,
-		rng:       rand.New(rand.NewSource(opts.RandSeed + 1)),
 	}
 	if opts.Record {
-		s.rec = reports.NewRecorder()
+		s.rec.Store(reports.NewRecorderShards(opts.Shards))
 	}
 	if opts.Tap != nil {
 		s.Collector.SetTap(opts.Tap)
@@ -76,9 +99,7 @@ func New(prog *lang.Program, opts Options) *Server {
 // disabled). The recorder in use can change across audit periods — see
 // SwapRecorder — so callers must not cache it across requests.
 func (s *Server) Recorder() *reports.Recorder {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.rec
+	return s.rec.Load()
 }
 
 // SwapRecorder replaces the recorder with a fresh one and returns the
@@ -88,13 +109,10 @@ func (s *Server) Recorder() *reports.Recorder {
 // across periods. The epoch manager calls it from the collector's Cut
 // hook, where balance holds by construction.
 func (s *Server) SwapRecorder() *reports.Recorder {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	old := s.rec
-	if old != nil {
-		s.rec = reports.NewRecorder()
+	if !s.opts.Record {
+		return nil
 	}
-	return old
+	return s.rec.Swap(reports.NewRecorderShards(s.opts.Shards))
 }
 
 // Setup executes SQL statements against the database before the audited
@@ -125,6 +143,8 @@ func (s *Server) Snapshot() *object.Snapshot {
 // is safe to call from many goroutines (one per in-flight request, as in
 // the concurrency model of §3.2).
 func (s *Server) Handle(in trace.Input) (rid, body string) {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
 	rid = s.Collector.BeginRequest(in)
 	body = s.Process(rid, in)
 	if s.opts.TamperResponse != nil {
@@ -140,26 +160,30 @@ func (s *Server) Handle(in trace.Input) (rid, body string) {
 func (s *Server) Process(rid string, in trace.Input) string {
 	start := time.Now()
 	body := s.run(rid, in)
-	elapsed := time.Since(start)
-	s.mu.Lock()
-	s.cpu += elapsed
-	s.reqs++
-	s.mu.Unlock()
+	s.cpuNanos.Add(int64(time.Since(start)))
+	s.reqs.Add(1)
 	return body
 }
 
+// mix64 is the splitmix64 finalizer: it spreads a seed/ticket pair into
+// a well-distributed per-request RNG seed.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 func (s *Server) run(rid string, in trace.Input) string {
-	s.mu.Lock()
-	seed := s.rng.Int63()
-	rec := s.rec
-	s.mu.Unlock()
+	rec := s.rec.Load()
+	seed := mix64(uint64(s.opts.RandSeed+1) ^ mix64(uint64(s.seedTicket.Add(1))))
 
 	bridge := object.NewBridge(s.Store, rec)
 	defer bridge.Close()
 	if s.opts.Clock != nil {
 		bridge.Clock = s.opts.Clock
 	}
-	bridge.Rand = rand.New(rand.NewSource(seed))
+	bridge.Rand = rand.New(rand.NewSource(int64(seed >> 1)))
 
 	mode := lang.ModePlain
 	if rec != nil {
@@ -221,11 +245,15 @@ func (s *Server) NewPeriod() {
 }
 
 // CPU returns the accumulated handler execution time and request count —
-// the server-side cost measure of §5.1.
+// the server-side cost measure of §5.1. Reads are atomic and never
+// contend with serving.
 func (s *Server) CPU() (time.Duration, int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.cpu, s.reqs
+	return time.Duration(s.cpuNanos.Load()), s.reqs.Load()
+}
+
+// InFlight reports the number of requests currently being handled.
+func (s *Server) InFlight() int64 {
+	return s.inFlight.Load()
 }
 
 // Reports finalizes and returns the recorded reports (nil when recording

@@ -6,7 +6,9 @@ import (
 	"strings"
 )
 
-// execStmt executes a parsed statement; the caller holds db.mu.
+// execStmt executes a parsed statement; the caller holds db.mu — the
+// read lock suffices for SELECT (which never mutates table state), all
+// other statements require the write lock.
 func (db *DB) execStmt(s Stmt) (*Result, error) {
 	switch x := s.(type) {
 	case *CreateTable:

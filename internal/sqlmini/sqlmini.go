@@ -2,8 +2,9 @@
 // this OROCHI reproduction (standing in for MySQL, §4.4). It supports the
 // dialect the applications need — CREATE TABLE, INSERT, SELECT with
 // WHERE/ORDER BY/LIMIT, UPDATE, DELETE, COUNT(*), AUTOINCREMENT — and
-// executes multi-statement transactions atomically under a global lock,
-// which yields strict serializability (the paper's first DB requirement).
+// executes multi-statement transactions atomically under a writer-
+// exclusive lock (read-only transactions share a read lock), which
+// yields strict serializability (the paper's first DB requirement).
 //
 // Execution is fully deterministic: table scans run in insertion order
 // and ORDER BY uses a stable sort, so re-executing the logged statement
@@ -16,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Val is a SQL value: nil, int64, float64 or string.
@@ -102,12 +104,21 @@ func (t *Table) ColIndex(name string) int {
 }
 
 // DB is a deterministic in-memory SQL database. All public methods are
-// safe for concurrent use; transactions serialize on a single lock,
-// providing strict serializability.
+// safe for concurrent use. Writing transactions serialize on an
+// exclusive lock; read-only transactions (all statements SELECT) share a
+// read lock and run concurrently with each other. This preserves strict
+// serializability: readers exclude writers, so every transaction sees a
+// state that some prefix of the writers produced, and the sequence
+// number drawn inside each transaction's critical section is a legal
+// serialization order (concurrent readers commute, and a reader's
+// number is always ordered correctly against every writer it excludes
+// or waits for). The order is also consistent with real time — a
+// transaction that completes before another begins draws a smaller
+// number — which is what OROCHI's DB log stitching relies on (§4.7).
 type DB struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	tables map[string]*Table
-	seq    int64
+	seq    atomic.Int64
 }
 
 // NewDB returns an empty database.
@@ -139,21 +150,37 @@ func (db *DB) ExecTxn(stmts []string) ([]*Result, error) {
 // identity of the aborted attempt).
 func (db *DB) ExecTxnSeq(stmts []string) ([]*Result, int64, error) {
 	parsed := make([]Stmt, len(stmts))
+	readOnly := true
 	for i, s := range stmts {
 		p, err := Parse(s)
 		if err != nil {
-			db.mu.Lock()
-			db.seq++
-			seq := db.seq
-			db.mu.Unlock()
-			return nil, seq, err
+			return nil, db.seq.Add(1), err
+		}
+		if _, sel := p.(*Select); !sel {
+			readOnly = false
 		}
 		parsed[i] = p
 	}
+	if readOnly {
+		// Read-only fast path: SELECTs never mutate table state, so the
+		// transaction runs under the shared lock, concurrently with other
+		// readers. No undo snapshot is needed.
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		seq := db.seq.Add(1)
+		out := make([]*Result, len(parsed))
+		for i, p := range parsed {
+			r, err := db.execStmt(p)
+			if err != nil {
+				return nil, seq, err
+			}
+			out[i] = r
+		}
+		return out, seq, nil
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.seq++
-	seq := db.seq
+	seq := db.seq.Add(1)
 	undo := db.snapshotFor(parsed)
 	out := make([]*Result, len(parsed))
 	for i, p := range parsed {
@@ -220,8 +247,8 @@ func (db *DB) restore(snaps []tableSnapshot) {
 
 // Tables returns the table names, sorted.
 func (db *DB) Tables() []string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	names := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		names = append(names, n)
@@ -233,8 +260,8 @@ func (db *DB) Tables() []string {
 // TableCopy returns a deep copy of the named table (nil if absent); used
 // for state snapshots handed to the verifier.
 func (db *DB) TableCopy(name string) *Table {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, ok := db.tables[strings.ToLower(name)]
 	if !ok {
 		return nil
@@ -258,8 +285,8 @@ func (db *DB) TableCopy(name string) *Table {
 // SizeBytes estimates the storage footprint of the database, for the
 // Fig. 8 DB-overhead accounting.
 func (db *DB) SizeBytes() int64 {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var total int64
 	for _, t := range db.tables {
 		for _, r := range t.Rows {
@@ -284,8 +311,8 @@ func rowBytes(r []Val) int64 {
 
 // RowCount returns the total number of live rows.
 func (db *DB) RowCount() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	n := 0
 	for _, t := range db.tables {
 		n += len(t.Rows)

@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Tap observes the live event stream and controls audit-period
@@ -33,12 +34,20 @@ type Tap interface {
 // from many client goroutines interleave exactly as they would at a
 // network tap.
 type Collector struct {
+	// nextID is atomic so rid allocation (and the fmt work to render it)
+	// happens outside the collector's critical section; rids are unique
+	// tokens, not trace-order evidence — ordering lives in the events.
+	nextID atomic.Int64
+
 	mu     sync.Mutex
 	clock  int64
-	nextID int64
 	open   int // requests awaiting their response
 	events []Event
-	tap    Tap
+	// sizeHint is the previous period's event count; fresh period
+	// buffers are preallocated to it so steady-state serving does not
+	// repeatedly regrow the slice from zero.
+	sizeHint int
+	tap      Tap
 }
 
 // NewCollector returns an empty collector.
@@ -58,12 +67,18 @@ func (c *Collector) SetTap(t Tap) {
 // append records ev and runs the tap, cutting the period if the tap
 // requests it at a balanced point. The caller holds c.mu.
 func (c *Collector) append(ev Event) {
+	if c.events == nil && c.sizeHint > 0 {
+		c.events = make([]Event, 0, c.sizeHint)
+	}
 	c.events = append(c.events, ev)
 	if c.tap == nil {
 		return
 	}
 	if c.tap.Event(ev, c.open, len(c.events)) && c.open == 0 {
 		evs := c.events
+		// Ownership of the buffer passes to the tap; start the next
+		// period with a buffer sized like the one that just ended.
+		c.sizeHint = len(evs)
 		c.events = nil
 		c.clock = 0
 		c.tap.Cut(evs)
@@ -72,14 +87,16 @@ func (c *Collector) append(ev Event) {
 
 // BeginRequest records the arrival of a request and returns the assigned
 // requestID. The caller must later call EndRequest with the same rid.
+// The input clone and the rid rendering run before the critical section,
+// keeping per-event lock hold time minimal under high concurrency.
 func (c *Collector) BeginRequest(in Input) string {
+	cloned := in.Clone()
+	rid := fmt.Sprintf("r%06d", c.nextID.Add(1))
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.nextID++
 	c.clock++
 	c.open++
-	rid := fmt.Sprintf("r%06d", c.nextID)
-	c.append(Event{Kind: Request, RID: rid, Time: c.clock, In: in.Clone()})
+	c.append(Event{Kind: Request, RID: rid, Time: c.clock, In: cloned})
 	return rid
 }
 
@@ -87,11 +104,12 @@ func (c *Collector) BeginRequest(in Input) string {
 // caller-chosen requestID. It is used by tests and by traces replayed
 // from disk, where rids must be stable.
 func (c *Collector) BeginRequestWithID(rid string, in Input) {
+	cloned := in.Clone()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.clock++
 	c.open++
-	c.append(Event{Kind: Request, RID: rid, Time: c.clock, In: in.Clone()})
+	c.append(Event{Kind: Request, RID: rid, Time: c.clock, In: cloned})
 }
 
 // EndRequest records the departure of the response for rid.
@@ -122,7 +140,9 @@ func (c *Collector) Trace() *Trace {
 func (c *Collector) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.events = nil
+	// The buffer was never handed out (Trace copies, Cut nils it), so
+	// its capacity can be reused for the next period.
+	c.events = c.events[:0]
 	c.clock = 0
 	c.open = 0
 }
