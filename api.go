@@ -12,16 +12,24 @@
 // in the trace is one a correct execution could have produced
 // (Soundness), while always accepting honest executions (Completeness).
 //
-// Quick start:
+// Quick start — the HTTP-native front door (the paper's deployment
+// model: a trusted collector in front of a real web server):
 //
 //	prog, _ := orochi.CompileApp(map[string]string{
 //	    "hello": `echo "hello " . $_GET["name"];`,
 //	})
 //	srv := orochi.NewServer(prog, orochi.ServerOptions{Record: true})
 //	snap := srv.Snapshot()
-//	srv.Handle(orochi.Input{Script: "hello", Get: map[string]string{"name": "world"}})
-//	res, _ := orochi.Audit(prog, srv.Trace(), srv.Reports(), snap, orochi.AuditOptions{})
+//	ts := httptest.NewServer(orochi.HTTPHandler(srv))
+//	defer ts.Close()
+//	http.Get(ts.URL + "/hello?name=world") // real HTTP traffic
+//	res, _ := orochi.AuditContext(ctx, prog, srv.Trace(), srv.Reports(), snap, orochi.AuditOptions{})
 //	fmt.Println(res.Accepted) // true
+//
+// In-process srv.Handle calls record identically — the HTTP layer is a
+// canonical mapping, not a requirement. Audits take a context.Context
+// and are cancellable (ErrAuditCanceled, never a spurious verdict) and
+// observable (AuditObserver).
 //
 // The building blocks are exposed as aliases so downstream users can
 // compose them directly: the application language (lang), the SQL engine
@@ -31,8 +39,12 @@
 package orochi
 
 import (
+	"context"
+	"net/http"
+
 	"orochi/internal/apps"
 	"orochi/internal/epoch"
+	"orochi/internal/httpfront"
 	"orochi/internal/lang"
 	"orochi/internal/object"
 	"orochi/internal/reports"
@@ -93,22 +105,66 @@ func NewCollector() *Collector {
 	return trace.NewCollector()
 }
 
-// Audit verifies that the responses in tr are consistent with executing
-// prog over the requests in tr, given the untrusted reports and the
-// trusted initial object state. It implements SSCO_AUDIT2 (Fig. 12 of
-// the paper): balanced-trace validation, consistent-ordering checks,
-// versioned redo, grouped SIMD-on-demand re-execution with
-// simulate-and-check, and output comparison.
-func Audit(prog *Program, tr *Trace, rep *Reports, init *Snapshot, opts AuditOptions) (*AuditResult, error) {
-	return verifier.Audit(prog, tr, rep, init, opts)
+// AuditContext verifies that the responses in tr are consistent with
+// executing prog over the requests in tr, given the untrusted reports
+// and the trusted initial object state. It implements SSCO_AUDIT2
+// (Fig. 12 of the paper): balanced-trace validation,
+// consistent-ordering checks, versioned redo, grouped SIMD-on-demand
+// re-execution with simulate-and-check, and output comparison.
+//
+// Cancelling ctx abandons the audit with an error matching
+// ErrAuditCanceled and produces no verdict — re-auditing later yields
+// exactly the verdict the uncancelled run would have reached. Install
+// an AuditObserver via AuditOptions.Observer to watch progress.
+func AuditContext(ctx context.Context, prog *Program, tr *Trace, rep *Reports, init *Snapshot, opts AuditOptions) (*AuditResult, error) {
+	return verifier.AuditContext(ctx, prog, tr, rep, init, opts)
 }
 
-// OOOAudit is the Appendix A out-of-order audit: it re-executes each
-// request individually, stepping request goroutines through a
-// topological sort of the event graph. Same verdicts as Audit, no
-// grouping acceleration — useful as an independent cross-check.
+// Audit runs AuditContext with a background context.
+//
+// Deprecated: use AuditContext, which supports cancellation and
+// progress observation. This wrapper remains so pre-context callers
+// keep compiling.
+func Audit(prog *Program, tr *Trace, rep *Reports, init *Snapshot, opts AuditOptions) (*AuditResult, error) {
+	return verifier.AuditContext(context.Background(), prog, tr, rep, init, opts)
+}
+
+// ErrAuditCanceled is returned (wrapped, with the context's cause) by
+// the context-aware audits when their context is cancelled mid-flight.
+// Cancellation is never a verdict: no REJECT is recorded, and the same
+// period can be re-audited later.
+var ErrAuditCanceled = verifier.ErrAuditCanceled
+
+// AuditObserver receives progress callbacks from a running audit —
+// phase starts and ends, control-flow groups re-executed, operations
+// replayed into the versioned stores, and the verdict. Set it via
+// AuditOptions.Observer (or EpochAuditorOptions.Observer for the
+// background chain auditor). See verifier.Observer for the callback
+// contract; with AuditOptions.Workers > 1 some callbacks fire
+// concurrently.
+type AuditObserver = verifier.Observer
+
+// Audit phase names an AuditObserver sees, in order.
+const (
+	AuditPhaseProcessOpReports = verifier.PhaseProcessOpReports
+	AuditPhaseRedo             = verifier.PhaseRedo
+	AuditPhaseReExec           = verifier.PhaseReExec
+	AuditPhaseCoverage         = verifier.PhaseCoverage
+)
+
+// OOOAuditContext is the Appendix A out-of-order audit: it re-executes
+// each request individually, stepping request goroutines through a
+// topological sort of the event graph. Same verdicts as AuditContext,
+// no grouping acceleration — useful as an independent cross-check.
+func OOOAuditContext(ctx context.Context, prog *Program, tr *Trace, rep *Reports, init *Snapshot) (*AuditResult, error) {
+	return verifier.OOOAuditContext(ctx, prog, tr, rep, init)
+}
+
+// OOOAudit runs OOOAuditContext with a background context.
+//
+// Deprecated: use OOOAuditContext, which supports cancellation.
 func OOOAudit(prog *Program, tr *Trace, rep *Reports, init *Snapshot) (*AuditResult, error) {
-	return verifier.OOOAudit(prog, tr, rep, init)
+	return verifier.OOOAuditContext(context.Background(), prog, tr, rep, init)
 }
 
 // PatchResult classifies each audited request under a patched program.
@@ -121,11 +177,64 @@ const (
 	PatchInconclusiveClass = verifier.PatchInconclusive
 )
 
-// PatchAudit implements patch-based auditing (§7, after Poirot): replay
-// an audited period against a patched program and report which responses
-// would have differed (unchanged / changed / inconclusive).
+// PatchAuditContext implements patch-based auditing (§7, after Poirot):
+// replay an audited period against a patched program and report which
+// responses would have differed (unchanged / changed / inconclusive).
+func PatchAuditContext(ctx context.Context, patched *Program, tr *Trace, rep *Reports, init *Snapshot) (*PatchResult, error) {
+	return verifier.PatchAuditContext(ctx, patched, tr, rep, init)
+}
+
+// PatchAudit runs PatchAuditContext with a background context.
+//
+// Deprecated: use PatchAuditContext, which supports cancellation.
 func PatchAudit(patched *Program, tr *Trace, rep *Reports, init *Snapshot) (*PatchResult, error) {
-	return verifier.PatchAudit(patched, tr, rep, init)
+	return verifier.PatchAuditContext(context.Background(), patched, tr, rep, init)
+}
+
+// HTTPHandler is the HTTP-native front door: it returns srv as an
+// http.Handler — srv's embedded trusted collector in front of its
+// executor, exactly the paper's deployment model (§2) over net/http.
+// The URL path names the script, query parameters become $_GET, form
+// fields $_POST, cookies $_COOKIE; response status codes derive
+// canonically from the body (a canonical fault rendering maps to 500).
+// Mount it on any mux; paths under "/-/" stay outside the audited
+// surface. Audit artifacts come from srv.Trace() and srv.Reports()
+// exactly as with in-process srv.Handle calls.
+func HTTPHandler(srv *Server) http.Handler {
+	return httpfront.Handler(srv)
+}
+
+// HTTPCollector is composable reverse-proxy-style middleware playing
+// the trusted collector's role in front of ANY handler: each request
+// under the audited surface is recorded into c on arrival and the
+// response bytes the client receives are recorded on departure. The
+// wrapped handler sees the recorded requestID and parsed input via the
+// request context (httpfront.RecordedFrom); HTTPExecutor consumes them,
+// and custom stacks can too.
+func HTTPCollector(c *Collector, next http.Handler) http.Handler {
+	return httpfront.Collector(c, next)
+}
+
+// HTTPExecutor returns srv's executor as an http.Handler without a
+// collector: under an HTTPCollector it runs the recorded input under
+// the trace's requestID, standalone it records through srv's embedded
+// collector. Compose middleware between HTTPCollector and HTTPExecutor
+// to model a misbehaving serving stack — the collector records what
+// the client actually sees.
+func HTTPExecutor(srv *Server) http.Handler {
+	return httpfront.Exec(srv)
+}
+
+// HTTPRequestToInput maps an HTTP request onto the model's Input using
+// the canonical mapping shared by HTTPHandler, the CLIs, and the tests.
+func HTTPRequestToInput(r *http.Request) (Input, error) {
+	return httpfront.RequestToInput(r)
+}
+
+// NewHTTPRequest is HTTPRequestToInput's inverse: the HTTP request that
+// maps back onto in when received by an HTTPHandler at base.
+func NewHTTPRequest(base string, in Input) (*http.Request, error) {
+	return httpfront.NewRequest(base, in)
 }
 
 // EpochManager runs the online half of the epoch pipeline: it streams

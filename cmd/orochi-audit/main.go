@@ -21,15 +21,26 @@
 //	orochi-audit -app wiki -epochs ./epochs
 //	orochi-audit -app wiki -epochs ./epochs -from 3 -to 5
 //
-// Exit status: 0 = accepted, 1 = rejected, 2 = usage/IO error.
+// Long audits are cancellable and observable: SIGINT/SIGTERM abandons
+// the audit cleanly (no verdict is recorded for the interrupted epoch —
+// cancellation is never a REJECT — and a later run re-audits it), and
+// -progress streams phase and per-group progress to stderr.
+//
+// Exit status: 0 = accepted, 1 = rejected, 2 = usage/IO error,
+// 130 = canceled.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"orochi/internal/apps"
@@ -56,8 +67,19 @@ func main() {
 	checkpoints := flag.Bool("checkpoints", true, "persist verified final snapshots for resumable audits (with -epochs)")
 	maxGroup := flag.Int("maxgroup", 3000, "maximum requests per re-execution batch")
 	stats := flag.Bool("stats", false, "print per-group statistics")
+	progress := flag.Bool("progress", false, "stream audit progress (phases, groups re-executed, ops replayed) to stderr")
 	withErrors := flag.Bool("with-errors", false, "the serve run injected faulting requests (orochi-serve -fault-rate); audit against the app extended with the fault scripts")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the audit: the verifier abandons its work
+	// between tasks and returns ErrAuditCanceled — never a verdict.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	vopts := verifier.Options{MaxGroup: *maxGroup, CollectStats: *stats, Workers: *auditWorkers}
+	if *progress {
+		vopts.Observer = &progressPrinter{}
+	}
 
 	if *epochsDir != "" {
 		if *tracePath != "" || *repPath != "" || *statePath != "" {
@@ -66,8 +88,7 @@ func main() {
 		}
 		prog, err := loadProgram(*appName, *srcDir, *withErrors)
 		exitOn(err)
-		auditEpochs(prog, *epochsDir, *from, *to, *workers, *checkpoints,
-			verifier.Options{MaxGroup: *maxGroup, CollectStats: *stats, Workers: *auditWorkers})
+		auditEpochs(ctx, prog, *epochsDir, *from, *to, *workers, *checkpoints, vopts)
 		return
 	}
 
@@ -92,11 +113,7 @@ func main() {
 		exitOn(err)
 	}
 
-	res, err := verifier.Audit(prog, tr, rep, init, verifier.Options{
-		MaxGroup:     *maxGroup,
-		CollectStats: *stats,
-		Workers:      *auditWorkers,
-	})
+	res, err := verifier.AuditContext(ctx, prog, tr, rep, init, vopts)
 	exitOn(err)
 
 	st := res.Stats
@@ -122,7 +139,7 @@ func main() {
 }
 
 // auditEpochs verifies a sealed epoch chain and prints the ledger.
-func auditEpochs(prog *lang.Program, dir string, from, to int64, workers int, checkpoints bool, verify verifier.Options) {
+func auditEpochs(ctx context.Context, prog *lang.Program, dir string, from, to int64, workers int, checkpoints bool, verify verifier.Options) {
 	stats := verify.CollectStats
 	opts := epoch.AuditorOptions{
 		Workers:     workers,
@@ -141,7 +158,7 @@ func auditEpochs(prog *lang.Program, dir string, from, to int64, workers int, ch
 		opts.Init = snap
 	}
 	a := epoch.NewAuditor(prog, dir, opts)
-	_, err := a.DrainSealed(200*time.Millisecond, func(err error) {
+	_, err := a.DrainSealed(ctx, 200*time.Millisecond, func(err error) {
 		fmt.Fprintln(os.Stderr, "orochi-audit:", err)
 	})
 	exitOn(err)
@@ -245,8 +262,66 @@ func loadProgram(appName, srcDir string, withErrors bool) (*lang.Program, error)
 }
 
 func exitOn(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "orochi-audit:", err)
-		os.Exit(2)
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "orochi-audit:", err)
+	if errors.Is(err, verifier.ErrAuditCanceled) {
+		// Interrupted, not faulted: no verdict exists either way, and a
+		// later run picks up exactly where the evidence stands.
+		os.Exit(130)
+	}
+	os.Exit(2)
+}
+
+// progressPrinter streams the verifier's observer callbacks to stderr
+// (-progress). With -audit-workers > 1 the group and op callbacks fire
+// concurrently, so all state sits behind one mutex.
+type progressPrinter struct {
+	mu    sync.Mutex
+	units int
+	done  int
+	ops   int64
+}
+
+func (p *progressPrinter) PhaseStart(phase string, units int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.units, p.done = units, 0
+	if phase == verifier.PhaseRedo {
+		// One printer observes every epoch of a chain audit; the ops
+		// figure is per-phase, not cumulative across epochs.
+		p.ops = 0
+	}
+	if units > 0 {
+		fmt.Fprintf(os.Stderr, "audit: %s (%d work items)\n", phase, units)
+	} else {
+		fmt.Fprintf(os.Stderr, "audit: %s\n", phase)
 	}
 }
+
+func (p *progressPrinter) PhaseEnd(phase string, took time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if phase == verifier.PhaseRedo && p.ops > 0 {
+		fmt.Fprintf(os.Stderr, "audit: %s done in %v (%d ops replayed)\n", phase, took.Round(time.Millisecond), p.ops)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "audit: %s done in %v\n", phase, took.Round(time.Millisecond))
+}
+
+func (p *progressPrinter) GroupReexecuted(script string, tag uint64, requests int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	fmt.Fprintf(os.Stderr, "audit: re-executed group %016x %s (n=%d) [%d/%d]\n",
+		tag, script, requests, p.done, p.units)
+}
+
+func (p *progressPrinter) OpsReplayed(ops int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ops += int64(ops)
+}
+
+func (p *progressPrinter) Verdict(accepted bool, reason string) {}

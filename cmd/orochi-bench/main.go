@@ -19,13 +19,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -37,7 +41,15 @@ import (
 	"orochi/internal/workload"
 )
 
+// benchCtx is cancelled by SIGINT/SIGTERM: the audits behind the
+// figures abandon their worker pools cleanly instead of leaving a
+// half-printed table behind a hung Ctrl-C.
+var benchCtx = context.Background()
+
 func main() {
+	var stop context.CancelFunc
+	benchCtx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	fig := flag.String("fig", "all", "which figure/table to regenerate (8, 8lat, 9, 10, 11, frontier, workers, serve, all)")
 	scale := flag.Int("scale", 10, "divide paper-sized workloads by this factor (1 = full size)")
 	conc := flag.Int("concurrency", 8, "in-flight requests while serving")
@@ -114,7 +126,7 @@ func fig8(scale, conc, auditWorkers int) {
 		// Baseline audit = sequential re-execution of the trace.
 		baseAudit, err := harness.BaselineReplay(item.w, served)
 		check(err)
-		res, err := served.Audit(verifier.Options{Workers: auditWorkers})
+		res, err := served.AuditContext(benchCtx, verifier.Options{Workers: auditWorkers})
 		check(err)
 		if !res.Accepted {
 			fmt.Fprintf(os.Stderr, "%s: AUDIT REJECTED: %s\n", item.name, res.Reason)
@@ -251,7 +263,7 @@ func fig9(scale, conc, auditWorkers int) {
 		check(err)
 		base, err := harness.BaselineReplay(item.w, served)
 		check(err)
-		res, err := served.Audit(verifier.Options{Workers: auditWorkers})
+		res, err := served.AuditContext(benchCtx, verifier.Options{Workers: auditWorkers})
 		check(err)
 		if !res.Accepted {
 			fmt.Fprintf(os.Stderr, "%s: AUDIT REJECTED: %s\n", item.name, res.Reason)
@@ -395,7 +407,7 @@ func fig11(scale, conc, auditWorkers int) {
 	w := workload.Wiki(workload.DefaultWikiParams().Scale(scale))
 	served, err := harness.Serve(w, harness.ServeConfig{Record: true, Concurrency: conc})
 	check(err)
-	res, err := served.Audit(verifier.Options{CollectStats: true, Workers: auditWorkers})
+	res, err := served.AuditContext(benchCtx, verifier.Options{CollectStats: true, Workers: auditWorkers})
 	check(err)
 	if !res.Accepted {
 		fmt.Fprintf(os.Stderr, "AUDIT REJECTED: %s\n", res.Reason)
@@ -457,7 +469,7 @@ func figWorkers(scale, conc int) {
 			// Best of 2 runs per width to keep scheduler noise out.
 			var t time.Duration = math.MaxInt64
 			for rep := 0; rep < 2; rep++ {
-				res, err := served.Audit(verifier.Options{Workers: wN})
+				res, err := served.AuditContext(benchCtx, verifier.Options{Workers: wN})
 				check(err)
 				if !res.Accepted {
 					fmt.Fprintf(os.Stderr, "%s: AUDIT REJECTED at %d workers: %s\n", item.name, wN, res.Reason)
@@ -575,8 +587,12 @@ func round(d time.Duration) string {
 }
 
 func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "orochi-bench:", err)
-		os.Exit(1)
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "orochi-bench:", err)
+	if errors.Is(err, verifier.ErrAuditCanceled) {
+		os.Exit(130)
+	}
+	os.Exit(1)
 }

@@ -29,11 +29,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
-	"net/url"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -45,6 +45,7 @@ import (
 
 	"orochi/internal/apps"
 	"orochi/internal/epoch"
+	"orochi/internal/httpfront"
 	"orochi/internal/server"
 	"orochi/internal/trace"
 	"orochi/internal/verifier"
@@ -123,7 +124,10 @@ func main() {
 			auditDone = make(chan struct{})
 			go func() {
 				defer close(auditDone)
-				if err := auditor.Run(auditCtx); err != nil && err != context.Canceled {
+				// A cancelled Run is the expected shutdown path: the epoch
+				// it was verifying publishes no verdict and is re-audited by
+				// the catch-up drain below.
+				if err := auditor.Run(auditCtx); err != nil && !errors.Is(err, context.Canceled) {
 					fmt.Fprintln(os.Stderr, "orochi-serve: auditor:", err)
 				}
 			}()
@@ -192,30 +196,30 @@ func main() {
 		}
 		writeEpochStatus(rw, mgr, auditor)
 	})
-	mux.HandleFunc("/", func(rw http.ResponseWriter, r *http.Request) {
-		in, err := httpToInput(r)
-		if err != nil {
-			http.Error(rw, err.Error(), http.StatusBadRequest)
-			return
-		}
-		_, body := srv.Handle(in)
-		if strings.HasPrefix(body, "HTTP 500") {
-			rw.WriteHeader(http.StatusInternalServerError)
-		}
-		_, _ = io.WriteString(rw, body)
-	})
+	// The audited surface is the shared HTTP front door: the embedded
+	// collector as middleware in front of the executor
+	// (internal/httpfront) — the same library path the tests and
+	// examples use. Control endpoints under /-/ are registered on the
+	// mux above it and never enter the trace.
+	mux.Handle("/", httpfront.Handler(srv))
 
 	httpSrv := &http.Server{Addr: *listen, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 
 	// Graceful shutdown — triggered by the driver finishing or by
 	// SIGINT/SIGTERM — drains in-flight requests before main proceeds,
 	// so the final epoch is cut at a balanced point (and classic mode
-	// can flush a complete artifact set).
+	// can flush a complete artifact set). httpSrv.Shutdown waits for
+	// open HTTP connections; the InFlight poll below is the
+	// belt-and-suspenders check that the executor itself is idle before
+	// the final epoch is sealed.
 	drained := make(chan struct{}, 2)
 	shutdown := func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(ctx)
+		for srv.InFlight() > 0 && ctx.Err() == nil {
+			time.Sleep(5 * time.Millisecond)
+		}
 		drained <- struct{}{}
 	}
 	sigc := make(chan os.Signal, 1)
@@ -273,7 +277,7 @@ func main() {
 			// RunOnce calls never interleave.
 			stopAudit()
 			<-auditDone
-			_, derr := auditor.DrainSealed(200*time.Millisecond, func(err error) {
+			_, derr := auditor.DrainSealed(context.Background(), 200*time.Millisecond, func(err error) {
 				fmt.Fprintln(os.Stderr, "orochi-serve:", err)
 			})
 			exitOn(derr)
@@ -307,6 +311,7 @@ func writeEpochStatus(wr io.Writer, mgr *epoch.Manager, auditor *epoch.Auditor) 
 		fmt.Fprintln(wr, "background audit: disabled")
 		return
 	}
+	fmt.Fprintf(wr, "background audit: %s\n", auditor.Progress())
 	verdicts := auditor.Verdicts()
 	fmt.Fprintf(wr, "audited epochs: %d (next: %d)\n", len(verdicts), auditor.NextEpoch())
 	for _, v := range verdicts {
@@ -336,36 +341,6 @@ func printLedger(wr io.Writer, mgr *epoch.Manager, auditor *epoch.Auditor) {
 	} else {
 		fmt.Fprintln(wr, "chain verdict: REJECT")
 	}
-}
-
-// httpToInput converts an HTTP request into the model's Input: the first
-// path segment names the script, query params become $_GET, form fields
-// $_POST, cookies $_COOKIE.
-func httpToInput(r *http.Request) (trace.Input, error) {
-	script := strings.Trim(r.URL.Path, "/")
-	if script == "" {
-		script = "index"
-	}
-	in := trace.Input{Script: script, Get: map[string]string{}, Post: map[string]string{}, Cookie: map[string]string{}}
-	for k, vs := range r.URL.Query() {
-		if len(vs) > 0 {
-			in.Get[k] = vs[0]
-		}
-	}
-	if r.Method == http.MethodPost {
-		if err := r.ParseForm(); err != nil {
-			return in, err
-		}
-		for k, vs := range r.PostForm {
-			if len(vs) > 0 {
-				in.Post[k] = vs[0]
-			}
-		}
-	}
-	for _, c := range r.Cookies() {
-		in.Cookie[c.Name] = c.Value
-	}
-	return in, nil
 }
 
 // driveWorkload replays workload requests through the HTTP front end,
@@ -410,33 +385,9 @@ func driveWorkload(listen string, w *workload.Workload, n, conc int) error {
 }
 
 func sendOne(base string, in trace.Input) error {
-	q := url.Values{}
-	for k, v := range in.Get {
-		q.Set(k, v)
-	}
-	target := base + "/" + in.Script
-	if len(q) > 0 {
-		target += "?" + q.Encode()
-	}
-	var req *http.Request
-	var err error
-	if len(in.Post) > 0 {
-		form := url.Values{}
-		for k, v := range in.Post {
-			form.Set(k, v)
-		}
-		req, err = http.NewRequest(http.MethodPost, target, strings.NewReader(form.Encode()))
-		if err == nil {
-			req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
-		}
-	} else {
-		req, err = http.NewRequest(http.MethodGet, target, nil)
-	}
+	req, err := httpfront.NewRequest(base, in)
 	if err != nil {
 		return err
-	}
-	for k, v := range in.Cookie {
-		req.AddCookie(&http.Cookie{Name: k, Value: v})
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {

@@ -1,0 +1,129 @@
+package orochi_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"orochi"
+)
+
+// ExampleHTTPHandler fronts a recording executor with real HTTP — the
+// paper's deployment model over net/http — then audits the captured
+// period.
+func ExampleHTTPHandler() {
+	prog, err := orochi.CompileApp(map[string]string{
+		"hello": `echo "hello " . $_GET["name"];`,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := orochi.NewServer(prog, orochi.ServerOptions{Record: true})
+	snap := srv.Snapshot()
+
+	ts := httptest.NewServer(orochi.HTTPHandler(srv))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/hello?name=world")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Println(string(body))
+
+	res, err := orochi.AuditContext(context.Background(), prog,
+		srv.Trace(), srv.Reports(), snap, orochi.AuditOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("accepted:", res.Accepted)
+	// Output:
+	// hello world
+	// accepted: true
+}
+
+// ExampleHTTPCollector composes the trusted-collector middleware in
+// front of an arbitrary serving stack — here the executor behind an
+// extra middleware layer — and audits what the collector captured.
+func ExampleHTTPCollector() {
+	prog, err := orochi.CompileApp(map[string]string{
+		"ping": `echo "pong";`,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := orochi.NewServer(prog, orochi.ServerOptions{Record: true})
+	snap := srv.Snapshot()
+
+	// Any middleware can sit between the collector and the executor;
+	// the collector records the response bytes the client actually
+	// receives, so a tampering layer here would flip the audit to
+	// REJECT.
+	logged := 0
+	stack := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		logged++
+		orochi.HTTPExecutor(srv).ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(orochi.HTTPCollector(srv.Collector, stack))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/ping")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Println(string(body), logged)
+
+	res, err := orochi.AuditContext(context.Background(), prog,
+		srv.Trace(), srv.Reports(), snap, orochi.AuditOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("accepted:", res.Accepted)
+	// Output:
+	// pong 1
+	// accepted: true
+}
+
+// ExampleAuditContext shows the context-aware audit: a cancelled
+// context returns ErrAuditCanceled and no verdict — never a REJECT —
+// and re-auditing with a live context yields the uncancelled verdict.
+func ExampleAuditContext() {
+	prog, err := orochi.CompileApp(map[string]string{
+		"inc": `
+$n = session_get("n");
+if ($n === null) { $n = 0; }
+session_set("n", $n + 1);
+echo "n=" . ($n + 1);
+`,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := orochi.NewServer(prog, orochi.ServerOptions{Record: true})
+	snap := srv.Snapshot()
+	for i := 0; i < 3; i++ {
+		srv.Handle(orochi.Input{Script: "inc"})
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // audit abandoned before it starts
+	_, err = orochi.AuditContext(ctx, prog, srv.Trace(), srv.Reports(), snap, orochi.AuditOptions{})
+	fmt.Println("canceled:", errors.Is(err, orochi.ErrAuditCanceled))
+
+	res, err := orochi.AuditContext(context.Background(), prog,
+		srv.Trace(), srv.Reports(), snap, orochi.AuditOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("accepted:", res.Accepted)
+	// Output:
+	// canceled: true
+	// accepted: true
+}

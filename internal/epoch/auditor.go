@@ -44,6 +44,13 @@ type AuditorOptions struct {
 	Checkpoints bool
 	// Verify configures the underlying verifier.
 	Verify verifier.Options
+	// Observer, if non-nil, receives the per-epoch audit progress
+	// callbacks (verifier.Observer) for whichever epoch is currently
+	// under verification. The auditor additionally tracks the same
+	// stream itself and exposes it as Progress() for status endpoints,
+	// so most callers need no Observer of their own. It supersedes
+	// Verify.Observer, which the auditor overrides per epoch.
+	Observer verifier.Observer
 }
 
 func (o AuditorOptions) withDefaults() AuditorOptions {
@@ -104,6 +111,7 @@ type Auditor struct {
 	prevSHA  string // manifest digest the next epoch must chain to
 	chainSHA string
 	broken   bool
+	progress Progress
 	// pendingCkpt holds a verified final snapshot whose checkpoint write
 	// failed; the next RunOnce retries it before auditing further, so a
 	// transient write failure never permanently skips an epoch's
@@ -175,15 +183,23 @@ func (b *ckptRetryBudget) observe(n int, err error) bool {
 
 // Run audits sealed epochs as they appear until ctx is cancelled (or,
 // when To is set, until To has been audited — and its checkpoint
-// persisted — or the chain breaks). It returns ctx.Err on cancellation,
-// nil on a completed bounded run. A CheckpointError from RunOnce is
-// retryable (the verdict is published, only the snapshot write is
-// owed), so Run keeps polling through it; after maxCheckpointRetries
-// consecutive failures it returns the error instead.
+// persisted — or the chain breaks). On cancellation it returns an error
+// matching both verifier.ErrAuditCanceled and the context error; a
+// cancellation that lands mid-epoch abandons that epoch's verification
+// without publishing any verdict (never a REJECT — the executor did
+// nothing wrong), so a later Run or RunOnce re-audits the epoch from
+// scratch. It returns nil on a completed bounded run. A CheckpointError
+// from RunOnce is retryable (the verdict is published, only the
+// snapshot write is owed), so Run keeps polling through it; after
+// maxCheckpointRetries consecutive failures it returns the error
+// instead.
 func (a *Auditor) Run(ctx context.Context) error {
 	var budget ckptRetryBudget
 	for {
-		n, err := a.RunOnce()
+		n, err := a.RunOnce(ctx)
+		if errors.Is(err, verifier.ErrAuditCanceled) {
+			return err
+		}
 		if !budget.observe(n, err) && err != nil {
 			return err
 		}
@@ -195,11 +211,18 @@ func (a *Auditor) Run(ctx context.Context) error {
 		}
 		select {
 		case <-ctx.Done():
-			return ctx.Err()
+			return canceled(ctx)
 		case <-a.notifyChan():
 		case <-time.After(a.opts.Poll):
 		}
 	}
+}
+
+// canceled wraps a context cancellation so callers can match it as
+// verifier.ErrAuditCanceled and as the underlying context error alike,
+// whether the cancellation landed mid-epoch or between epochs.
+func canceled(ctx context.Context) error {
+	return fmt.Errorf("epoch: %w: %w", verifier.ErrAuditCanceled, context.Cause(ctx))
 }
 
 func (a *Auditor) notifyChan() <-chan struct{} {
@@ -212,7 +235,18 @@ func (a *Auditor) notifyChan() <-chan struct{} {
 // RunOnce audits every currently sealed, not-yet-audited epoch in chain
 // order and returns how many verdicts it appended. A REJECT stops the
 // chain; a non-nil error is an internal fault (not a verdict).
-func (a *Auditor) RunOnce() (int, error) {
+// Cancelling ctx abandons the epoch currently under verification with
+// an error matching verifier.ErrAuditCanceled — its verdict is NOT
+// published and the auditor's position does not advance, so the next
+// RunOnce re-audits it whole (symmetric with the retryable
+// CheckpointError path: transient interruptions never turn into
+// spurious REJECTs).
+func (a *Auditor) RunOnce(ctx context.Context) (int, error) {
+	if ctx.Err() != nil {
+		// Check before any disk work: a dead context must not pay for a
+		// full epoch load just to discard it inside the verifier.
+		return 0, canceled(ctx)
+	}
 	a.mu.Lock()
 	if a.broken {
 		a.mu.Unlock()
@@ -307,7 +341,7 @@ func (a *Auditor) RunOnce() (int, error) {
 		r := <-futures[i]
 		<-sem
 		consumed = i + 1
-		verdict, snapNext, err := a.auditOne(s, r)
+		verdict, snapNext, err := a.auditOne(ctx, s, r)
 		if err != nil {
 			return audited, err
 		}
@@ -345,18 +379,28 @@ func (a *Auditor) RunOnce() (int, error) {
 // Retryable checkpoint-write failures are polled through with the same
 // maxCheckpointRetries budget as Run, waiting `wait` between attempts
 // and resetting on forward progress; onRetry, when non-nil, observes
-// each retried error. It returns the number of verdicts appended.
-func (a *Auditor) DrainSealed(wait time.Duration, onRetry func(error)) (int, error) {
+// each retried error. Cancelling ctx abandons the drain (mid-epoch
+// cancellations publish no verdict, exactly as in RunOnce) with an
+// error matching verifier.ErrAuditCanceled. It returns the number of
+// verdicts appended.
+func (a *Auditor) DrainSealed(ctx context.Context, wait time.Duration, onRetry func(error)) (int, error) {
 	total := 0
 	var budget ckptRetryBudget
 	for {
-		n, err := a.RunOnce()
+		n, err := a.RunOnce(ctx)
 		total += n
+		if errors.Is(err, verifier.ErrAuditCanceled) {
+			return total, err
+		}
 		if budget.observe(n, err) {
 			if onRetry != nil {
 				onRetry(err)
 			}
-			time.Sleep(wait)
+			select {
+			case <-ctx.Done():
+				return total, canceled(ctx)
+			case <-time.After(wait):
+			}
 			continue
 		}
 		if err != nil {
@@ -374,8 +418,10 @@ type loadResult struct {
 }
 
 // auditOne produces the verdict for one epoch and, on acceptance, the
-// verified final snapshot that seeds the next epoch.
-func (a *Auditor) auditOne(s *Sealed, r loadResult) (Verdict, *object.Snapshot, error) {
+// verified final snapshot that seeds the next epoch. A cancellation
+// mid-verification surfaces as the verifier's typed error (no verdict,
+// no chain extension); the epoch stays unaudited for the next pass.
+func (a *Auditor) auditOne(ctx context.Context, s *Sealed, r loadResult) (Verdict, *object.Snapshot, error) {
 	v := Verdict{Epoch: s.Number, ManifestSHA: s.ManifestSHA}
 	if s.Manifest != nil {
 		v.Events = s.Manifest.Events
@@ -407,7 +453,10 @@ func (a *Auditor) auditOne(s *Sealed, r loadResult) (Verdict, *object.Snapshot, 
 		}
 		init = r.loaded.Init
 	}
-	res, err := verifier.Audit(a.prog, r.loaded.Trace, r.loaded.Reports, init, a.opts.Verify)
+	vopts := a.opts.Verify
+	vopts.Observer = a.beginProgress(s.Number)
+	defer a.endProgress()
+	res, err := verifier.AuditContext(ctx, a.prog, r.loaded.Trace, r.loaded.Reports, init, vopts)
 	if err != nil {
 		return v, nil, err
 	}

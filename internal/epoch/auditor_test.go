@@ -49,7 +49,7 @@ func TestAuditorCheckpointRetry(t *testing.T) {
 	}
 
 	a := NewAuditor(prog, dir, AuditorOptions{Checkpoints: true})
-	audited, err := a.RunOnce()
+	audited, err := a.RunOnce(context.Background())
 	if err == nil {
 		t.Fatal("RunOnce must surface the checkpoint write failure")
 	}
@@ -70,7 +70,7 @@ func TestAuditorCheckpointRetry(t *testing.T) {
 	}
 
 	// Still blocked: the retry must fail again without auditing further.
-	if n, err := a.RunOnce(); err == nil {
+	if n, err := a.RunOnce(context.Background()); err == nil {
 		t.Fatal("RunOnce must keep failing while the checkpoint cannot be written")
 	} else if n != 0 {
 		t.Fatalf("RunOnce audited %d epochs past an unwritten checkpoint", n)
@@ -81,7 +81,7 @@ func TestAuditorCheckpointRetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	for {
-		n, err := a.RunOnce()
+		n, err := a.RunOnce(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,7 +104,7 @@ func TestAuditorCheckpointRetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	tail := NewAuditor(prog, dir, AuditorOptions{From: 2, Init: snap})
-	if _, err := tail.RunOnce(); err != nil {
+	if _, err := tail.RunOnce(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	verdicts := tail.Verdicts()
@@ -228,7 +228,7 @@ func TestAuditorParallelVerifyMatches(t *testing.T) {
 	}
 	run := func(workers int) []Verdict {
 		a := NewAuditor(prog, dir, AuditorOptions{Verify: verifier.Options{Workers: workers}})
-		if _, err := a.RunOnce(); err != nil {
+		if _, err := a.RunOnce(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		return a.Verdicts()

@@ -147,7 +147,7 @@ func TestEpochPipelineEndToEnd(t *testing.T) {
 	}
 
 	a := NewAuditor(prog, dir, AuditorOptions{})
-	if _, err := a.RunOnce(); err != nil {
+	if _, err := a.RunOnce(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	verdicts := a.Verdicts()
@@ -202,7 +202,7 @@ func TestEpochTamperBreaksChain(t *testing.T) {
 	}
 
 	a := NewAuditor(prog, dir, AuditorOptions{})
-	if _, err := a.RunOnce(); err != nil {
+	if _, err := a.RunOnce(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	verdicts := a.Verdicts()
@@ -219,7 +219,7 @@ func TestEpochTamperBreaksChain(t *testing.T) {
 		t.Fatal("chain still accepted after tamper")
 	}
 	// Later runs must not advance past the break.
-	if n, err := a.RunOnce(); err != nil || n != 0 {
+	if n, err := a.RunOnce(context.Background()); err != nil || n != 0 {
 		t.Fatalf("auditor advanced past a broken chain: n=%d err=%v", n, err)
 	}
 }
@@ -320,7 +320,7 @@ func TestSnapshotChainingAcrossEpochs(t *testing.T) {
 		t.Fatalf("tamper surfaced as %T, want *IntegrityError", err)
 	}
 	a := NewAuditor(prog, dir, AuditorOptions{})
-	if _, err := a.RunOnce(); err != nil {
+	if _, err := a.RunOnce(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if a.ChainAccepted() {
@@ -367,7 +367,7 @@ func TestServeWhileAudit(t *testing.T) {
 
 	// Catch up on anything sealed after the background loop stopped.
 	for {
-		n, err := a.RunOnce()
+		n, err := a.RunOnce(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -484,7 +484,7 @@ func TestEpochPipelineSurvivesFaultedPeriods(t *testing.T) {
 	cancel()
 	<-done
 	for {
-		n, err := a.RunOnce()
+		n, err := a.RunOnce(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -539,7 +539,7 @@ func TestEpochTamperedErrorBodyRejectsChain(t *testing.T) {
 	}
 	a := NewAuditor(prog, dir, AuditorOptions{})
 	for {
-		n, err := a.RunOnce()
+		n, err := a.RunOnce(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -574,7 +574,7 @@ func TestAuditorCheckpointResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	full := NewAuditor(prog, dir, AuditorOptions{Checkpoints: true})
-	if _, err := full.RunOnce(); err != nil {
+	if _, err := full.RunOnce(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if !full.ChainAccepted() || len(full.Verdicts()) < 3 {
@@ -586,7 +586,7 @@ func TestAuditorCheckpointResume(t *testing.T) {
 		t.Fatalf("checkpoint for epoch 2 missing: %v", err)
 	}
 	tail := NewAuditor(prog, dir, AuditorOptions{From: 3, Init: snap})
-	if _, err := tail.RunOnce(); err != nil {
+	if _, err := tail.RunOnce(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	verdicts := tail.Verdicts()
@@ -634,7 +634,7 @@ func TestDamagedManifestRejects(t *testing.T) {
 		t.Fatal(err)
 	}
 	a := NewAuditor(prog, dir, AuditorOptions{})
-	if _, err := a.RunOnce(); err != nil {
+	if _, err := a.RunOnce(context.Background()); err != nil {
 		t.Fatalf("damaged manifest aborted the audit instead of rejecting: %v", err)
 	}
 	verdicts := a.Verdicts()

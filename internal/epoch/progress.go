@@ -1,0 +1,138 @@
+package epoch
+
+import (
+	"fmt"
+	"time"
+
+	"orochi/internal/verifier"
+)
+
+// Progress is a point-in-time view of the epoch audit currently in
+// flight: which epoch is being verified and how far its audit has come.
+// The zero value (Epoch == 0) means no verification is running — the
+// auditor is idle, polling, or loading. Status endpoints (orochi-serve's
+// /-/epochs) render it next to the verdict ledger.
+//
+// The counters come from the verifier's Observer stream and therefore
+// reflect untrusted quantities (group sizes, op counts are the
+// executor's claims); they are progress telemetry, not audit evidence.
+type Progress struct {
+	// Epoch is the epoch number under verification (0 = idle).
+	Epoch int64
+	// Phase is the verifier phase currently running (see the
+	// verifier.Phase* constants).
+	Phase string
+	// Units is the number of work items in the current phase (object
+	// logs for the redo phase, group batches for re-execution; 0 when
+	// the phase has no unit accounting), and Done how many completed.
+	Units, Done int
+	// OpsReplayed counts operations replayed into the versioned stores
+	// so far (cumulative across the redo phase).
+	OpsReplayed int64
+	// GroupsDone counts control-flow group batches re-executed so far.
+	GroupsDone int
+}
+
+// String renders the progress for status endpoints.
+func (p Progress) String() string {
+	if p.Epoch == 0 {
+		return "idle"
+	}
+	s := fmt.Sprintf("auditing epoch %d: %s", p.Epoch, p.Phase)
+	if p.Units > 0 {
+		s += fmt.Sprintf(" (%d/%d)", p.Done, p.Units)
+	}
+	if p.OpsReplayed > 0 {
+		s += fmt.Sprintf(", %d ops replayed", p.OpsReplayed)
+	}
+	return s
+}
+
+// Progress reports the audit progress of the epoch currently under
+// verification (zero-valued when idle). Safe to call concurrently with
+// a running Run/RunOnce — it is how /-/epochs observes a live audit.
+func (a *Auditor) Progress() Progress {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.progress
+}
+
+// beginProgress arms progress tracking for epoch n and returns the
+// verifier.Observer to install for its audit: a tracker that mirrors
+// the callback stream into a.progress and forwards it to the
+// user-supplied observer (AuditorOptions.Observer, falling back to
+// Verify.Observer for callers that set it directly).
+func (a *Auditor) beginProgress(n int64) verifier.Observer {
+	a.mu.Lock()
+	a.progress = Progress{Epoch: n}
+	a.mu.Unlock()
+	user := a.opts.Observer
+	if user == nil {
+		user = a.opts.Verify.Observer
+	}
+	return &progressObserver{a: a, user: user}
+}
+
+// endProgress clears the live-progress slot once an epoch's
+// verification finishes (whatever the outcome).
+func (a *Auditor) endProgress() {
+	a.mu.Lock()
+	a.progress = Progress{}
+	a.mu.Unlock()
+}
+
+// progressObserver mirrors one epoch audit's observer stream into the
+// auditor's Progress slot. Its callbacks may fire concurrently from
+// verifier pool workers; all state lives behind a.mu.
+type progressObserver struct {
+	a    *Auditor
+	user verifier.Observer
+}
+
+func (p *progressObserver) PhaseStart(phase string, units int) {
+	p.a.mu.Lock()
+	p.a.progress.Phase = phase
+	p.a.progress.Units = units
+	p.a.progress.Done = 0
+	p.a.mu.Unlock()
+	if p.user != nil {
+		p.user.PhaseStart(phase, units)
+	}
+}
+
+func (p *progressObserver) PhaseEnd(phase string, took time.Duration) {
+	p.a.mu.Lock()
+	p.a.progress.Done = p.a.progress.Units
+	p.a.mu.Unlock()
+	if p.user != nil {
+		p.user.PhaseEnd(phase, took)
+	}
+}
+
+func (p *progressObserver) GroupReexecuted(script string, tag uint64, requests int) {
+	p.a.mu.Lock()
+	p.a.progress.Done++
+	p.a.progress.GroupsDone++
+	p.a.mu.Unlock()
+	if p.user != nil {
+		p.user.GroupReexecuted(script, tag, requests)
+	}
+}
+
+func (p *progressObserver) OpsReplayed(ops int) {
+	p.a.mu.Lock()
+	p.a.progress.Done++
+	p.a.progress.OpsReplayed += int64(ops)
+	p.a.mu.Unlock()
+	if p.user != nil {
+		p.user.OpsReplayed(ops)
+	}
+}
+
+func (p *progressObserver) Verdict(accepted bool, reason string) {
+	if p.user != nil {
+		p.user.Verdict(accepted, reason)
+	}
+}
+
+var _ verifier.Observer = (*progressObserver)(nil)

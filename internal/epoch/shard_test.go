@@ -1,6 +1,7 @@
 package epoch
 
 import (
+	"context"
 	"testing"
 
 	"orochi/internal/server"
@@ -37,7 +38,7 @@ func TestEpochCutMidBurstSharded(t *testing.T) {
 	}
 
 	a := NewAuditor(prog, dir, AuditorOptions{})
-	if _, err := a.RunOnce(); err != nil {
+	if _, err := a.RunOnce(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	verdicts := a.Verdicts()

@@ -4,6 +4,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -89,12 +90,21 @@ func Serve(w *workload.Workload, cfg ServeConfig) (*Served, error) {
 	return out, nil
 }
 
-// Audit runs the verifier over the served results.
-func (s *Served) Audit(opts verifier.Options) (*verifier.Result, error) {
+// AuditContext runs the verifier over the served results. Cancelling
+// ctx abandons the audit with an error matching
+// verifier.ErrAuditCanceled and no verdict.
+func (s *Served) AuditContext(ctx context.Context, opts verifier.Options) (*verifier.Result, error) {
 	if s.Reports == nil {
 		return nil, fmt.Errorf("harness: serving run did not record reports")
 	}
-	return verifier.Audit(s.Program, s.Trace, s.Reports, s.Snapshot, opts)
+	return verifier.AuditContext(ctx, s.Program, s.Trace, s.Reports, s.Snapshot, opts)
+}
+
+// Audit runs the verifier over the served results.
+//
+// Deprecated: use AuditContext, which supports cancellation.
+func (s *Served) Audit(opts verifier.Options) (*verifier.Result, error) {
+	return s.AuditContext(context.Background(), opts)
 }
 
 // Sizes summarizes the storage-related quantities of Fig. 8: compressed

@@ -1,0 +1,53 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"orochi/internal/lang"
+	"orochi/internal/trace"
+)
+
+// TestServeAllContextCancel pins the drain discipline: cancelling the
+// serving context stops launching new requests but always lets
+// in-flight ones finish, so the trace stays balanced (auditable) with
+// however many requests made it in.
+func TestServeAllContextCancel(t *testing.T) {
+	prog, err := lang.Compile(map[string]string{
+		"tick": `session_set("k", 1); echo "ok";`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(prog, Options{Record: true})
+
+	inputs := make([]trace.Input, 200)
+	for i := range inputs {
+		inputs[i] = trace.Input{Script: "tick"}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := srv.ServeAllContext(ctx, inputs, 4); err != context.Canceled {
+		t.Fatalf("pre-cancelled ServeAllContext returned %v, want context.Canceled", err)
+	}
+	if n := srv.Trace().RequestCount(); n != 0 {
+		t.Fatalf("pre-cancelled serve handled %d requests, want 0", n)
+	}
+
+	// Cancel partway: whatever was served must form a balanced trace.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.ServeAllContext(ctx2, inputs, 4)
+	}()
+	cancel2()
+	<-done
+	if err := srv.Trace().Balanced(); err != nil {
+		t.Fatalf("trace unbalanced after cancelled serve: %v", err)
+	}
+	if srv.InFlight() != 0 {
+		t.Fatal("in-flight requests survived a cancelled serve")
+	}
+}

@@ -17,6 +17,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -143,8 +144,6 @@ func (s *Server) Snapshot() *object.Snapshot {
 // is safe to call from many goroutines (one per in-flight request, as in
 // the concurrency model of §3.2).
 func (s *Server) Handle(in trace.Input) (rid, body string) {
-	s.inFlight.Add(1)
-	defer s.inFlight.Add(-1)
 	rid = s.Collector.BeginRequest(in)
 	body = s.Process(rid, in)
 	if s.opts.TamperResponse != nil {
@@ -155,9 +154,13 @@ func (s *Server) Handle(in trace.Input) (rid, body string) {
 }
 
 // Process executes the program for one request without touching the
-// collector (used by Handle and by the HTTP front end, which drives the
-// collector itself).
+// collector — the execution half of Handle, and the entry point the
+// HTTP front end (internal/httpfront) uses when an external Collector
+// middleware drives the trace. The in-flight counter lives here so
+// InFlight covers every serving path, not just Handle.
 func (s *Server) Process(rid string, in trace.Input) string {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
 	start := time.Now()
 	body := s.run(rid, in)
 	s.cpuNanos.Add(int64(time.Since(start)))
@@ -213,18 +216,34 @@ func (s *Server) run(rid string, in trace.Input) string {
 	return res.Output(0)
 }
 
-// ServeAll handles the inputs with the given concurrency, returning when
-// every request has completed. It models the open-loop client population
-// of the experiments.
-func (s *Server) ServeAll(inputs []trace.Input, concurrency int) {
+// ServeAllContext handles the inputs with the given concurrency until
+// every request completes or ctx is cancelled. It models the open-loop
+// client population of the experiments. Cancellation stops launching
+// new requests; requests already in flight always run to completion —
+// aborting one midway would leave the collector's trace unbalanced and
+// the period unauditable — and the method returns ctx.Err() so callers
+// can distinguish a drained run from an interrupted one.
+func (s *Server) ServeAllContext(ctx context.Context, inputs []trace.Input, concurrency int) error {
 	if concurrency < 1 {
 		concurrency = 1
 	}
 	sem := make(chan struct{}, concurrency)
 	var wg sync.WaitGroup
 	for _, in := range inputs {
+		// The explicit check first: when cancellation and a free slot are
+		// both ready, select would pick at random, and a cancelled serve
+		// must deterministically launch nothing further.
+		if ctx.Err() != nil {
+			wg.Wait()
+			return ctx.Err()
+		}
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return ctx.Err()
+		case sem <- struct{}{}:
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(in trace.Input) {
 			defer wg.Done()
 			defer func() { <-sem }()
@@ -232,6 +251,15 @@ func (s *Server) ServeAll(inputs []trace.Input, concurrency int) {
 		}(in)
 	}
 	wg.Wait()
+	return nil
+}
+
+// ServeAll handles the inputs with the given concurrency, returning when
+// every request has completed.
+//
+// Deprecated: use ServeAllContext, which supports cancellation.
+func (s *Server) ServeAll(inputs []trace.Input, concurrency int) {
+	_ = s.ServeAllContext(context.Background(), inputs, concurrency)
 }
 
 // NewPeriod closes the current audit period: the collector restarts and,

@@ -1,6 +1,7 @@
 package verifier
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -32,9 +33,22 @@ import (
 // turn for that (rid, opnum). This is exactly OOOExec's "run rid up to
 // its next event" discipline.
 
-// OOOAudit verifies tr against rep by out-of-order, per-request
-// re-execution following a topological sort of the event graph.
+// OOOAudit verifies tr against rep with a background context.
+//
+// Deprecated: use OOOAuditContext, which supports cancellation.
 func OOOAudit(prog *lang.Program, tr *trace.Trace, rep *reports.Reports, init *object.Snapshot) (*Result, error) {
+	return OOOAuditContext(context.Background(), prog, tr, rep, init)
+}
+
+// OOOAuditContext verifies tr against rep by out-of-order, per-request
+// re-execution following a topological sort of the event graph.
+// Cancelling ctx abandons the audit between schedule steps with an
+// error matching ErrAuditCanceled; leftover request goroutines are
+// unblocked by the scheduler's shutdown, and no verdict is produced.
+func OOOAuditContext(ctx context.Context, prog *lang.Program, tr *trace.Trace, rep *reports.Reports, init *object.Snapshot) (*Result, error) {
+	if ctx.Err() != nil {
+		return nil, auditCanceled(ctx)
+	}
 	start := time.Now()
 	res := &Result{}
 	reject := func(reason string) (*Result, error) {
@@ -126,7 +140,14 @@ func OOOAudit(prog *lang.Program, tr *trace.Trace, rep *reports.Reports, init *o
 	responses := tr.Responses()
 	sched := newOOOScheduler(env)
 	defer sched.shutdown()
-	for _, key := range schedule {
+	for si, key := range schedule {
+		// Operationwise stepping makes the schedule loop the natural
+		// cancellation point; check every few steps so a cancelled audit
+		// of a long schedule returns promptly without paying ctx.Err()'s
+		// cost on every single operation.
+		if si&63 == 0 && ctx.Err() != nil {
+			return nil, auditCanceled(ctx)
+		}
 		in, ok := inputs[key.RID]
 		if !ok {
 			return reject("schedule names unknown request " + key.RID)

@@ -1,6 +1,7 @@
 package verifier
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -31,28 +32,34 @@ func normWorkers(w int) int {
 }
 
 // runPool runs n indexed tasks on up to `workers` goroutines. Workers
-// pull indexes in increasing order and run(i) stores its own result;
-// runPool returns once every index has been handled.
-func runPool(n, workers int, run func(i int)) {
+// pull indexes in increasing order and run(i) stores its own result.
+// Cancelling ctx stops workers from pulling further indexes (tasks
+// already started run to completion — a task is never interrupted
+// midway, so every slot is either fully run or untouched). It returns
+// true when every index was handled, false when cancellation left some
+// unrun.
+func runPool(ctx context.Context, n, workers int, run func(i int)) bool {
 	if n == 0 {
-		return
+		return true
 	}
-	var next atomic.Int64
+	var next, ran atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < min(workers, n); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				run(i)
+				ran.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
+	return ran.Load() == int64(n)
 }
 
 // --- Phase 2: versioned redo across independent objects ---
@@ -71,8 +78,11 @@ type redoOutcome struct {
 // task processed in object order — all DB logs build env.vdb, all KV
 // logs build env.vkv — while each register log, which is validated but
 // builds nothing, is a task of its own. It returns the reject message
-// of the earliest failure in object order, or "" when every log passed.
-func runRedo(env *auditEnv, rep *reports.Reports, workers int) string {
+// of the earliest failure in object order ("" when every log passed)
+// and whether the phase completed: false means ctx was cancelled before
+// every log replayed, in which case even an observed failure cannot be
+// arbitrated and the caller must abandon the audit without a verdict.
+func runRedo(ctx context.Context, env *auditEnv, rep *reports.Reports, workers int, obs hook) (string, bool) {
 	var dbObjs, kvObjs []int
 	var tasks []func() *redoOutcome
 	for i, objID := range rep.Objects {
@@ -83,7 +93,11 @@ func runRedo(env *auditEnv, rep *reports.Reports, workers int) string {
 		case reports.KVObj:
 			kvObjs = append(kvObjs, i)
 		case reports.RegisterObj:
-			tasks = append(tasks, func() *redoOutcome { return redoRegisterLog(rep, i) })
+			tasks = append(tasks, func() *redoOutcome {
+				o := redoRegisterLog(rep, i)
+				obs.opsReplayed(len(rep.OpLogs[i]))
+				return o
+			})
 		default:
 			tasks = append(tasks, func() *redoOutcome {
 				return &redoOutcome{objIdx: i, msg: fmt.Sprintf("unknown object kind %v", objID.Kind)}
@@ -91,13 +105,29 @@ func runRedo(env *auditEnv, rep *reports.Reports, workers int) string {
 		}
 	}
 	if len(dbObjs) > 0 {
-		tasks = append(tasks, func() *redoOutcome { return redoDBLogs(env, rep, dbObjs) })
+		tasks = append(tasks, func() *redoOutcome {
+			o := redoDBLogs(env, rep, dbObjs)
+			for _, i := range dbObjs {
+				obs.opsReplayed(len(rep.OpLogs[i]))
+			}
+			return o
+		})
 	}
 	if len(kvObjs) > 0 {
-		tasks = append(tasks, func() *redoOutcome { return redoKVLogs(env, rep, kvObjs) })
+		tasks = append(tasks, func() *redoOutcome {
+			o := redoKVLogs(env, rep, kvObjs)
+			for _, i := range kvObjs {
+				obs.opsReplayed(len(rep.OpLogs[i]))
+			}
+			return o
+		})
 	}
+	obs.phaseStart(PhaseRedo, len(rep.Objects))
 	outcomes := make([]*redoOutcome, len(tasks))
-	runPool(len(tasks), workers, func(i int) { outcomes[i] = tasks[i]() })
+	completed := runPool(ctx, len(tasks), workers, func(i int) { outcomes[i] = tasks[i]() })
+	if !completed {
+		return "", false
+	}
 	var first *redoOutcome
 	for _, o := range outcomes {
 		if o != nil && (first == nil || o.objIdx < first.objIdx) {
@@ -105,9 +135,9 @@ func runRedo(env *auditEnv, rep *reports.Reports, workers int) string {
 		}
 	}
 	if first != nil {
-		return first.msg
+		return first.msg, true
 	}
-	return ""
+	return "", true
 }
 
 // redoDBLogs replays the DB operation logs into the versioned database.
@@ -221,14 +251,20 @@ type groupOutcome struct {
 // deterministic function of the task alone, and the first failure in
 // task order decides the verdict exactly as in a sequential audit.
 // Every task ordered at or before that failure is guaranteed to run.
-func runGroupTasks(prog *lang.Program, env *auditEnv, tasks []groupTask,
+//
+// Cancelling ctx stops workers from pulling further tasks; slots never
+// run stay nil. The caller scans outcomes in task order and abandons
+// the audit at the first nil, which preserves determinism: a verdict is
+// published only when every task ordered before its deciding outcome
+// actually ran.
+func runGroupTasks(ctx context.Context, prog *lang.Program, env *auditEnv, tasks []groupTask,
 	inputs map[string]trace.Input, responses map[string]string,
-	opts Options, workers int) []*groupOutcome {
+	opts Options, workers int, obs hook) []*groupOutcome {
 
 	outcomes := make([]*groupOutcome, len(tasks))
 	var failedAt atomic.Int64
 	failedAt.Store(int64(len(tasks)))
-	runPool(len(tasks), workers, func(i int) {
+	runPool(ctx, len(tasks), workers, func(i int) {
 		if int64(i) > failedAt.Load() {
 			// A task ordered strictly before this one already failed, so
 			// this task can no longer affect the verdict. (failedAt only
@@ -247,6 +283,8 @@ func runGroupTasks(prog *lang.Program, env *auditEnv, tasks []groupTask,
 					break
 				}
 			}
+		} else {
+			obs.groupReexecuted(tasks[i].script, tasks[i].tag, len(tasks[i].rids))
 		}
 	})
 	return outcomes

@@ -1,6 +1,7 @@
 package verifier
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -75,11 +76,24 @@ func (r *PatchResult) RIDsIn(c PatchClass) []string {
 	return out
 }
 
-// PatchAudit replays the recorded period under the patched program. The
-// reports must come from an execution that a regular Audit (under the
-// original program) accepted; PatchAudit revalidates their structure but
-// not the original outputs.
+// PatchAudit replays the recorded period under the patched program with
+// a background context.
+//
+// Deprecated: use PatchAuditContext, which supports cancellation.
 func PatchAudit(patched *lang.Program, tr *trace.Trace, rep *reports.Reports, init *object.Snapshot) (*PatchResult, error) {
+	return PatchAuditContext(context.Background(), patched, tr, rep, init)
+}
+
+// PatchAuditContext replays the recorded period under the patched
+// program. The reports must come from an execution that a regular Audit
+// (under the original program) accepted; the patch audit revalidates
+// their structure but not the original outputs. Cancelling ctx abandons
+// the replay between requests with an error matching ErrAuditCanceled
+// and no (partial) classification.
+func PatchAuditContext(ctx context.Context, patched *lang.Program, tr *trace.Trace, rep *reports.Reports, init *object.Snapshot) (*PatchResult, error) {
+	if ctx.Err() != nil {
+		return nil, auditCanceled(ctx)
+	}
 	if init == nil {
 		init = object.EmptySnapshot()
 	}
@@ -139,6 +153,9 @@ func PatchAudit(patched *lang.Program, tr *trace.Trace, rep *reports.Reports, in
 	out := &PatchResult{Classes: make(map[string]PatchClass)}
 	responses := tr.Responses()
 	for _, ev := range tr.Requests() {
+		if ctx.Err() != nil {
+			return nil, auditCanceled(ctx)
+		}
 		rid := ev.RID
 		bridge := &patchBridge{inner: newAuditBridge(env)}
 		res, runErr := lang.Run(patched, lang.Config{

@@ -7,6 +7,7 @@
 package verifier
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -38,6 +39,23 @@ type Options struct {
 	// bit-identical verdict: a reject deterministically reports the
 	// first failure in group order.
 	Workers int
+	// Observer, if non-nil, receives progress callbacks (phase starts
+	// and ends, groups re-executed, ops replayed, the verdict). With
+	// Workers > 1 some callbacks fire concurrently; see Observer.
+	Observer Observer
+}
+
+// ErrAuditCanceled reports an audit abandoned because its context was
+// cancelled. Cancellation is never a verdict: the audit returns this
+// error (wrapping the context's cause, so errors.Is matches both) with
+// a nil Result, and re-running the audit with a live context yields
+// exactly the verdict the uncancelled run would have produced.
+var ErrAuditCanceled = errors.New("audit canceled")
+
+// auditCanceled wraps ctx's cause so callers can match either
+// ErrAuditCanceled or the underlying context error.
+func auditCanceled(ctx context.Context) error {
+	return fmt.Errorf("verifier: %w: %w", ErrAuditCanceled, context.Cause(ctx))
 }
 
 // GroupStat describes one re-executed control-flow group: the (n_c,
@@ -119,15 +137,33 @@ func (r *Result) FinalSnapshot() (*object.Snapshot, error) {
 	return snap, nil
 }
 
-// Audit runs the full audit. A non-nil error reports an internal fault
-// (not a verification verdict); verification verdicts are in Result.
+// Audit runs the full audit with a background context.
+//
+// Deprecated: use AuditContext, which supports cancellation and
+// progress observation. This wrapper remains for callers predating the
+// context-aware API.
 func Audit(prog *lang.Program, tr *trace.Trace, rep *reports.Reports, init *object.Snapshot, opts Options) (*Result, error) {
+	return AuditContext(context.Background(), prog, tr, rep, init, opts)
+}
+
+// AuditContext runs the full audit. A non-nil error reports an internal
+// fault (not a verification verdict); verification verdicts are in
+// Result. Cancelling ctx abandons the audit between work items — the
+// worker pools stop pulling tasks, AuditContext returns an error
+// matching ErrAuditCanceled, and no verdict is produced (cancellation
+// is never a REJECT): re-auditing the same period later yields the
+// verdict the uncancelled run would have reached, bit for bit.
+func AuditContext(ctx context.Context, prog *lang.Program, tr *trace.Trace, rep *reports.Reports, init *object.Snapshot, opts Options) (*Result, error) {
 	if opts.MaxGroup <= 0 {
 		opts.MaxGroup = 3000
 	}
 	workers := normWorkers(opts.Workers)
+	obs := hook{opts.Observer}
 	if init == nil {
 		init = object.EmptySnapshot()
+	}
+	if ctx.Err() != nil {
+		return nil, auditCanceled(ctx)
 	}
 	start := time.Now()
 	res := &Result{}
@@ -142,6 +178,7 @@ func Audit(prog *lang.Program, tr *trace.Trace, rep *reports.Reports, init *obje
 			res.Stats.DBQuery = env.dbQueryTime()
 		}
 		res.Stats.Total = time.Since(start)
+		obs.verdict(false, reason)
 		return res, nil
 	}
 
@@ -162,6 +199,7 @@ func Audit(prog *lang.Program, tr *trace.Trace, rep *reports.Reports, init *obje
 
 	// Phase 1: ProcessOpReports (Figure 5).
 	t0 := time.Now()
+	obs.phaseStart(PhaseProcessOpReports, 0)
 	proc, err := core.ProcessOpReports(tr, rep)
 	res.Stats.ProcOpRep = time.Since(t0)
 	if err != nil {
@@ -170,6 +208,10 @@ func Audit(prog *lang.Program, tr *trace.Trace, rep *reports.Reports, init *obje
 			return reject(rej.Error())
 		}
 		return nil, err
+	}
+	obs.phaseEnd(PhaseProcessOpReports, res.Stats.ProcOpRep)
+	if ctx.Err() != nil {
+		return nil, auditCanceled(ctx)
 	}
 
 	// Phase 2: versioned redo (§4.5), parallel across independent
@@ -199,11 +241,18 @@ func Audit(prog *lang.Program, tr *trace.Trace, rep *reports.Reports, init *obje
 	for _, k := range kvKeys {
 		env.vkv.LoadInitial(k, init.KV[k])
 	}
-	redoMsg := runRedo(env, rep, workers)
+	redoMsg, redoDone := runRedo(ctx, env, rep, workers, obs)
 	res.Stats.DBRedo = time.Since(t0)
+	if !redoDone {
+		// Cancelled mid-redo: some object logs never replayed, so even an
+		// observed failure cannot be arbitrated to the first one in object
+		// order. No verdict — the next audit redoes the phase whole.
+		return nil, auditCanceled(ctx)
+	}
 	if redoMsg != "" {
 		return reject(redoMsg)
 	}
+	obs.phaseEnd(PhaseRedo, res.Stats.DBRedo)
 
 	// Phase 3: grouped re-execution (Fig. 12 ReExec2) on a worker pool —
 	// groups are independent and re-execute "in any order" (§3.1, §4.7).
@@ -217,7 +266,15 @@ func Audit(prog *lang.Program, tr *trace.Trace, rep *reports.Reports, init *obje
 
 	t0 = time.Now()
 	tasks := buildGroupTasks(rep, opts.MaxGroup)
-	for _, out := range runGroupTasks(prog, env, tasks, inputs, responses, opts, workers) {
+	obs.phaseStart(PhaseReExec, len(tasks))
+	for _, out := range runGroupTasks(ctx, prog, env, tasks, inputs, responses, opts, workers, obs) {
+		if out == nil {
+			// This task was never run because ctx was cancelled. Scanning
+			// in task order guarantees every task before a published
+			// failure ran, so a cancelled slot before any failure means no
+			// verdict can be arbitrated — the audit is abandoned whole.
+			return nil, auditCanceled(ctx)
+		}
 		if out.skipped {
 			// Only tasks ordered after the deciding failure are skipped,
 			// and that failure returns below before the scan gets here.
@@ -237,10 +294,12 @@ func Audit(prog *lang.Program, tr *trace.Trace, rep *reports.Reports, init *obje
 	}
 	res.Stats.ReExec = time.Since(t0)
 	res.Stats.DBQuery = env.dbQueryTime()
+	obs.phaseEnd(PhaseReExec, res.Stats.ReExec)
 
 	// Phase 4: every traced request must have been re-executed and
 	// compared (Fig. 12 lines 55-57).
 	t0 = time.Now()
+	obs.phaseStart(PhaseCoverage, 0)
 	for rid := range responses {
 		if !produced[rid] {
 			res.Stats.Other = time.Since(t0)
@@ -248,12 +307,14 @@ func Audit(prog *lang.Program, tr *trace.Trace, rep *reports.Reports, init *obje
 		}
 	}
 	res.Stats.Other = time.Since(t0)
+	obs.phaseEnd(PhaseCoverage, res.Stats.Other)
 	res.Stats.RequestsReplayed = len(produced)
 	res.Stats.Total = time.Since(start)
 	res.Accepted = true
 	res.FinalDB = env.vdb
 	res.finalKV = env.vkv.Final()
 	res.finalRegs = finalRegisters(rep, init)
+	obs.verdict(true, "")
 	return res, nil
 }
 
