@@ -43,6 +43,7 @@ import (
 	"net/http"
 
 	"orochi/internal/apps"
+	"orochi/internal/console"
 	"orochi/internal/epoch"
 	"orochi/internal/httpfront"
 	"orochi/internal/lang"
@@ -276,6 +277,67 @@ func StartEpochManager(dir string, srv *Server, init *Snapshot, opts EpochManage
 // chain in dir.
 func NewEpochAuditor(prog *Program, dir string, opts EpochAuditorOptions) *EpochAuditor {
 	return epoch.NewAuditor(prog, dir, opts)
+}
+
+// Forensics is the structured evidence behind a REJECT: the failing
+// phase and check, the offending request, group/chunk or object/log
+// coordinates, and — for output mismatches — the traced-vs-re-executed
+// response diff. It is assembled by the same deterministic
+// first-failure arbitration as the reject reason, so the record is
+// bit-identical at any AuditOptions.Workers setting; find it on
+// AuditResult.Forensics and EpochVerdict.Forensics.
+type Forensics = verifier.Forensics
+
+// ResponseDiff is the windowed traced-vs-re-executed body comparison
+// attached to output-mismatch Forensics.
+type ResponseDiff = verifier.ResponseDiff
+
+// EpochDecision is the durable form of one epoch's audit verdict —
+// verdict, forensics, timings, chain digest, and the open → acked
+// resolution state machine — as persisted in the chain directory's
+// decision log (decisions.jsonl).
+type EpochDecision = epoch.Decision
+
+// EpochDecisionLog is the append-only, fsynced, restart-surviving
+// ACCEPT/REJECT ledger of an epoch chain directory. The background
+// auditor appends to it automatically; the console serves verdict
+// history and acknowledgements from it.
+type EpochDecisionLog = epoch.DecisionLog
+
+// OpenEpochDecisionLog opens (creating if needed) the decision log in
+// an epoch chain directory and replays it into memory.
+func OpenEpochDecisionLog(dir string) (*EpochDecisionLog, error) {
+	return epoch.OpenDecisionLog(dir)
+}
+
+// ReadEpochDecisions replays an epoch chain's decision log read-only
+// and returns every stored decision in epoch order (fs.ErrNotExist when
+// the chain has no log) — the offline inspection path behind
+// orochi-audit -explain.
+func ReadEpochDecisions(dir string) ([]EpochDecision, error) {
+	return epoch.ReadDecisions(dir)
+}
+
+// Console is the operations surface: one http.Handler under "/-/"
+// serving Prometheus metrics (/-/metrics), live counters (/-/stats),
+// the epoch timeline and verdict ledger (/-/epochs, /-/api/...), and a
+// minimal HTML overview. Every component is optional.
+type Console = console.Console
+
+// ConsoleOptions selects which live components a Console exposes.
+type ConsoleOptions = console.Options
+
+// NewConsole builds an operations console over the given components;
+// mount NewConsole(...).Handler() with HTTPWithControl.
+func NewConsole(opts ConsoleOptions) *Console {
+	return console.New(opts)
+}
+
+// HTTPWithControl composes the complete front door: control (typically
+// a Console's handler) under "/-/", the audited handler everywhere
+// else.
+func HTTPWithControl(control, audited http.Handler) http.Handler {
+	return httpfront.WithControl(control, audited)
 }
 
 // SampleApps returns the paper's three evaluation applications —

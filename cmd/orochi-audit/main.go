@@ -35,6 +35,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -69,7 +70,17 @@ func main() {
 	stats := flag.Bool("stats", false, "print per-group statistics")
 	progress := flag.Bool("progress", false, "stream audit progress (phases, groups re-executed, ops replayed) to stderr")
 	withErrors := flag.Bool("with-errors", false, "the serve run injected faulting requests (orochi-serve -fault-rate); audit against the app extended with the fault scripts")
+	explain := flag.Int64("explain", 0, "render the stored decision (verdict, forensics, timings) for this epoch from -epochs' decision log and exit; reads the log only, no re-audit")
 	flag.Parse()
+
+	if *explain > 0 {
+		if *epochsDir == "" {
+			fmt.Fprintln(os.Stderr, "orochi-audit: -explain needs -epochs (the chain directory holding the decision log)")
+			os.Exit(2)
+		}
+		explainEpoch(*epochsDir, *explain)
+		return
+	}
 
 	// SIGINT/SIGTERM cancel the audit: the verifier abandons its work
 	// between tasks and returns ErrAuditCanceled — never a verdict.
@@ -138,6 +149,64 @@ func main() {
 	os.Exit(1)
 }
 
+// explainEpoch renders one epoch's stored decision — the durable record
+// the auditor appended when it published the verdict — without touching
+// the chain's evidence or re-running anything. Exit status mirrors the
+// verdict: 0 for ACCEPT, 1 for REJECT, 2 when no decision exists.
+func explainEpoch(dir string, n int64) {
+	decisions, err := epoch.ReadDecisions(dir)
+	if os.IsNotExist(err) {
+		fmt.Fprintf(os.Stderr, "orochi-audit: no decision log in %s (has anything been audited there?)\n", dir)
+		os.Exit(2)
+	}
+	exitOn(err)
+	for _, d := range decisions {
+		if d.Epoch == n {
+			writeDecision(os.Stdout, d)
+			if !d.Accepted {
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "orochi-audit: no decision recorded for epoch %d in %s\n", n, dir)
+	os.Exit(2)
+}
+
+// writeDecision renders a stored decision for terminals.
+func writeDecision(w io.Writer, d epoch.Decision) {
+	verdict := "ACCEPT"
+	if !d.Accepted {
+		verdict = "REJECT"
+	}
+	fmt.Fprintf(w, "epoch %d: %s", d.Epoch, verdict)
+	if d.Reason != "" {
+		fmt.Fprintf(w, " — %s", d.Reason)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "decided: %s   resolution: %s", d.DecidedAt.Format(time.RFC3339), d.Resolution)
+	if d.Note != "" {
+		fmt.Fprintf(w, " (%s at %s)", d.Note, d.AckedAt.Format(time.RFC3339))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "evidence: %d requests, %d events   manifest %.12s   chain %.12s\n",
+		d.Requests, d.Events, d.ManifestSHA, d.ChainSHA)
+	if d.Timings.Total > 0 {
+		fmt.Fprintf(w, "audit time: %v (procopre %v, db redo %v, re-exec %v [db query %v], other %v)\n",
+			d.Timings.Total, d.Timings.ProcOpRep, d.Timings.DBRedo, d.Timings.ReExec, d.Timings.DBQuery, d.Timings.Other)
+	}
+	if d.GroupBatches > 0 {
+		fmt.Fprintf(w, "dedup: %d requests replayed in %d group batches (%.1f req/batch)\n",
+			d.RequestsReplayed, d.GroupBatches, float64(d.RequestsReplayed)/float64(d.GroupBatches))
+	}
+	if d.Forensics != nil {
+		fmt.Fprintln(w, "forensics:")
+		for _, line := range strings.Split(d.Forensics.String(), "\n") {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+	}
+}
+
 // auditEpochs verifies a sealed epoch chain and prints the ledger.
 func auditEpochs(ctx context.Context, prog *lang.Program, dir string, from, to int64, workers int, checkpoints bool, verify verifier.Options) {
 	stats := verify.CollectStats
@@ -186,6 +255,7 @@ func auditEpochs(ctx context.Context, prog *lang.Program, dir string, from, to i
 	last := verdicts[len(verdicts)-1]
 	if !a.ChainAccepted() {
 		fmt.Printf("chain verdict: REJECT at epoch %d (ledger %.12s)\n", last.Epoch, last.ChainSHA)
+		fmt.Printf("(stored forensics: orochi-audit -epochs %s -explain %d)\n", dir, last.Epoch)
 		os.Exit(1)
 	}
 	// A seal gap (epoch N unsealed while a later epoch is sealed) means

@@ -20,6 +20,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -58,7 +59,13 @@ func main() {
 	// reference numbers (and Fig. 9's CPU decomposition adds up);
 	// parallelism is measured by the dedicated -fig workers sweep.
 	auditWorkers := flag.Int("audit-workers", 1, "verifier worker pool for the audit-running figures (1 = sequential/paper-faithful, 0 = all CPUs)")
+	jsonOut := flag.String("json", "", "machine-readable mode: measure the headline numbers (Fig-8 audit cost per request, serve req/s, speedup, dedup ratio) and write them as JSON to this file ('-' = stdout), instead of printing figures")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		benchJSON(*jsonOut, *scale, *conc, *auditWorkers)
+		return
+	}
 
 	switch *fig {
 	case "8":
@@ -90,6 +97,73 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
 		os.Exit(2)
 	}
+}
+
+// benchResult is one application's row of the -json output: the
+// headline evaluation numbers in machine-readable form, so CI (and the
+// committed BENCH_seed.json baseline) can diff runs without parsing the
+// human tables.
+type benchResult struct {
+	App string `json:"app"`
+	// Requests served (and audited) in the measured period.
+	Requests int `json:"requests"`
+	// ServeReqPerSec is recording-mode serving throughput.
+	ServeReqPerSec float64 `json:"serve_req_per_sec"`
+	// AuditNsPerReq is total audit time divided by requests (the Fig-8
+	// audit-cost unit), and AuditSpeedup the baseline-replay time over
+	// the deduplicated audit time (Fig-8's headline column).
+	AuditNsPerReq int64   `json:"audit_ns_per_req"`
+	AuditSpeedup  float64 `json:"audit_speedup"`
+	// DedupRatio is requests replayed per re-executed group batch — the
+	// same figure /-/metrics exposes as orochi_audit_dedup_ratio.
+	DedupRatio float64 `json:"dedup_ratio"`
+}
+
+// benchOutput is the top-level -json document.
+type benchOutput struct {
+	Scale        int           `json:"scale"`
+	Concurrency  int           `json:"concurrency"`
+	AuditWorkers int           `json:"audit_workers"`
+	Results      []benchResult `json:"results"`
+}
+
+// benchJSON measures each paper workload once (serve → baseline replay
+// → deduplicated audit) and writes the results as JSON.
+func benchJSON(path string, scale, conc, auditWorkers int) {
+	out := benchOutput{Scale: scale, Concurrency: conc, AuditWorkers: auditWorkers}
+	for _, item := range workloads(scale) {
+		served, err := harness.Serve(item.w, harness.ServeConfig{Record: true, Concurrency: conc})
+		check(err)
+		baseAudit, err := harness.BaselineReplay(item.w, served)
+		check(err)
+		res, err := served.AuditContext(benchCtx, verifier.Options{Workers: auditWorkers})
+		check(err)
+		if !res.Accepted {
+			fmt.Fprintf(os.Stderr, "%s: AUDIT REJECTED: %s\n", item.name, res.Reason)
+			os.Exit(1)
+		}
+		dedup := 0.0
+		if res.Stats.GroupBatches > 0 {
+			dedup = float64(res.Stats.RequestsReplayed) / float64(res.Stats.GroupBatches)
+		}
+		out.Results = append(out.Results, benchResult{
+			App:            item.name,
+			Requests:       served.Requests,
+			ServeReqPerSec: float64(served.Requests) / served.ServeWall.Seconds(),
+			AuditNsPerReq:  res.Stats.Total.Nanoseconds() / int64(served.Requests),
+			AuditSpeedup:   float64(baseAudit) / float64(res.Stats.Total),
+			DedupRatio:     dedup,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	check(err)
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(path, data, 0o644)
+	}
+	check(err)
 }
 
 func workloads(scale int) []struct {

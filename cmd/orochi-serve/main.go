@@ -28,6 +28,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -40,10 +41,12 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"orochi/internal/apps"
+	"orochi/internal/console"
 	"orochi/internal/epoch"
 	"orochi/internal/httpfront"
 	"orochi/internal/server"
@@ -64,6 +67,7 @@ func main() {
 	auditWorkers := flag.Int("audit-workers", 0, "concurrent re-execution workers in the background auditor (0 = half the CPUs, to leave room for serving; 1 = sequential)")
 	faultRate := flag.Float64("fault-rate", 0, "inject faulting requests (unknown script, undefined function, bad SQL) into the workload at this rate; the audit must still ACCEPT")
 	shards := flag.Int("shards", 0, "lock-stripe count for the object store and recorder (0 = default); reports are identical at every setting")
+	tamperReq := flag.Int64("tamper-request", 0, "misbehaving-executor demo: corrupt the Nth audited request's response between the executor and the collector — the collector records (and the client sees) the tampered bytes, and the audit must REJECT naming that request")
 	flag.Parse()
 
 	app := apps.ByName(*appName)
@@ -164,44 +168,27 @@ func main() {
 		}
 		fmt.Fprintf(rw, "flushed to %s\n", *outDir)
 	})
-	// Live throughput counters: the stats read path is entirely atomic
-	// (no lock shared with serving), so polling /-/stats under full load
-	// never perturbs the executor's hot path.
-	serveStart := time.Now()
-	var lastStats struct {
-		sync.Mutex
-		at   time.Time
-		reqs int64
-	}
-	lastStats.at = serveStart
-	mux.HandleFunc("/-/stats", func(rw http.ResponseWriter, r *http.Request) {
-		cpu, n := srv.CPU()
-		now := time.Now()
-		avgRate := float64(n) / now.Sub(serveStart).Seconds()
-		// Instantaneous rate over the window since the previous poll.
-		lastStats.Lock()
-		instRate := avgRate
-		if dt := now.Sub(lastStats.at).Seconds(); dt > 0 && lastStats.reqs <= n {
-			instRate = float64(n-lastStats.reqs) / dt
-		}
-		lastStats.at, lastStats.reqs = now, n
-		lastStats.Unlock()
-		fmt.Fprintf(rw, "requests=%d cpu=%v inflight=%d reqs_per_sec=%.1f reqs_per_sec_avg=%.1f uptime=%v\n",
-			n, cpu, srv.InFlight(), instRate, avgRate, now.Sub(serveStart).Round(time.Millisecond))
-	})
-	mux.HandleFunc("/-/epochs", func(rw http.ResponseWriter, r *http.Request) {
-		if mgr == nil {
-			http.Error(rw, "epoch pipeline disabled (run with -epoch-dir)", http.StatusNotFound)
-			return
-		}
-		writeEpochStatus(rw, mgr, auditor)
-	})
+	// The operations console serves everything else under /-/: the live
+	// throughput counters (/-/stats), the epoch timeline and verdict
+	// ledger (/-/epochs and the JSON API), and Prometheus metrics
+	// (/-/metrics). /-/flush above shadows the console's mux because it
+	// needs this process's flush closure.
+	con := console.New(console.Options{Server: srv, Manager: mgr, Auditor: auditor})
+	mux.Handle(httpfront.ControlPrefix, con.Handler())
 	// The audited surface is the shared HTTP front door: the embedded
 	// collector as middleware in front of the executor
 	// (internal/httpfront) — the same library path the tests and
 	// examples use. Control endpoints under /-/ are registered on the
-	// mux above it and never enter the trace.
-	mux.Handle("/", httpfront.Handler(srv))
+	// mux above it and never enter the trace. With -tamper-request a
+	// corrupting middleware sits between the collector and the executor,
+	// modelling a misbehaving serving stack: the trace (and the client)
+	// get the tampered bytes, and the audit must REJECT with forensics
+	// naming the request.
+	front := httpfront.Handler(srv)
+	if *tamperReq > 0 {
+		front = httpfront.Collector(srv.Collector, tamper(*tamperReq, httpfront.Exec(srv)))
+	}
+	mux.Handle("/", front)
 
 	httpSrv := &http.Server{Addr: *listen, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 
@@ -293,35 +280,53 @@ func main() {
 	}
 }
 
-// writeEpochStatus renders the /-/epochs endpoint: manager state plus
-// the auditor's verdict ledger.
-func writeEpochStatus(wr io.Writer, mgr *epoch.Manager, auditor *epoch.Auditor) {
-	st := mgr.Status()
-	fmt.Fprintf(wr, "epoch dir: %s\n", st.Dir)
-	fmt.Fprintf(wr, "current epoch: %d (%d events buffered)\n", st.CurrentEpoch, st.CurrentEvents)
-	if st.Err != "" {
-		fmt.Fprintf(wr, "pipeline error: %s\n", st.Err)
-	}
-	fmt.Fprintf(wr, "sealed epochs: %d\n", len(st.Sealed))
-	for _, s := range st.Sealed {
-		fmt.Fprintf(wr, "  epoch %d: %d events, %d requests, %d segments, manifest %.12s\n",
-			s.Epoch, s.Events, s.Requests, s.Segments, s.ManifestSHA)
-	}
-	if auditor == nil {
-		fmt.Fprintln(wr, "background audit: disabled")
-		return
-	}
-	fmt.Fprintf(wr, "background audit: %s\n", auditor.Progress())
-	verdicts := auditor.Verdicts()
-	fmt.Fprintf(wr, "audited epochs: %d (next: %d)\n", len(verdicts), auditor.NextEpoch())
-	for _, v := range verdicts {
-		if v.Accepted {
-			fmt.Fprintf(wr, "  epoch %d: ACCEPT in %v (chain %.12s)\n", v.Epoch, v.AuditTime, v.ChainSHA)
-		} else {
-			fmt.Fprintf(wr, "  epoch %d: REJECT — %s (chain %.12s)\n", v.Epoch, v.Reason, v.ChainSHA)
+// tamper returns middleware for between the collector and the executor
+// that corrupts the body of the nth audited request (1-based, counted in
+// arrival order at this middleware). Everything downstream of the
+// collector is the untrusted executor in the paper's model; this is the
+// one-flag way to demonstrate that the audit catches a serving stack
+// that returns bytes the program never produced. The corrupted response
+// is what the collector records and the client receives, so reports and
+// trace disagree and the audit REJECTs with forensics naming the rid.
+func tamper(nth int64, next http.Handler) http.Handler {
+	var count atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid, _, ok := httpfront.RecordedFrom(r.Context())
+		if !ok || count.Add(1) != nth {
+			next.ServeHTTP(w, r)
+			return
 		}
+		buf := &bufferedResponse{ResponseWriter: w}
+		next.ServeHTTP(buf, r)
+		body := buf.buf.Bytes()
+		if len(body) > 0 {
+			body[0] ^= 0x20 // flip one bit of the first byte
+		} else {
+			body = []byte("tampered")
+		}
+		fmt.Fprintf(os.Stderr, "orochi-serve: tampering with response of request %s\n", rid)
+		if buf.code != 0 && buf.code != http.StatusOK {
+			w.WriteHeader(buf.code)
+		}
+		_, _ = w.Write(body)
+	})
+}
+
+// bufferedResponse captures a downstream handler's body so tamper can
+// rewrite it before it reaches the collector's capture.
+type bufferedResponse struct {
+	http.ResponseWriter
+	buf  bytes.Buffer
+	code int
+}
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.code == 0 {
+		b.code = code
 	}
 }
+
+func (b *bufferedResponse) Write(p []byte) (int, error) { return b.buf.Write(p) }
 
 // printLedger prints the final audit ledger at shutdown.
 func printLedger(wr io.Writer, mgr *epoch.Manager, auditor *epoch.Auditor) {

@@ -32,6 +32,9 @@ type OpMap map[OpKey]LogPos
 type RejectError struct {
 	Stage string // which check failed
 	Msg   string
+	// RID names the implicated request when the failing check is
+	// attributable to one ("" otherwise); verdict forensics surface it.
+	RID string
 }
 
 func (e *RejectError) Error() string {
@@ -40,6 +43,10 @@ func (e *RejectError) Error() string {
 
 func rejectf(stage, format string, args ...interface{}) error {
 	return &RejectError{Stage: stage, Msg: fmt.Sprintf(format, args...)}
+}
+
+func rejectRID(stage, rid, format string, args ...interface{}) error {
+	return &RejectError{Stage: stage, Msg: fmt.Sprintf(format, args...), RID: rid}
 }
 
 // EventGraph is G from Figure 5: nodes are events — request arrivals
@@ -185,7 +192,7 @@ func ProcessOpReports(tr *trace.Trace, r *reports.Reports) (*ProcessResult, erro
 	for _, rid := range gtr.RIDs {
 		m := r.OpCounts[rid]
 		if m < 0 {
-			return nil, rejectf("op-counts", "negative op count for %s", rid)
+			return nil, rejectRID("op-counts", rid, "negative op count for %s", rid)
 		}
 		prev := OpKey{rid, 0}
 		for opnum := 1; opnum <= m; opnum++ {
@@ -201,18 +208,18 @@ func ProcessOpReports(tr *trace.Trace, r *reports.Reports) (*ProcessResult, erro
 	for i, log := range r.OpLogs {
 		for j, e := range log {
 			if _, known := gtr.Index[e.RID]; !known {
-				return nil, rejectf("check-logs", "log %d entry %d names unknown request %s", i, j, e.RID)
+				return nil, rejectRID("check-logs", e.RID, "log %d entry %d names unknown request %s", i, j, e.RID)
 			}
 			if e.Opnum <= 0 {
-				return nil, rejectf("check-logs", "log %d entry %d has opnum %d <= 0", i, j, e.Opnum)
+				return nil, rejectRID("check-logs", e.RID, "log %d entry %d has opnum %d <= 0", i, j, e.Opnum)
 			}
 			if e.Opnum > r.OpCounts[e.RID] {
-				return nil, rejectf("check-logs", "log %d entry %d: opnum %d exceeds M(%s)=%d",
+				return nil, rejectRID("check-logs", e.RID, "log %d entry %d: opnum %d exceeds M(%s)=%d",
 					i, j, e.Opnum, e.RID, r.OpCounts[e.RID])
 			}
 			k := OpKey{e.RID, e.Opnum}
 			if _, dup := opMap[k]; dup {
-				return nil, rejectf("check-logs", "operation (%s,%d) appears twice", e.RID, e.Opnum)
+				return nil, rejectRID("check-logs", e.RID, "operation (%s,%d) appears twice", e.RID, e.Opnum)
 			}
 			opMap[k] = LogPos{Obj: i, Seq: j + 1}
 		}
@@ -220,7 +227,7 @@ func ProcessOpReports(tr *trace.Trace, r *reports.Reports) (*ProcessResult, erro
 	for _, rid := range gtr.RIDs {
 		for opnum := 1; opnum <= r.OpCounts[rid]; opnum++ {
 			if _, ok := opMap[OpKey{rid, opnum}]; !ok {
-				return nil, rejectf("check-logs", "operation (%s,%d) missing from logs", rid, opnum)
+				return nil, rejectRID("check-logs", rid, "operation (%s,%d) missing from logs", rid, opnum)
 			}
 		}
 	}
@@ -235,7 +242,7 @@ func ProcessOpReports(tr *trace.Trace, r *reports.Reports) (*ProcessResult, erro
 				continue
 			}
 			if prev.Opnum > cur.Opnum {
-				return nil, rejectf("state-edges", "log order violates program order for %s (%d before %d)",
+				return nil, rejectRID("state-edges", cur.RID, "log order violates program order for %s (%d before %d)",
 					cur.RID, prev.Opnum, cur.Opnum)
 			}
 		}

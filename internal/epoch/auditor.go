@@ -71,8 +71,12 @@ type Verdict struct {
 	Epoch    int64
 	Accepted bool
 	Reason   string // empty when accepted
-	Events   int
-	Requests int
+	// Forensics is the structured evidence behind a REJECT: the
+	// verifier's record for verification failures, or an epoch-level
+	// record (integrity/chain failures) built here. Nil when accepted.
+	Forensics *verifier.Forensics
+	Events    int
+	Requests  int
 	// AuditTime is the verifier's wall time for this epoch (zero when
 	// the epoch was rejected before verification, e.g. on an integrity
 	// failure).
@@ -103,6 +107,12 @@ type Auditor struct {
 	// when no Notify channel is configured, so polling iterations don't
 	// allocate a fresh channel each time around.
 	never chan struct{}
+
+	// log is the durable decision ledger (decisions.jsonl in dir); a
+	// failed open is parked in logErr and surfaced by the first RunOnce,
+	// keeping NewAuditor's signature error-free.
+	log    *DecisionLog
+	logErr error
 
 	mu       sync.Mutex
 	verdicts []Verdict
@@ -140,12 +150,60 @@ func (e *CheckpointError) Error() string {
 
 func (e *CheckpointError) Unwrap() error { return e.Err }
 
-// NewAuditor builds an auditor over the epoch chain in dir.
+// NewAuditor builds an auditor over the epoch chain in dir. It opens
+// the chain's durable decision log (creating it on first use) and
+// rehydrates the ledger with the decisions of epochs before From —
+// verdicts published by an earlier run, which would otherwise be
+// invisible to Verdicts() and the status endpoints after a restart. A
+// failed log open does not fail construction; it surfaces as the first
+// RunOnce's error.
 func NewAuditor(prog *lang.Program, dir string, opts AuditorOptions) *Auditor {
 	opts = opts.withDefaults()
-	return &Auditor{dir: dir, prog: prog, opts: opts, never: make(chan struct{}),
+	a := &Auditor{dir: dir, prog: prog, opts: opts, never: make(chan struct{}),
 		next: opts.From, init: opts.Init}
+	a.log, a.logErr = OpenDecisionLog(dir)
+	if a.log != nil {
+		a.rehydrate()
+	}
+	return a
 }
+
+// rehydrate replays prior-run decisions for epochs before From into the
+// in-memory ledger. The chain digest resumes from the last rehydrated
+// decision only when the rehydrated prefix is contiguous and ends at
+// From-1 — otherwise this run's digests start a fresh sequence rather
+// than silently chaining across a gap. Decisions at or after From are
+// left to the coming re-audit (its verdicts replace them in the log).
+func (a *Auditor) rehydrate() {
+	var prior []Verdict
+	for _, d := range a.log.Decisions() {
+		if d.Epoch < a.opts.From {
+			prior = append(prior, verdictFromDecision(d))
+		}
+	}
+	if len(prior) == 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.verdicts = append(a.verdicts, prior...)
+	for _, v := range prior {
+		if !v.Accepted && a.init == nil {
+			// A prior REJECT poisons the chain for this run too — unless
+			// the caller supplied a trusted initial state (Init, e.g. from
+			// a checkpoint), which is the explicit way to resume past one.
+			a.broken = true
+		}
+	}
+	last := prior[len(prior)-1]
+	if last.Epoch == a.opts.From-1 && int64(len(prior)) == last.Epoch-prior[0].Epoch+1 {
+		a.chainSHA = last.ChainSHA
+	}
+}
+
+// Decisions exposes the durable decision log (nil when its open
+// failed); the console serves verdict history and acks through it.
+func (a *Auditor) Decisions() *DecisionLog { return a.log }
 
 // maxCheckpointRetries bounds how many consecutive failed checkpoint
 // writes Run polls through before surfacing the error: transient
@@ -246,6 +304,11 @@ func (a *Auditor) RunOnce(ctx context.Context) (int, error) {
 		// Check before any disk work: a dead context must not pay for a
 		// full epoch load just to discard it inside the verifier.
 		return 0, canceled(ctx)
+	}
+	if a.logErr != nil {
+		// No durable ledger, no audits: publishing verdicts that vanish
+		// on restart would silently defeat the decision log.
+		return 0, fmt.Errorf("epoch: decision log unavailable: %w", a.logErr)
 	}
 	a.mu.Lock()
 	if a.broken {
@@ -356,6 +419,11 @@ func (a *Auditor) RunOnce(ctx context.Context) (int, error) {
 		}
 		a.mu.Unlock()
 		audited++
+		if err := a.log.Append(decisionFromVerdict(verdict)); err != nil {
+			// The verdict is published in memory; a ledger that cannot
+			// take it is an internal fault the caller must see.
+			return audited, err
+		}
 		if !verdict.Accepted {
 			break
 		}
@@ -427,15 +495,22 @@ func (a *Auditor) auditOne(ctx context.Context, s *Sealed, r loadResult) (Verdic
 		v.Events = s.Manifest.Events
 		v.Requests = s.Manifest.Requests
 	}
-	reject := func(reason string) (Verdict, *object.Snapshot, error) {
+	reject := func(reason string, f *verifier.Forensics) (Verdict, *object.Snapshot, error) {
 		v.Accepted = false
 		v.Reason = reason
+		if f != nil && f.Detail == "" {
+			f.Detail = reason
+		}
+		v.Forensics = f
 		v.ChainSHA = a.extendChain(s.ManifestSHA, false)
 		return v, nil, nil
 	}
 	if r.err != nil {
 		if _, ok := r.err.(*IntegrityError); ok {
-			return reject(r.err.Error())
+			// Epoch-level evidence: the load names the damaged segment or
+			// file; no request-level forensics exist because verification
+			// never ran.
+			return reject(r.err.Error(), &verifier.Forensics{Phase: PhaseEpochLoad, Check: "integrity"})
 		}
 		return v, nil, r.err
 	}
@@ -445,11 +520,13 @@ func (a *Auditor) auditOne(ctx context.Context, s *Sealed, r loadResult) (Verdic
 	a.mu.Unlock()
 	if s.Manifest.PrevManifestSHA256 != prevSHA {
 		return reject(fmt.Sprintf("manifest chain mismatch: epoch %d links to %s, previous manifest is %s",
-			s.Number, short(s.Manifest.PrevManifestSHA256), short(prevSHA)))
+			s.Number, short(s.Manifest.PrevManifestSHA256), short(prevSHA)),
+			&verifier.Forensics{Phase: PhaseEpochLoad, Check: "manifest-chain"})
 	}
 	if init == nil {
 		if r.loaded.Init == nil {
-			return reject(fmt.Sprintf("epoch %d has no trusted initial state (no chained snapshot, no init in manifest)", s.Number))
+			return reject(fmt.Sprintf("epoch %d has no trusted initial state (no chained snapshot, no init in manifest)", s.Number),
+				&verifier.Forensics{Phase: PhaseEpochLoad, Check: "missing-init"})
 		}
 		init = r.loaded.Init
 	}
@@ -463,7 +540,7 @@ func (a *Auditor) auditOne(ctx context.Context, s *Sealed, r loadResult) (Verdic
 	v.AuditTime = res.Stats.Total
 	v.Stats = res.Stats
 	if !res.Accepted {
-		return reject(res.Reason)
+		return reject(res.Reason, res.Forensics)
 	}
 	snapNext, err := res.FinalSnapshot()
 	if err != nil {

@@ -1,0 +1,214 @@
+package epoch
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"orochi/internal/verifier"
+)
+
+// sampleReject builds a REJECT decision with a fully populated
+// forensics record, so persistence tests cover every field that must
+// survive the JSON round trip.
+func sampleReject(epoch int64) Decision {
+	return Decision{
+		Epoch:    epoch,
+		Accepted: false,
+		Reason:   "output mismatch for r000037",
+		Forensics: &verifier.Forensics{
+			Phase:     verifier.PhaseReExec,
+			Check:     "output-mismatch",
+			RequestID: "r000037",
+			Script:    "view",
+			GroupTag:  "d7245931b4559675",
+			Chunk:     1,
+			GroupSize: 12,
+			Diff: &verifier.ResponseDiff{
+				TracedLen: 120,
+				ReExecLen: 118,
+				FirstDiff: 40,
+				WindowAt:  0,
+				Traced:    "<html>tampered",
+				ReExec:    "<html>honest",
+				Truncated: true,
+			},
+			Detail: "output mismatch for r000037",
+		},
+		Events:   64,
+		Requests: 40,
+		Timings: DecisionTimings{
+			ProcOpRep: 1 * time.Millisecond,
+			DBRedo:    2 * time.Millisecond,
+			ReExec:    3 * time.Millisecond,
+			DBQuery:   500 * time.Microsecond,
+			Other:     time.Millisecond / 2,
+			Total:     7 * time.Millisecond,
+		},
+		RequestsReplayed: 40,
+		GroupBatches:     9,
+		DedupHits:        31,
+		DedupMisses:      9,
+		ManifestSHA:      strings.Repeat("ab", 32),
+		ChainSHA:         strings.Repeat("cd", 32),
+		DecidedAt:        time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+// TestDecisionLogSurvivesRestart: verdicts, forensics, and
+// acknowledgements are all events in one log, so a reopened log
+// replays to the exact pre-crash state.
+func TestDecisionLogSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	log, err := OpenDecisionLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accept := Decision{Epoch: 1, Accepted: true, Events: 32, Requests: 20,
+		ManifestSHA: strings.Repeat("11", 32), ChainSHA: strings.Repeat("22", 32),
+		DecidedAt: time.Date(2026, 8, 8, 11, 0, 0, 0, time.UTC)}
+	reject := sampleReject(2)
+	if err := log.Append(accept); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Append(reject); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Ack(2, "tamper drill, expected"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Ack(9, "no such epoch"); err == nil {
+		t.Fatal("acking an unrecorded epoch must fail")
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenDecisionLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	ds := reopened.Decisions()
+	if len(ds) != 2 || ds[0].Epoch != 1 || ds[1].Epoch != 2 {
+		t.Fatalf("replay returned %+v", ds)
+	}
+	if ds[0].Resolution != ResolutionOpen || !ds[0].Accepted {
+		t.Fatalf("accept decision replayed as %+v", ds[0])
+	}
+	got := ds[1]
+	if got.Resolution != ResolutionAcked || got.Note != "tamper drill, expected" || got.AckedAt.IsZero() {
+		t.Fatalf("acknowledgement lost across restart: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Forensics, reject.Forensics) {
+		t.Fatalf("forensics did not survive the JSON round trip:\nwant %+v\ngot  %+v", reject.Forensics, got.Forensics)
+	}
+	if got.Timings != reject.Timings {
+		t.Fatalf("timings round trip: want %+v, got %+v", reject.Timings, got.Timings)
+	}
+	if got.RequestsReplayed != 40 || got.GroupBatches != 9 || got.DedupHits != 31 || got.DedupMisses != 9 {
+		t.Fatalf("dedup statistics round trip: %+v", got)
+	}
+
+	// A re-audit of an acked epoch replaces the decision and reopens
+	// its resolution — the earlier investigation note does not apply to
+	// a fresh verdict.
+	reject2 := sampleReject(2)
+	reject2.Reason = "second audit"
+	if err := reopened.Append(reject2); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := reopened.Get(2)
+	if !ok || d.Resolution != ResolutionOpen || d.Note != "" || d.Reason != "second audit" {
+		t.Fatalf("re-append did not reopen the decision: %+v", d)
+	}
+}
+
+// TestDecisionLogTornTail: a crash mid-append leaves a torn final
+// line; replay skips it. A malformed line anywhere else is corruption
+// and must surface as an error.
+func TestDecisionLogTornTail(t *testing.T) {
+	dir := t.TempDir()
+	log, err := OpenDecisionLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Append(Decision{Epoch: 1, Accepted: true}); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+
+	path := filepath.Join(dir, DecisionLogName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"verdict","decision":{"ep`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	reopened, err := OpenDecisionLog(dir)
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated: %v", err)
+	}
+	if ds := reopened.Decisions(); len(ds) != 1 || ds[0].Epoch != 1 {
+		t.Fatalf("replay after torn tail: %+v", ds)
+	}
+	// Opening for append truncates the torn bytes, so the next append
+	// starts a fresh line instead of merging into the fragment.
+	if err := reopened.Append(Decision{Epoch: 2, Accepted: false, Reason: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	reopened.Close()
+	if ds, err := ReadDecisions(dir); err != nil || len(ds) != 2 {
+		t.Fatalf("append after torn tail lost a decision: %+v (%v)", ds, err)
+	}
+
+	// Corrupt a non-tail line: that is not a torn append and must error.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	lines[0] = "{broken\n"
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDecisionLog(dir); err == nil {
+		t.Fatal("malformed mid-file line must fail replay")
+	}
+}
+
+// TestReadDecisions: the offline inspection path reads without
+// creating anything; a missing log is fs.ErrNotExist.
+func TestReadDecisions(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadDecisions(dir); !os.IsNotExist(err) {
+		t.Fatalf("missing log: want not-exist, got %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, DecisionLogName)); !os.IsNotExist(err) {
+		t.Fatal("ReadDecisions must not create the log")
+	}
+
+	log, err := OpenDecisionLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleReject(7)
+	if err := log.Append(want); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+
+	ds, err := ReadDecisions(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Epoch != 7 || !reflect.DeepEqual(ds[0].Forensics, want.Forensics) {
+		t.Fatalf("offline read: %+v", ds)
+	}
+}

@@ -42,10 +42,14 @@ func (o ManagerOptions) withDefaults() ManagerOptions {
 
 // SealedSummary is one entry of the manager's seal history.
 type SealedSummary struct {
-	Epoch       int64
-	Events      int
-	Requests    int
-	Segments    int
+	Epoch    int64
+	Events   int
+	Requests int
+	Segments int
+	// Bytes is the epoch's on-disk footprint: segment files plus the
+	// reports file (and the init snapshot for epoch 1). Metrics sum it
+	// into the bytes-logged counter.
+	Bytes       int64
 	ManifestSHA string
 	SealedAt    time.Time
 }
@@ -364,12 +368,20 @@ func (m *Manager) seal(job *sealJob, prevSHA string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("epoch: seal %d: %w", job.number, err)
 	}
+	bytes := repInfo.Bytes
+	for _, seg := range segs {
+		bytes += seg.Bytes
+	}
+	if job.initInfo != nil {
+		bytes += job.initInfo.Bytes
+	}
 	m.histMu.Lock()
 	m.sealed = append(m.sealed, SealedSummary{
 		Epoch:       job.number,
 		Events:      job.events,
 		Requests:    job.requests,
 		Segments:    len(segs),
+		Bytes:       bytes,
 		ManifestSHA: sha,
 		SealedAt:    time.Now(),
 	})

@@ -586,17 +586,31 @@ func TestAuditorCheckpointResume(t *testing.T) {
 		t.Fatalf("checkpoint for epoch 2 missing: %v", err)
 	}
 	tail := NewAuditor(prog, dir, AuditorOptions{From: 3, Init: snap})
+	// The resumed auditor rehydrates epochs 1-2 from the decision log
+	// (they are the prior run's verdicts), then re-audits from 3.
+	if got := tail.Verdicts(); len(got) != 2 || got[0].Epoch != 1 || got[1].Epoch != 2 {
+		t.Fatalf("rehydrated ledger should hold epochs 1-2: %+v", got)
+	}
+	if tail.NextEpoch() != 3 {
+		t.Fatalf("tail audit should start at epoch 3, next = %d", tail.NextEpoch())
+	}
 	if _, err := tail.RunOnce(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	verdicts := tail.Verdicts()
-	if len(verdicts) == 0 || verdicts[0].Epoch != 3 {
-		t.Fatalf("tail audit did not start at epoch 3: %+v", verdicts)
+	if len(verdicts) < 3 || verdicts[2].Epoch != 3 {
+		t.Fatalf("tail audit did not resume at epoch 3: %+v", verdicts)
 	}
 	for _, v := range verdicts {
 		if !v.Accepted {
 			t.Fatalf("epoch %d rejected on resume: %s", v.Epoch, v.Reason)
 		}
+	}
+	// Rehydration restored the chain digest, so the resumed run's epoch-3
+	// ChainSHA must equal the full run's (the ledgers agree bit for bit).
+	if full.Verdicts()[2].ChainSHA != verdicts[2].ChainSHA {
+		t.Fatalf("resumed chain digest diverged: %s vs %s",
+			full.Verdicts()[2].ChainSHA, verdicts[2].ChainSHA)
 	}
 }
 

@@ -264,3 +264,15 @@ func Exec(srv *server.Server) http.Handler {
 func Handler(srv *server.Server) http.Handler {
 	return Collector(srv.Collector, Exec(srv))
 }
+
+// WithControl composes the complete front door: control mounted under
+// ControlPrefix (typically internal/console's handler) and audited
+// everywhere else. The audited surface still refuses ControlPrefix
+// paths the control handler leaves unrouted — the outer mux only ever
+// sends them to control, whose own mux answers 404 for strays.
+func WithControl(control, audited http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle(ControlPrefix, control)
+	mux.Handle("/", audited)
+	return mux
+}

@@ -104,25 +104,25 @@ func (b *auditBridge) checkOp(rid string, opnum int, wantObj reports.ObjectID, w
 
 	pos, ok := b.env.opMap[core.OpKey{RID: rid, Opnum: opnum}]
 	if !ok {
-		return core.LogPos{}, nil, rejectf("check-op", "(%s,%d) not in OpMap", rid, opnum)
+		return core.LogPos{}, nil, rejectf("check-op", rid, "(%s,%d) not in OpMap", rid, opnum)
 	}
 	if b.env.rep.Objects[pos.Obj] != wantObj {
-		return core.LogPos{}, nil, rejectf("check-op", "(%s,%d): program targeted %v but log %d is %v",
+		return core.LogPos{}, nil, rejectf("check-op", rid, "(%s,%d): program targeted %v but log %d is %v",
 			rid, opnum, wantObj, pos.Obj, b.env.rep.Objects[pos.Obj])
 	}
 	e := &b.env.rep.OpLogs[pos.Obj][pos.Seq-1]
 	if e.Type != wantType {
-		return core.LogPos{}, nil, rejectf("check-op", "(%s,%d): type %v logged as %v", rid, opnum, wantType, e.Type)
+		return core.LogPos{}, nil, rejectf("check-op", rid, "(%s,%d): type %v logged as %v", rid, opnum, wantType, e.Type)
 	}
 	if e.Key != key || e.Value != value {
-		return core.LogPos{}, nil, rejectf("check-op", "(%s,%d): operands differ from log", rid, opnum)
+		return core.LogPos{}, nil, rejectf("check-op", rid, "(%s,%d): operands differ from log", rid, opnum)
 	}
 	if len(stmts) != len(e.Stmts) {
-		return core.LogPos{}, nil, rejectf("check-op", "(%s,%d): statement count differs from log", rid, opnum)
+		return core.LogPos{}, nil, rejectf("check-op", rid, "(%s,%d): statement count differs from log", rid, opnum)
 	}
 	for i := range stmts {
 		if stmts[i] != e.Stmts[i] {
-			return core.LogPos{}, nil, rejectf("check-op", "(%s,%d): SQL differs from log at stmt %d", rid, opnum, i)
+			return core.LogPos{}, nil, rejectf("check-op", rid, "(%s,%d): SQL differs from log at stmt %d", rid, opnum, i)
 		}
 	}
 	return pos, e, nil
@@ -144,7 +144,7 @@ func (b *auditBridge) RegisterRead(rid string, opnum int, name string) (lang.Val
 		if log[j].Type == lang.RegisterWrite {
 			v, derr := lang.DecodeValue(log[j].Value)
 			if derr != nil {
-				return nil, rejectf("sim-op", "undecodable write value in log %d entry %d: %v", pos.Obj, j, derr)
+				return nil, rejectf("sim-op", rid, "undecodable write value in log %d entry %d: %v", pos.Obj, j, derr)
 			}
 			return v, nil
 		}
@@ -200,25 +200,25 @@ func (b *auditBridge) DBOp(rid string, opnum int, stmts []string) (lang.Value, e
 		if perr != nil {
 			// The log says this transaction committed, but its SQL does
 			// not parse: the report is spurious.
-			return nil, rejectf("sim-op", "logged committed transaction has unparsable SQL: %v", perr)
+			return nil, rejectf("sim-op", rid, "logged committed transaction has unparsable SQL: %v", perr)
 		}
 		if sqlmini.IsWrite(st) {
 			r, werr := b.env.vdb.WriteResult(seq, q)
 			if werr != nil {
-				return nil, rejectf("sim-op", "%v", werr)
+				return nil, rejectf("sim-op", rid, "%v", werr)
 			}
 			out.Append(b.env.convert(r))
 			continue
 		}
 		sel, isSel := st.(*sqlmini.Select)
 		if !isSel {
-			return nil, rejectf("sim-op", "unsupported read statement shape")
+			return nil, rejectf("sim-op", rid, "unsupported read statement shape")
 		}
 		start := time.Now()
 		r, qerr := b.cache.QueryParsed(sql, sel, vstore.Ts(seq, q))
 		b.env.dbQueryNanos.Add(int64(time.Since(start)))
 		if qerr != nil {
-			return nil, rejectf("sim-op", "versioned query failed: %v", qerr)
+			return nil, rejectf("sim-op", rid, "versioned query failed: %v", qerr)
 		}
 		out.Append(b.env.convert(r))
 	}
@@ -234,53 +234,53 @@ func (b *auditBridge) NonDet(rid string, fn string, args []lang.Value) (lang.Val
 	list := b.env.rep.NonDet[rid]
 	i := b.ndPos[rid]
 	if i >= len(list) {
-		return nil, rejectf("nondet", "%s: ran out of recorded values for %s()", rid, fn)
+		return nil, rejectf("nondet", rid, "%s: ran out of recorded values for %s()", rid, fn)
 	}
 	b.ndPos[rid] = i + 1
 	e := list[i]
 	if e.Fn != fn {
-		return nil, rejectf("nondet", "%s: recorded %s() but program called %s()", rid, e.Fn, fn)
+		return nil, rejectf("nondet", rid, "%s: recorded %s() but program called %s()", rid, e.Fn, fn)
 	}
 	v, err := lang.DecodeValue(e.Value)
 	if err != nil {
-		return nil, rejectf("nondet", "%s: undecodable value: %v", rid, err)
+		return nil, rejectf("nondet", rid, "%s: undecodable value: %v", rid, err)
 	}
 	switch fn {
 	case "time":
 		t, ok := v.(int64)
 		if !ok {
-			return nil, rejectf("nondet", "%s: time() must be an int", rid)
+			return nil, rejectf("nondet", rid, "%s: time() must be an int", rid)
 		}
 		if last, seen := b.lastTime[rid]; seen && t < last {
-			return nil, rejectf("nondet", "%s: time() went backwards (%d after %d)", rid, t, last)
+			return nil, rejectf("nondet", rid, "%s: time() went backwards (%d after %d)", rid, t, last)
 		}
 		b.lastTime[rid] = t
 	case "microtime":
 		if _, ok := v.(float64); !ok {
-			return nil, rejectf("nondet", "%s: microtime() must be a float", rid)
+			return nil, rejectf("nondet", rid, "%s: microtime() must be a float", rid)
 		}
 	case "mt_rand", "rand":
 		n, ok := v.(int64)
 		if !ok {
-			return nil, rejectf("nondet", "%s: %s() must be an int", rid, fn)
+			return nil, rejectf("nondet", rid, "%s: %s() must be an int", rid, fn)
 		}
 		if len(args) == 2 {
 			lo, hi := lang.ToInt(args[0]), lang.ToInt(args[1])
 			if hi >= lo && (n < lo || n > hi) {
-				return nil, rejectf("nondet", "%s: %s(%d,%d) returned out-of-range %d", rid, fn, lo, hi, n)
+				return nil, rejectf("nondet", rid, "%s: %s(%d,%d) returned out-of-range %d", rid, fn, lo, hi, n)
 			}
 		}
 	case "uniqid":
 		if _, ok := v.(string); !ok {
-			return nil, rejectf("nondet", "%s: uniqid() must be a string", rid)
+			return nil, rejectf("nondet", rid, "%s: uniqid() must be a string", rid)
 		}
 	case "getmypid":
 		p, ok := v.(int64)
 		if !ok {
-			return nil, rejectf("nondet", "%s: getmypid() must be an int", rid)
+			return nil, rejectf("nondet", rid, "%s: getmypid() must be an int", rid)
 		}
 		if prev, seen := b.pid[rid]; seen && prev != p {
-			return nil, rejectf("nondet", "%s: pid changed within request", rid)
+			return nil, rejectf("nondet", rid, "%s: pid changed within request", rid)
 		}
 		b.pid[rid] = p
 	}
@@ -296,6 +296,6 @@ func resultToLang(r *sqlmini.Result) lang.Value {
 	return object.ResultToLang(r)
 }
 
-func rejectf(stage, format string, args ...interface{}) error {
-	return &core.RejectError{Stage: stage, Msg: fmt.Sprintf(format, args...)}
+func rejectf(stage, rid, format string, args ...interface{}) error {
+	return &core.RejectError{Stage: stage, Msg: fmt.Sprintf(format, args...), RID: rid}
 }

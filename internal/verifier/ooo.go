@@ -51,9 +51,16 @@ func OOOAuditContext(ctx context.Context, prog *lang.Program, tr *trace.Trace, r
 	}
 	start := time.Now()
 	res := &Result{}
-	reject := func(reason string) (*Result, error) {
+	reject := func(reason string, f *Forensics) (*Result, error) {
 		res.Accepted = false
 		res.Reason = reason
+		if f == nil {
+			f = &Forensics{Phase: PhaseValidation, Check: "unclassified"}
+		}
+		if f.Detail == "" {
+			f.Detail = reason
+		}
+		res.Forensics = f
 		res.Stats.Total = time.Since(start)
 		return res, nil
 	}
@@ -61,12 +68,14 @@ func OOOAuditContext(ctx context.Context, prog *lang.Program, tr *trace.Trace, r
 		init = object.EmptySnapshot()
 	}
 	if err := tr.Balanced(); err != nil {
-		return reject("unbalanced trace: " + err.Error())
+		return reject("unbalanced trace: "+err.Error(),
+			&Forensics{Phase: PhaseValidation, Check: "unbalanced-trace"})
 	}
 	seenObj := make(map[reports.ObjectID]bool, len(rep.Objects))
 	for _, o := range rep.Objects {
 		if seenObj[o] {
-			return reject(fmt.Sprintf("duplicate object %v in reports", o))
+			return reject(fmt.Sprintf("duplicate object %v in reports", o),
+				&Forensics{Phase: PhaseValidation, Check: "duplicate-object", Object: o.String()})
 		}
 		seenObj[o] = true
 	}
@@ -74,7 +83,7 @@ func OOOAuditContext(ctx context.Context, prog *lang.Program, tr *trace.Trace, r
 	if err != nil {
 		var rej *core.RejectError
 		if errors.As(err, &rej) {
-			return reject(rej.Error())
+			return reject(rej.Error(), forensicsFromReject(PhaseProcessOpReports, rej))
 		}
 		return nil, err
 	}
@@ -109,18 +118,21 @@ func OOOAuditContext(ctx context.Context, prog *lang.Program, tr *trace.Trace, r
 			switch objID.Kind {
 			case reports.DBObj:
 				if e.Type != lang.DBOp {
-					return reject("non-DB op in DB log")
+					return reject("non-DB op in DB log",
+						&Forensics{Phase: PhaseRedo, Check: "log-shape", Object: objID.String(), OpIndex: j + 1})
 				}
 				if e.OK {
 					if err := env.vdb.ApplyTxn(int64(j+1), e.Stmts); err != nil {
-						return reject("versioned redo failed: " + err.Error())
+						return reject("versioned redo failed: "+err.Error(),
+							&Forensics{Phase: PhaseRedo, Check: "redo-apply", Object: objID.String(), OpIndex: j + 1})
 					}
 				}
 			case reports.KVObj:
 				if e.Type == lang.KvSet {
 					v, derr := lang.DecodeValue(e.Value)
 					if derr != nil {
-						return reject("undecodable KV write")
+						return reject("undecodable KV write",
+							&Forensics{Phase: PhaseRedo, Check: "undecodable-write", Object: objID.String(), OpIndex: j + 1})
 					}
 					env.vkv.AddSet(e.Key, int64(j+1), v)
 				}
@@ -133,7 +145,8 @@ func OOOAuditContext(ctx context.Context, prog *lang.Program, tr *trace.Trace, r
 	// (rid, ∞) collects its output.
 	schedule := proc.Graph.TopoOrder()
 	if len(schedule) != proc.Graph.NumNodes() {
-		return reject("event graph has a cycle")
+		return reject("event graph has a cycle",
+			&Forensics{Phase: PhaseProcessOpReports, Check: "cycle"})
 	}
 
 	inputs := tr.Inputs()
@@ -150,7 +163,8 @@ func OOOAuditContext(ctx context.Context, prog *lang.Program, tr *trace.Trace, r
 		}
 		in, ok := inputs[key.RID]
 		if !ok {
-			return reject("schedule names unknown request " + key.RID)
+			return reject("schedule names unknown request "+key.RID,
+				&Forensics{Phase: PhaseReExec, Check: "unknown-request", RequestID: key.RID})
 		}
 		switch key.Opnum {
 		case 0:
@@ -161,33 +175,41 @@ func OOOAuditContext(ctx context.Context, prog *lang.Program, tr *trace.Trace, r
 			if runErr != nil {
 				var rej *core.RejectError
 				if errors.As(runErr, &rej) {
-					return reject(rej.Error())
+					return reject(rej.Error(), forensicsFromReject(PhaseReExec, rej))
 				}
 				if !errors.As(runErr, &fault) || out == nil {
-					return reject("re-execution failed for " + key.RID + ": " + runErr.Error())
+					return reject("re-execution failed for "+key.RID+": "+runErr.Error(),
+						&Forensics{Phase: PhaseReExec, Check: "runtime-error", RequestID: key.RID, Script: in.Script})
 				}
 				// A faulted request: audit its canonical error response
 				// below, exactly as the grouped verifier does.
 			}
 			if out.OpCount != rep.OpCounts[key.RID] {
 				return reject(fmt.Sprintf("request %s issued %d ops, M says %d",
-					key.RID, out.OpCount, rep.OpCounts[key.RID]))
+					key.RID, out.OpCount, rep.OpCounts[key.RID]),
+					&Forensics{Phase: PhaseReExec, Check: "op-count", RequestID: key.RID, Script: in.Script,
+						OpsReported: rep.OpCounts[key.RID], OpsReplayed: out.OpCount})
 			}
 			if fault != nil {
 				if responses[key.RID] != lang.RenderFault(fault) {
-					return reject("error output mismatch for " + key.RID)
+					return reject("error output mismatch for "+key.RID,
+						&Forensics{Phase: PhaseReExec, Check: "error-output-mismatch", RequestID: key.RID, Script: in.Script,
+							Diff: diffResponses(responses[key.RID], lang.RenderFault(fault))})
 				}
 			} else if !out.OutputEqual(0, responses[key.RID]) {
-				return reject("output mismatch for " + key.RID)
+				return reject("output mismatch for "+key.RID,
+					&Forensics{Phase: PhaseReExec, Check: "output-mismatch", RequestID: key.RID, Script: in.Script,
+						Diff: diffResponses(responses[key.RID], out.Output(0))})
 			}
 			res.Stats.RequestsReplayed++
 		default:
 			if err := sched.step(key.RID); err != nil {
 				var rej *core.RejectError
 				if errors.As(err, &rej) {
-					return reject(rej.Error())
+					return reject(rej.Error(), forensicsFromReject(PhaseReExec, rej))
 				}
-				return reject("re-execution failed for " + key.RID + ": " + err.Error())
+				return reject("re-execution failed for "+key.RID+": "+err.Error(),
+					&Forensics{Phase: PhaseReExec, Check: "runtime-error", RequestID: key.RID, Script: in.Script})
 			}
 		}
 	}
@@ -258,7 +280,7 @@ func (s *oooScheduler) step(rid string) error {
 		if r.err != nil {
 			return r.err
 		}
-		return &core.RejectError{Stage: "ooo", Msg: fmt.Sprintf(
+		return &core.RejectError{Stage: "ooo", RID: rid, Msg: fmt.Sprintf(
 			"request %s finished before scheduled operation", rid)}
 	}
 }

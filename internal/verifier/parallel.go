@@ -67,22 +67,37 @@ func runPool(ctx context.Context, n, workers int, run func(i int)) bool {
 // redoOutcome is one redo task's failure (a nil outcome means the task
 // passed). objIdx is the object-log index where the failure occurred;
 // among parallel failures the lowest objIdx wins, which is the failure
-// a sequential object-order scan reports.
+// a sequential object-order scan reports. f carries the forensics for
+// the failure and rides the same arbitration.
 type redoOutcome struct {
 	objIdx int
 	msg    string
+	f      *Forensics
+}
+
+// redoFail builds a redo failure with its forensics: the failing object
+// log and the 1-based sequence number of the offending entry (0 when
+// the failure is not entry-specific).
+func redoFail(rep *reports.Reports, objIdx, seq int, check, msg string) *redoOutcome {
+	return &redoOutcome{objIdx: objIdx, msg: msg, f: &Forensics{
+		Phase:   PhaseRedo,
+		Check:   check,
+		Object:  rep.Objects[objIdx].String(),
+		OpIndex: seq,
+	}}
 }
 
 // runRedo replays the operation logs into the versioned stores (Phase
 // 2, §4.5) on a pool of workers. Logs that feed one store are a single
 // task processed in object order — all DB logs build env.vdb, all KV
 // logs build env.vkv — while each register log, which is validated but
-// builds nothing, is a task of its own. It returns the reject message
-// of the earliest failure in object order ("" when every log passed)
-// and whether the phase completed: false means ctx was cancelled before
-// every log replayed, in which case even an observed failure cannot be
-// arbitrated and the caller must abandon the audit without a verdict.
-func runRedo(ctx context.Context, env *auditEnv, rep *reports.Reports, workers int, obs hook) (string, bool) {
+// builds nothing, is a task of its own. It returns the rejection
+// (message + forensics) of the earliest failure in object order (nil
+// when every log passed) and whether the phase completed: false means
+// ctx was cancelled before every log replayed, in which case even an
+// observed failure cannot be arbitrated and the caller must abandon the
+// audit without a verdict.
+func runRedo(ctx context.Context, env *auditEnv, rep *reports.Reports, workers int, obs hook) (*rejection, bool) {
 	var dbObjs, kvObjs []int
 	var tasks []func() *redoOutcome
 	for i, objID := range rep.Objects {
@@ -100,7 +115,7 @@ func runRedo(ctx context.Context, env *auditEnv, rep *reports.Reports, workers i
 			})
 		default:
 			tasks = append(tasks, func() *redoOutcome {
-				return &redoOutcome{objIdx: i, msg: fmt.Sprintf("unknown object kind %v", objID.Kind)}
+				return redoFail(rep, i, 0, "unknown-object", fmt.Sprintf("unknown object kind %v", objID.Kind))
 			})
 		}
 	}
@@ -126,7 +141,7 @@ func runRedo(ctx context.Context, env *auditEnv, rep *reports.Reports, workers i
 	outcomes := make([]*redoOutcome, len(tasks))
 	completed := runPool(ctx, len(tasks), workers, func(i int) { outcomes[i] = tasks[i]() })
 	if !completed {
-		return "", false
+		return nil, false
 	}
 	var first *redoOutcome
 	for _, o := range outcomes {
@@ -135,9 +150,9 @@ func runRedo(ctx context.Context, env *auditEnv, rep *reports.Reports, workers i
 		}
 	}
 	if first != nil {
-		return first.msg, true
+		return &rejection{msg: first.msg, f: first.f}, true
 	}
-	return "", true
+	return nil, true
 }
 
 // redoDBLogs replays the DB operation logs into the versioned database.
@@ -147,13 +162,13 @@ func redoDBLogs(env *auditEnv, rep *reports.Reports, objs []int) *redoOutcome {
 	for _, i := range objs {
 		for j, e := range rep.OpLogs[i] {
 			if e.Type != lang.DBOp {
-				return &redoOutcome{objIdx: i, msg: fmt.Sprintf("non-DB op in DB log at %d", j)}
+				return redoFail(rep, i, j+1, "log-shape", fmt.Sprintf("non-DB op in DB log at %d", j))
 			}
 			if !e.OK {
 				continue // aborted transaction: no state effect
 			}
 			if err := env.vdb.ApplyTxn(int64(j+1), e.Stmts); err != nil {
-				return &redoOutcome{objIdx: i, msg: "versioned redo failed: " + err.Error()}
+				return redoFail(rep, i, j+1, "redo-apply", "versioned redo failed: "+err.Error())
 			}
 		}
 	}
@@ -169,13 +184,13 @@ func redoKVLogs(env *auditEnv, rep *reports.Reports, objs []int) *redoOutcome {
 			case lang.KvSet:
 				v, derr := lang.DecodeValue(e.Value)
 				if derr != nil {
-					return &redoOutcome{objIdx: i, msg: fmt.Sprintf("undecodable KV write at %d: %v", j, derr)}
+					return redoFail(rep, i, j+1, "undecodable-write", fmt.Sprintf("undecodable KV write at %d: %v", j, derr))
 				}
 				env.vkv.AddSet(e.Key, int64(j+1), v)
 			case lang.KvGet:
 				// reads contribute nothing to the build
 			default:
-				return &redoOutcome{objIdx: i, msg: fmt.Sprintf("non-KV op in KV log at %d", j)}
+				return redoFail(rep, i, j+1, "log-shape", fmt.Sprintf("non-KV op in KV log at %d", j))
 			}
 		}
 	}
@@ -189,10 +204,10 @@ func redoRegisterLog(rep *reports.Reports, i int) *redoOutcome {
 	objID := rep.Objects[i]
 	for j, e := range rep.OpLogs[i] {
 		if e.Type != lang.RegisterRead && e.Type != lang.RegisterWrite {
-			return &redoOutcome{objIdx: i, msg: fmt.Sprintf("non-register op in register log at %d", j)}
+			return redoFail(rep, i, j+1, "log-shape", fmt.Sprintf("non-register op in register log at %d", j))
 		}
 		if e.Key != objID.Name {
-			return &redoOutcome{objIdx: i, msg: fmt.Sprintf("register log %v entry %d names key %q", objID, j, e.Key)}
+			return redoFail(rep, i, j+1, "register-key", fmt.Sprintf("register log %v entry %d names key %q", objID, j, e.Key))
 		}
 		// A write the verifier cannot decode can never match an honest
 		// re-executed write, and if it were the register's LAST write it
@@ -201,7 +216,7 @@ func redoRegisterLog(rep *reports.Reports, i int) *redoOutcome {
 		// with the KV log validation.
 		if e.Type == lang.RegisterWrite {
 			if _, derr := lang.DecodeValue(e.Value); derr != nil {
-				return &redoOutcome{objIdx: i, msg: fmt.Sprintf("undecodable register write in log %v entry %d: %v", objID, j, derr)}
+				return redoFail(rep, i, j+1, "undecodable-write", fmt.Sprintf("undecodable register write in log %v entry %d: %v", objID, j, derr))
 			}
 		}
 	}
@@ -210,11 +225,14 @@ func redoRegisterLog(rep *reports.Reports, i int) *redoOutcome {
 
 // --- Phase 3: grouped re-execution on a worker pool ---
 
-// groupTask is one (tag, chunk) batch of a control-flow group.
+// groupTask is one (tag, chunk) batch of a control-flow group. chunk is
+// the batch's ordinal within its group — forensics name it so an
+// operator can locate the failing batch of a large group.
 type groupTask struct {
 	tag    uint64
 	script string
 	rids   []string
+	chunk  int
 }
 
 // buildGroupTasks flattens SortGroups into MaxGroup-sized batches in
@@ -227,7 +245,7 @@ func buildGroupTasks(rep *reports.Reports, maxGroup int) []groupTask {
 		script := rep.Scripts[tag]
 		for chunk := 0; chunk < len(rids); chunk += maxGroup {
 			end := min(chunk+maxGroup, len(rids))
-			tasks = append(tasks, groupTask{tag: tag, script: script, rids: rids[chunk:end]})
+			tasks = append(tasks, groupTask{tag: tag, script: script, rids: rids[chunk:end], chunk: chunk / maxGroup})
 		}
 	}
 	return tasks
@@ -237,8 +255,8 @@ func buildGroupTasks(rep *reports.Reports, maxGroup int) []groupTask {
 // task-local and merged in task order afterwards, so the accumulated
 // audit state never depends on worker scheduling.
 type groupOutcome struct {
-	msg      string // non-empty: verification reject
-	err      error  // non-nil: internal fault
+	rej      *rejection // non-nil: verification reject (message + forensics)
+	err      error      // non-nil: internal fault
 	produced map[string]bool
 	stats    Stats
 	skipped  bool
@@ -273,10 +291,13 @@ func runGroupTasks(ctx context.Context, prog *lang.Program, env *auditEnv, tasks
 			return
 		}
 		out := &groupOutcome{produced: make(map[string]bool, len(tasks[i].rids))}
-		out.msg, out.err = runGroup(prog, env, tasks[i].script, tasks[i].tag, tasks[i].rids,
+		out.rej, out.err = runGroup(prog, env, tasks[i].script, tasks[i].tag, tasks[i].rids,
 			inputs, responses, out.produced, opts, &out.stats)
+		if out.rej != nil {
+			out.rej.f.Chunk = tasks[i].chunk
+		}
 		outcomes[i] = out
-		if out.msg != "" || out.err != nil {
+		if out.rej != nil || out.err != nil {
 			for {
 				cur := failedAt.Load()
 				if int64(i) >= cur || failedAt.CompareAndSwap(cur, int64(i)) {

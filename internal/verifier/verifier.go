@@ -90,6 +90,11 @@ type Stats struct {
 	Groups           []GroupStat
 	FallbackRequests int
 	RequestsReplayed int
+	// GroupBatches counts the (tag, chunk) batches Phase 3 completed —
+	// the denominator of the live dedup ratio (batches re-executed vs
+	// requests replayed) surfaced on /-/metrics. Unlike Groups it is
+	// collected unconditionally.
+	GroupBatches int
 }
 
 // Result is the audit outcome.
@@ -97,7 +102,12 @@ type Result struct {
 	Accepted bool
 	// Reason explains a rejection (empty when accepted).
 	Reason string
-	Stats  Stats
+	// Forensics is the structured evidence behind a rejection: the
+	// failing phase and check, the implicated request/group/object, and
+	// the traced-vs-re-executed diff where one exists. Nil when accepted.
+	// Like Reason, it is deterministic at any Workers setting.
+	Forensics *Forensics
+	Stats     Stats
 	// FinalDB holds the versioned database after the redo pass when the
 	// audit accepts; its latest state seeds the next audit period
 	// (§4.5).
@@ -168,9 +178,16 @@ func AuditContext(ctx context.Context, prog *lang.Program, tr *trace.Trace, rep 
 	start := time.Now()
 	res := &Result{}
 	var env *auditEnv
-	reject := func(reason string) (*Result, error) {
+	reject := func(reason string, f *Forensics) (*Result, error) {
 		res.Accepted = false
 		res.Reason = reason
+		if f == nil {
+			f = &Forensics{Phase: PhaseValidation, Check: "unclassified"}
+		}
+		if f.Detail == "" {
+			f.Detail = reason
+		}
+		res.Forensics = f
 		if env != nil {
 			// A rejected audit still reports the versioned-query time it
 			// spent (the Fig. 9 decomposition); a mid-Phase-3 reject would
@@ -184,7 +201,8 @@ func AuditContext(ctx context.Context, prog *lang.Program, tr *trace.Trace, rep 
 
 	// The trace must be balanced before SSCO_AUDIT runs (§3).
 	if err := tr.Balanced(); err != nil {
-		return reject("unbalanced trace: " + err.Error())
+		return reject("unbalanced trace: "+err.Error(),
+			&Forensics{Phase: PhaseValidation, Check: "unbalanced-trace"})
 	}
 	// Reports must name each object at most once; duplicate identities
 	// would let the executor split one object's operations across logs,
@@ -192,7 +210,8 @@ func AuditContext(ctx context.Context, prog *lang.Program, tr *trace.Trace, rep 
 	seenObj := make(map[reports.ObjectID]bool, len(rep.Objects))
 	for _, o := range rep.Objects {
 		if seenObj[o] {
-			return reject(fmt.Sprintf("duplicate object %v in reports", o))
+			return reject(fmt.Sprintf("duplicate object %v in reports", o),
+				&Forensics{Phase: PhaseValidation, Check: "duplicate-object", Object: o.String()})
 		}
 		seenObj[o] = true
 	}
@@ -205,7 +224,7 @@ func AuditContext(ctx context.Context, prog *lang.Program, tr *trace.Trace, rep 
 	if err != nil {
 		var rej *core.RejectError
 		if errors.As(err, &rej) {
-			return reject(rej.Error())
+			return reject(rej.Error(), forensicsFromReject(PhaseProcessOpReports, rej))
 		}
 		return nil, err
 	}
@@ -241,7 +260,7 @@ func AuditContext(ctx context.Context, prog *lang.Program, tr *trace.Trace, rep 
 	for _, k := range kvKeys {
 		env.vkv.LoadInitial(k, init.KV[k])
 	}
-	redoMsg, redoDone := runRedo(ctx, env, rep, workers, obs)
+	redoRej, redoDone := runRedo(ctx, env, rep, workers, obs)
 	res.Stats.DBRedo = time.Since(t0)
 	if !redoDone {
 		// Cancelled mid-redo: some object logs never replayed, so even an
@@ -249,8 +268,8 @@ func AuditContext(ctx context.Context, prog *lang.Program, tr *trace.Trace, rep 
 		// order. No verdict — the next audit redoes the phase whole.
 		return nil, auditCanceled(ctx)
 	}
-	if redoMsg != "" {
-		return reject(redoMsg)
+	if redoRej != nil {
+		return reject(redoRej.msg, redoRej.f)
 	}
 	obs.phaseEnd(PhaseRedo, res.Stats.DBRedo)
 
@@ -287,24 +306,33 @@ func AuditContext(ctx context.Context, prog *lang.Program, tr *trace.Trace, rep 
 		if out.err != nil {
 			return nil, out.err
 		}
-		if out.msg != "" {
+		if out.rej != nil {
 			res.Stats.ReExec = time.Since(t0)
-			return reject(out.msg)
+			return reject(out.rej.msg, out.rej.f)
 		}
+		res.Stats.GroupBatches++
 	}
 	res.Stats.ReExec = time.Since(t0)
 	res.Stats.DBQuery = env.dbQueryTime()
 	obs.phaseEnd(PhaseReExec, res.Stats.ReExec)
 
 	// Phase 4: every traced request must have been re-executed and
-	// compared (Fig. 12 lines 55-57).
+	// compared (Fig. 12 lines 55-57). Missing rids are collected and
+	// sorted so the reported request is the same on every run — map
+	// iteration order must never pick the offender.
 	t0 = time.Now()
 	obs.phaseStart(PhaseCoverage, 0)
+	var missing []string
 	for rid := range responses {
 		if !produced[rid] {
-			res.Stats.Other = time.Since(t0)
-			return reject(fmt.Sprintf("request %s was not re-executed (missing from control-flow groups)", rid))
+			missing = append(missing, rid)
 		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		res.Stats.Other = time.Since(t0)
+		return reject(fmt.Sprintf("request %s was not re-executed (missing from control-flow groups)", missing[0]),
+			&Forensics{Phase: PhaseCoverage, Check: "coverage", RequestID: missing[0]})
 	}
 	res.Stats.Other = time.Since(t0)
 	obs.phaseEnd(PhaseCoverage, res.Stats.Other)
@@ -349,16 +377,29 @@ func finalRegisters(rep *reports.Reports, init *object.Snapshot) map[string]lang
 }
 
 // runGroup re-executes one batch of a control-flow group. It returns a
-// non-empty reject message for verification failures.
+// non-nil rejection for verification failures, carrying both the reject
+// message and its forensics record.
 func runGroup(prog *lang.Program, env *auditEnv, script string, tag uint64, rids []string,
 	inputs map[string]trace.Input, responses map[string]string, produced map[string]bool,
-	opts Options, stats *Stats) (string, error) {
+	opts Options, stats *Stats) (*rejection, error) {
 
+	// groupRej stamps the batch coordinates common to every failure in
+	// this batch; the caller adds the chunk index.
+	groupRej := func(msg string, f *Forensics) *rejection {
+		f.Phase = PhaseReExec
+		if f.Script == "" {
+			f.Script = script
+		}
+		f.GroupTag = tagString(tag)
+		f.GroupSize = len(rids)
+		return &rejection{msg: msg, f: f}
+	}
 	gInputs := make([]lang.RequestInput, len(rids))
 	for i, rid := range rids {
 		in, ok := inputs[rid]
 		if !ok {
-			return fmt.Sprintf("group %x names unknown request %s", tag, rid), nil
+			return groupRej(fmt.Sprintf("group %x names unknown request %s", tag, rid),
+				&Forensics{Check: "unknown-request", RequestID: rid}), nil
 		}
 		// The group's alleged entry point must be the one the trace
 		// recorded for each member. Without this check a malicious
@@ -367,8 +408,9 @@ func runGroup(prog *lang.Program, env *auditEnv, script string, tag uint64, rids
 		// script name — re-execution would faithfully reproduce the
 		// forged "unknown script" fault and accept it.
 		if in.Script != script {
-			return fmt.Sprintf("group %x claims script %q but request %s arrived for %q",
-				tag, script, rid, in.Script), nil
+			return groupRej(fmt.Sprintf("group %x claims script %q but request %s arrived for %q",
+				tag, script, rid, in.Script),
+				&Forensics{Check: "script-mismatch", RequestID: rid}), nil
 		}
 		gInputs[i] = lang.RequestInput{Get: in.Get, Post: in.Post, Cookie: in.Cookie}
 	}
@@ -384,7 +426,8 @@ func runGroup(prog *lang.Program, env *auditEnv, script string, tag uint64, rids
 	case err == nil:
 		// fall through to checks below
 	case errors.Is(err, lang.ErrDivergence):
-		return fmt.Sprintf("group %x diverged during re-execution", tag), nil
+		return groupRej(fmt.Sprintf("group %x diverged during re-execution", tag),
+			&Forensics{Check: "divergence"}), nil
 	default:
 		var fb *lang.FallbackError
 		if errors.As(err, &fb) && len(rids) > 1 {
@@ -392,23 +435,24 @@ func runGroup(prog *lang.Program, env *auditEnv, script string, tag uint64, rids
 			// (§4.3). Correctness is unchanged — grouping is only an
 			// optimization.
 			for _, rid := range rids {
-				if msg, err := runGroup(prog, env, script, tag, []string{rid}, inputs, responses, produced, opts, stats); err != nil || msg != "" {
-					return msg, err
+				if rej, err := runGroup(prog, env, script, tag, []string{rid}, inputs, responses, produced, opts, stats); err != nil || rej != nil {
+					return rej, err
 				}
 				stats.FallbackRequests++
 			}
-			return "", nil
+			return nil, nil
 		}
 		var rej *core.RejectError
 		if errors.As(err, &rej) {
-			return rej.Error(), nil
+			return groupRej(rej.Error(), forensicsFromReject(PhaseReExec, rej)), nil
 		}
 		var rt *lang.RuntimeError
 		if !errors.As(err, &rt) {
-			return "", err
+			return nil, err
 		}
 		if res == nil {
-			return fmt.Sprintf("group %x: runtime error during re-execution: %v", tag, rt), nil
+			return groupRej(fmt.Sprintf("group %x: runtime error during re-execution: %v", tag, rt),
+				&Forensics{Check: "runtime-error"}), nil
 		}
 		// An error group: every lane faulted at the same point with the
 		// same fault (anything else surfaced as divergence above). The
@@ -424,7 +468,9 @@ func runGroup(prog *lang.Program, env *auditEnv, script string, tag uint64, rids
 	// fault, so the same check applies.
 	for _, rid := range rids {
 		if res.OpCount < env.rep.OpCounts[rid] {
-			return fmt.Sprintf("request %s finished with %d ops, M says %d", rid, res.OpCount, env.rep.OpCounts[rid]), nil
+			return groupRej(fmt.Sprintf("request %s finished with %d ops, M says %d", rid, res.OpCount, env.rep.OpCounts[rid]),
+				&Forensics{Check: "op-count", RequestID: rid,
+					OpsReported: env.rep.OpCounts[rid], OpsReplayed: res.OpCount}), nil
 		}
 	}
 	// Compare outputs against the trace. A completed group walks output
@@ -440,14 +486,19 @@ func runGroup(prog *lang.Program, env *auditEnv, script string, tag uint64, rids
 	for i, rid := range rids {
 		want, ok := responses[rid]
 		if !ok {
-			return fmt.Sprintf("group %x names request %s with no response in the trace", tag, rid), nil
+			return groupRej(fmt.Sprintf("group %x names request %s with no response in the trace", tag, rid),
+				&Forensics{Check: "missing-response", RequestID: rid}), nil
 		}
 		if fault != nil {
 			if want != rendered {
-				return fmt.Sprintf("error output mismatch for %s", rid), nil
+				return groupRej(fmt.Sprintf("error output mismatch for %s", rid),
+					&Forensics{Check: "error-output-mismatch", RequestID: rid,
+						Diff: diffResponses(want, rendered)}), nil
 			}
 		} else if !res.OutputEqual(i, want) {
-			return fmt.Sprintf("output mismatch for %s", rid), nil
+			return groupRej(fmt.Sprintf("output mismatch for %s", rid),
+				&Forensics{Check: "output-mismatch", RequestID: rid,
+					Diff: diffResponses(want, res.Output(i))}), nil
 		}
 		produced[rid] = true
 	}
@@ -463,7 +514,7 @@ func runGroup(prog *lang.Program, env *auditEnv, script string, tag uint64, rids
 			Tag: tag, Script: script, N: len(rids), Len: total, Alpha: alpha,
 		})
 	}
-	return "", nil
+	return nil, nil
 }
 
 // dedupeRIDs drops duplicate requestIDs, preserving order (re-execution
