@@ -26,8 +26,22 @@
 // cancellation is never a REJECT — and a later run re-audits it), and
 // -progress streams phase and per-group progress to stderr.
 //
-// Exit status: 0 = accepted, 1 = rejected, 2 = usage/IO error,
-// 130 = canceled.
+// Storage maintenance (with -epochs, no re-audit):
+//
+//	orochi-audit -epochs ./epochs -gc -gc-dry-run   # report sweepable chunks
+//	orochi-audit -epochs ./epochs -gc               # sweep unreferenced chunks
+//	orochi-audit -epochs ./epochs -gc -retain 30    # also compact verified epochs older than the newest 30
+//	orochi-audit -epochs ./epochs -scrub            # retrievability self-audit (challenge-reads sampled chunks)
+//
+// -gc keeps every chunk any sealed manifest references, so the chain
+// stays fully re-auditable; with -retain N, epochs older than the
+// newest N that hold a stored ACCEPT decision and a checkpoint are
+// compacted to exactly those two artifacts. -scrub walks the manifest
+// hash chain and challenge-reads sampled chunks; failures are recorded
+// as REJECT decisions in the chain's decision log.
+//
+// Exit status: 0 = accepted, 1 = rejected (or scrub failures),
+// 2 = usage/IO error, 130 = canceled.
 package main
 
 import (
@@ -71,6 +85,11 @@ func main() {
 	progress := flag.Bool("progress", false, "stream audit progress (phases, groups re-executed, ops replayed) to stderr")
 	withErrors := flag.Bool("with-errors", false, "the serve run injected faulting requests (orochi-serve -fault-rate); audit against the app extended with the fault scripts")
 	explain := flag.Int64("explain", 0, "render the stored decision (verdict, forensics, timings) for this epoch from -epochs' decision log and exit; reads the log only, no re-audit")
+	gc := flag.Bool("gc", false, "garbage-collect -epochs' chunk store (sweep unreferenced chunks) and exit; no re-audit")
+	gcDryRun := flag.Bool("gc-dry-run", false, "with -gc: report what would be compacted and swept without deleting anything")
+	retain := flag.Int("retain", 0, "with -gc: compact verified epochs older than the newest N to decision+checkpoint (0 = no compaction)")
+	scrub := flag.Bool("scrub", false, "run the retrievability self-audit over -epochs and exit; failures are recorded as REJECT decisions")
+	scrubSample := flag.Int("scrub-sample", 0, "with -scrub: chunks challenged per epoch (default 16, -1 = every chunk)")
 	flag.Parse()
 
 	if *explain > 0 {
@@ -86,6 +105,23 @@ func main() {
 	// between tasks and returns ErrAuditCanceled — never a verdict.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *gc {
+		if *epochsDir == "" {
+			fmt.Fprintln(os.Stderr, "orochi-audit: -gc needs -epochs (the chain directory to collect)")
+			os.Exit(2)
+		}
+		gcChain(*epochsDir, epoch.GCOptions{DryRun: *gcDryRun, Retain: *retain})
+		return
+	}
+	if *scrub {
+		if *epochsDir == "" {
+			fmt.Fprintln(os.Stderr, "orochi-audit: -scrub needs -epochs (the chain directory to challenge)")
+			os.Exit(2)
+		}
+		scrubChain(ctx, *epochsDir, *scrubSample)
+		return
+	}
 
 	vopts := verifier.Options{MaxGroup: *maxGroup, CollectStats: *stats, Workers: *auditWorkers}
 	if *progress {
@@ -205,6 +241,53 @@ func writeDecision(w io.Writer, d epoch.Decision) {
 			fmt.Fprintf(w, "  %s\n", line)
 		}
 	}
+}
+
+// gcChain runs one garbage-collection pass and prints what it did.
+func gcChain(dir string, opts epoch.GCOptions) {
+	res, err := epoch.GC(dir, opts)
+	exitOn(err)
+	mode := ""
+	if opts.DryRun {
+		mode = " (dry run — nothing deleted)"
+	}
+	if len(res.Compacted) > 0 {
+		fmt.Printf("compacted %d epoch(s) to decision+checkpoint: %v%s\n", len(res.Compacted), res.Compacted, mode)
+	}
+	if len(res.Skipped) > 0 {
+		fmt.Printf("skipped %d retention candidate(s) without an ACCEPT decision and checkpoint: %v\n", len(res.Skipped), res.Skipped)
+	}
+	fmt.Printf("gc: %d epochs scanned, %d live chunks, %d chunks swept (%d bytes at rest)%s\n",
+		res.Epochs, res.LiveChunks, res.SweptChunks, res.SweptBytes, mode)
+}
+
+// scrubChain runs one retrievability pass, records failures as REJECT
+// decisions, and exits 1 when any challenge failed.
+func scrubChain(ctx context.Context, dir string, sample int) {
+	res, err := epoch.Scrub(ctx, dir, epoch.ScrubOptions{Sample: sample})
+	exitOn(err)
+	fmt.Printf("scrub: %d epochs (%d compacted), %d chunks + %d files challenged\n",
+		res.Epochs, res.Compacted, res.ChunksChecked, res.FilesChecked)
+	if res.OK() {
+		fmt.Println("scrub verdict: ACCEPT — every challenged artifact intact and retrievable")
+		return
+	}
+	for _, f := range res.Failures {
+		fmt.Printf("scrub FAIL: %s\n", f)
+	}
+	log, err := epoch.OpenDecisionLog(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orochi-audit: scrub failures could not be recorded:", err)
+		os.Exit(1)
+	}
+	defer log.Close()
+	n, err := epoch.RecordScrubFailures(log, dir, res)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orochi-audit: scrub failures could not be recorded:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("scrub verdict: REJECT — %d failed challenge(s), %d decision(s) recorded\n", len(res.Failures), n)
+	os.Exit(1)
 }
 
 // auditEpochs verifies a sealed epoch chain and prints the ledger.

@@ -28,6 +28,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"syscall"
@@ -35,8 +36,10 @@ import (
 	"time"
 
 	"orochi/internal/core"
+	"orochi/internal/epoch"
 	"orochi/internal/harness"
 	"orochi/internal/lang"
+	"orochi/internal/server"
 	"orochi/internal/trace"
 	"orochi/internal/verifier"
 	"orochi/internal/workload"
@@ -117,6 +120,38 @@ type benchResult struct {
 	// DedupRatio is requests replayed per re-executed group batch — the
 	// same figure /-/metrics exposes as orochi_audit_dedup_ratio.
 	DedupRatio float64 `json:"dedup_ratio"`
+	// Storage compares the content-addressed epoch layout against the
+	// whole-file (v1) layout for the same workload.
+	Storage *storageResult `json:"storage,omitempty"`
+}
+
+// storageResult measures the sealed-epoch storage layer: the same
+// workload is sealed twice — chunked (content-addressed) and
+// whole-file (v1) — and the at-rest footprints and wall times compared.
+type storageResult struct {
+	// Epochs sealed in the measured chain.
+	Epochs int `json:"epochs"`
+	// LogicalBytes is what the manifests pin: the uncompressed
+	// artifact bytes the chain vouches for.
+	LogicalBytes int64 `json:"logical_bytes"`
+	// StoredBytes/Chunks describe the chunk store at rest (per-chunk
+	// gzip); WholeFileBytes is the v1 layout's at-rest footprint
+	// (gzip-compressed whole artifacts) for the same workload.
+	StoredBytes    int64 `json:"stored_bytes"`
+	Chunks         int   `json:"chunks"`
+	WholeFileBytes int64 `json:"whole_file_bytes"`
+	// DedupRatio is logical bytes per stored byte (chunk sharing plus
+	// compression; the console's orochi_storage_dedup_ratio).
+	// ChunkShareRatio isolates chunk-level sharing: referenced chunk
+	// bytes across all manifests per unique chunk byte (1.0 = no chunk
+	// appears twice).
+	DedupRatio      float64 `json:"dedup_ratio"`
+	ChunkShareRatio float64 `json:"chunk_share_ratio"`
+	// SealOverhead and LoadOverhead are chunked wall time over
+	// whole-file wall time for serve+seal and for loading every sealed
+	// epoch back (1.0 = free).
+	SealOverhead float64 `json:"seal_overhead"`
+	LoadOverhead float64 `json:"load_overhead"`
 }
 
 // benchOutput is the top-level -json document.
@@ -153,6 +188,7 @@ func benchJSON(path string, scale, conc, auditWorkers int) {
 			AuditNsPerReq:  res.Stats.Total.Nanoseconds() / int64(served.Requests),
 			AuditSpeedup:   float64(baseAudit) / float64(res.Stats.Total),
 			DedupRatio:     dedup,
+			Storage:        storageBench(item.w, conc),
 		})
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
@@ -164,6 +200,111 @@ func benchJSON(path string, scale, conc, auditWorkers int) {
 		err = os.WriteFile(path, data, 0o644)
 	}
 	check(err)
+}
+
+// storageBench seals the workload twice — chunked and whole-file —
+// into multi-epoch chains and measures footprints and overheads.
+func storageBench(w *workload.Workload, conc int) *storageResult {
+	sealChain := func(mode epoch.StorageMode) (string, time.Duration) {
+		dir, err := os.MkdirTemp("", "orochi-bench-storage-")
+		check(err)
+		prog := w.App.Compile()
+		srv := server.New(prog, server.Options{Record: true})
+		check(srv.Setup(w.App.Schema))
+		check(srv.Setup(w.Seed))
+		// ~4 epochs: each request is a request+response event pair, and
+		// serving in four bursts gives the manager balanced cut points.
+		events := len(w.Requests) / 2
+		if events < 32 {
+			events = 32
+		}
+		mgr, err := epoch.StartManager(dir, srv, srv.Snapshot(), epoch.ManagerOptions{
+			EpochEvents: events, Storage: mode})
+		check(err)
+		start := time.Now()
+		q := (len(w.Requests) + 3) / 4
+		for i := 0; i < len(w.Requests); i += q {
+			end := i + q
+			if end > len(w.Requests) {
+				end = len(w.Requests)
+			}
+			srv.ServeAll(w.Requests[i:end], conc)
+		}
+		check(mgr.Close())
+		return dir, time.Since(start)
+	}
+	loadChain := func(dir string) time.Duration {
+		sealed, err := epoch.ListSealed(dir)
+		check(err)
+		start := time.Now()
+		for _, s := range sealed {
+			_, err := epoch.Load(s)
+			check(err)
+		}
+		return time.Since(start)
+	}
+
+	chunkedDir, chunkedSeal := sealChain(epoch.StorageChunked)
+	defer os.RemoveAll(chunkedDir)
+	wholeDir, wholeSeal := sealChain(epoch.StorageWholeFile)
+	defer os.RemoveAll(wholeDir)
+	chunkedLoad := loadChain(chunkedDir)
+	wholeLoad := loadChain(wholeDir)
+
+	res := &storageResult{
+		SealOverhead: float64(chunkedSeal) / float64(wholeSeal),
+		LoadOverhead: float64(chunkedLoad) / float64(wholeLoad),
+	}
+	sealed, err := epoch.ListSealed(chunkedDir)
+	check(err)
+	res.Epochs = len(sealed)
+	seen := map[string]bool{}
+	var refBytes, uniqueBytes int64
+	for _, s := range sealed {
+		for _, r := range s.Manifest.ChunkRefs() {
+			refBytes += r.Bytes
+			if !seen[r.SHA256] {
+				seen[r.SHA256] = true
+				uniqueBytes += r.Bytes
+			}
+		}
+	}
+	res.LogicalBytes = refBytes
+	if uniqueBytes > 0 {
+		res.ChunkShareRatio = float64(refBytes) / float64(uniqueBytes)
+	}
+	store, err := epoch.OpenChainStore(chunkedDir)
+	check(err)
+	chunks, storedBytes, err := store.Stats()
+	check(err)
+	res.Chunks, res.StoredBytes = chunks, storedBytes
+	if storedBytes > 0 {
+		res.DedupRatio = float64(refBytes) / float64(storedBytes)
+	}
+	res.WholeFileBytes = dirFileBytes(wholeDir)
+	return res
+}
+
+// dirFileBytes sums the at-rest bytes of every artifact file under a
+// whole-file chain directory (segments, reports, init; manifests too —
+// both layouts carry those).
+func dirFileBytes(dir string) int64 {
+	var total int64
+	entries, err := os.ReadDir(dir)
+	check(err)
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(dir, e.Name()))
+		check(err)
+		for _, f := range files {
+			if fi, err := f.Info(); err == nil && !f.IsDir() {
+				total += fi.Size()
+			}
+		}
+	}
+	return total
 }
 
 func workloads(scale int) []struct {

@@ -64,6 +64,8 @@ func main() {
 	epochDir := flag.String("epoch-dir", "", "enable the epoch pipeline, writing sealed epochs to this directory")
 	epochEvents := flag.Int("epoch-events", 4096, "seal an epoch after this many trace events (with -epoch-dir)")
 	epochAudit := flag.Bool("epoch-audit", true, "run the background auditor over sealed epochs (with -epoch-dir)")
+	storage := flag.String("storage", "", "sealed-epoch storage layout (with -epoch-dir): chunked (content-addressed, deduplicated; default) or whole-file (the v1 layout)")
+	scrubEvery := flag.Duration("scrub-interval", 0, "run the retrievability self-audit over the epoch dir at this interval (with -epoch-dir; 0 = off); failures become REJECT decisions")
 	auditWorkers := flag.Int("audit-workers", 0, "concurrent re-execution workers in the background auditor (0 = half the CPUs, to leave room for serving; 1 = sequential)")
 	faultRate := flag.Float64("fault-rate", 0, "inject faulting requests (unknown script, undefined function, bad SQL) into the workload at this rate; the audit must still ACCEPT")
 	shards := flag.Int("shards", 0, "lock-stripe count for the object store and recorder (0 = default); reports are identical at every setting")
@@ -104,11 +106,13 @@ func main() {
 	// flush one artifact set on demand.
 	var mgr *epoch.Manager
 	var auditor *epoch.Auditor
-	var stopAudit context.CancelFunc
+	var scrubber *epoch.Scrubber
+	var stopAudit, stopScrub context.CancelFunc
 	var auditDone chan struct{}
 	if *epochDir != "" {
-		var err error
-		mgr, err = epoch.StartManager(*epochDir, srv, snap, epoch.ManagerOptions{EpochEvents: *epochEvents})
+		mode, err := epoch.ParseStorageMode(*storage)
+		exitOn(err)
+		mgr, err = epoch.StartManager(*epochDir, srv, snap, epoch.ManagerOptions{EpochEvents: *epochEvents, Storage: mode})
 		exitOn(err)
 		if *epochAudit {
 			// The background auditor shares the machine with live
@@ -135,6 +139,23 @@ func main() {
 					fmt.Fprintln(os.Stderr, "orochi-serve: auditor:", err)
 				}
 			}()
+		}
+		if *scrubEvery > 0 {
+			// The scrubber must share the auditor's decision log — two
+			// writers on one decisions.jsonl would corrupt the event
+			// stream. Without a background auditor it opens the log itself.
+			var dlog *epoch.DecisionLog
+			if auditor != nil {
+				dlog = auditor.Decisions()
+			} else {
+				var err error
+				dlog, err = epoch.OpenDecisionLog(*epochDir)
+				exitOn(err)
+			}
+			scrubber = epoch.NewScrubber(*epochDir, dlog, epoch.ScrubberOptions{Interval: *scrubEvery})
+			var scrubCtx context.Context
+			scrubCtx, stopScrub = context.WithCancel(context.Background())
+			go scrubber.Run(scrubCtx)
 		}
 	} else {
 		exitOn(os.MkdirAll(*outDir, 0o755))
@@ -173,7 +194,7 @@ func main() {
 	// ledger (/-/epochs and the JSON API), and Prometheus metrics
 	// (/-/metrics). /-/flush above shadows the console's mux because it
 	// needs this process's flush closure.
-	con := console.New(console.Options{Server: srv, Manager: mgr, Auditor: auditor})
+	con := console.New(console.Options{Server: srv, Manager: mgr, Auditor: auditor, Scrubber: scrubber})
 	mux.Handle(httpfront.ControlPrefix, con.Handler())
 	// The audited surface is the shared HTTP front door: the embedded
 	// collector as middleware in front of the executor
@@ -258,6 +279,9 @@ func main() {
 		// In-flight requests have drained, so the final epoch ends at a
 		// balanced point: seal it and let the auditor catch up with
 		// everything that sealed.
+		if stopScrub != nil {
+			stopScrub()
+		}
 		exitOn(mgr.Close())
 		if auditor != nil {
 			// Stop the background loop before the catch-up pass so two

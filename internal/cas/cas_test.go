@@ -1,0 +1,324 @@
+package cas
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestChunkerReassembles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 300<<10)
+	rng.Read(data)
+	chunks := DefaultChunker.Split(data)
+	if len(chunks) < 2 {
+		t.Fatalf("expected multiple chunks for %d bytes, got %d", len(data), len(chunks))
+	}
+	var back []byte
+	for _, c := range chunks {
+		if len(c) > DefaultChunker.Max {
+			t.Fatalf("chunk of %d bytes exceeds max %d", len(c), DefaultChunker.Max)
+		}
+		back = append(back, c...)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("chunk concatenation does not reproduce input")
+	}
+	// All but the last chunk must respect the minimum.
+	for i, c := range chunks[:len(chunks)-1] {
+		if len(c) < DefaultChunker.Min {
+			t.Fatalf("chunk %d is %d bytes, below min %d", i, len(c), DefaultChunker.Min)
+		}
+	}
+}
+
+func TestChunkerDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, 100<<10)
+	rng.Read(data)
+	a := DefaultChunker.Split(data)
+	b := DefaultChunker.Split(data)
+	if len(a) != len(b) {
+		t.Fatalf("chunk counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("chunk %d differs between runs", i)
+		}
+	}
+}
+
+func TestChunkerShiftResistance(t *testing.T) {
+	// Content-defined cuts: prepending bytes must not reshuffle every
+	// downstream chunk the way fixed-size blocks would.
+	rng := rand.New(rand.NewSource(13))
+	data := make([]byte, 200<<10)
+	rng.Read(data)
+	orig := DefaultChunker.Split(data)
+	shifted := DefaultChunker.Split(append([]byte("prefix!"), data...))
+	origSet := make(map[string]bool, len(orig))
+	for _, c := range orig {
+		origSet[SumHex(c)] = true
+	}
+	shared := 0
+	for _, c := range shifted {
+		if origSet[SumHex(c)] {
+			shared++
+		}
+	}
+	if shared < len(orig)/2 {
+		t.Fatalf("only %d of %d chunks survived a 7-byte prefix shift", shared, len(orig))
+	}
+}
+
+func TestChunkerEmptyAndTiny(t *testing.T) {
+	if got := DefaultChunker.Split(nil); len(got) != 0 {
+		t.Fatalf("empty input produced %d chunks", len(got))
+	}
+	tiny := []byte("hello")
+	chunks := DefaultChunker.Split(tiny)
+	if len(chunks) != 1 || !bytes.Equal(chunks[0], tiny) {
+		t.Fatalf("tiny input should be one chunk, got %d", len(chunks))
+	}
+}
+
+func storeImpls(t *testing.T) map[string]Store {
+	fsStore, err := OpenFS(filepath.Join(t.TempDir(), "cas"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{
+		"fs":     fsStore,
+		"memory": NewMemory(),
+		"tiered": &Tiered{Hot: NewMemory(), Cold: NewMemory()},
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	for name, s := range storeImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			data := []byte("the quick brown fox")
+			sha := SumHex(data)
+			if s.Has(sha) {
+				t.Fatal("chunk present before Put")
+			}
+			if err := s.Put(sha, data); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put(sha, data); err != nil {
+				t.Fatalf("idempotent re-Put failed: %v", err)
+			}
+			if !s.Has(sha) {
+				t.Fatal("chunk missing after Put")
+			}
+			got, err := s.Get(sha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("Get returned %q, want %q", got, data)
+			}
+			shas, err := s.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(shas) != 1 || shas[0] != sha {
+				t.Fatalf("List = %v, want [%s]", shas, sha)
+			}
+			if err := s.Delete(sha); err != nil {
+				t.Fatal(err)
+			}
+			if s.Has(sha) {
+				t.Fatal("chunk present after Delete")
+			}
+			if err := s.Delete(sha); err != nil {
+				t.Fatalf("double Delete should be a no-op: %v", err)
+			}
+			if _, err := s.Get(sha); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get after Delete = %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+func TestFSDetectsCorruptChunk(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cas")
+	s, err := OpenFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("orochi audits forever "), 400)
+	sha := SumHex(data)
+	if err := s.Put(sha, data); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, sha[:2], sha)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(sha); err == nil {
+		t.Fatal("Get returned corrupt chunk without error")
+	} else if !strings.Contains(err.Error(), "corrupt") && !strings.Contains(err.Error(), "hash to") {
+		t.Fatalf("corruption error does not describe the failure: %v", err)
+	}
+}
+
+func TestWriteReadBlob(t *testing.T) {
+	s := NewMemory()
+	rng := rand.New(rand.NewSource(17))
+	data := make([]byte, 150<<10)
+	rng.Read(data)
+	refs, err := WriteBlob(s, DefaultChunker, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if BlobBytes(refs) != int64(len(data)) {
+		t.Fatalf("BlobBytes = %d, want %d", BlobBytes(refs), len(data))
+	}
+	back, err := ReadBlob(s, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("ReadBlob does not reproduce the blob")
+	}
+}
+
+func TestWriteBlobDedupsRepeats(t *testing.T) {
+	s := NewMemory()
+	page := make([]byte, 40<<10)
+	rand.New(rand.NewSource(19)).Read(page)
+	blob := bytes.Repeat(page, 8)
+	refs, err := WriteBlob(s, DefaultChunker, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unique := make(map[string]bool)
+	for _, r := range refs {
+		unique[r.SHA256] = true
+	}
+	if len(unique) >= len(refs) {
+		t.Fatalf("repeated content produced no duplicate refs (%d refs, %d unique)", len(refs), len(unique))
+	}
+	stored, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stored) != len(unique) {
+		t.Fatalf("store holds %d chunks, want %d unique", len(stored), len(unique))
+	}
+}
+
+func TestReadBlobNamesBadChunk(t *testing.T) {
+	s := NewMemory()
+	rng := rand.New(rand.NewSource(23))
+	data := make([]byte, 60<<10)
+	rng.Read(data)
+	refs, err := WriteBlob(s, DefaultChunker, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) < 2 {
+		t.Fatalf("need at least 2 chunks, got %d", len(refs))
+	}
+	victim := refs[1]
+
+	// Missing chunk.
+	if err := s.Delete(victim.SHA256); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReadBlob(s, refs)
+	var ce *ChunkError
+	if !errors.As(err, &ce) {
+		t.Fatalf("ReadBlob with missing chunk = %v, want *ChunkError", err)
+	}
+	if ce.Digest != victim.SHA256 || ce.Index != 1 {
+		t.Fatalf("ChunkError names %s@%d, want %s@1", ce.Digest, ce.Index, victim.SHA256)
+	}
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing chunk error should wrap ErrNotFound: %v", err)
+	}
+
+	// Corrupt chunk.
+	if err := s.Put(victim.SHA256, data[:victim.Bytes]); err != nil {
+		t.Fatal(err)
+	}
+	s.Corrupt(victim.SHA256)
+	_, err = ReadBlob(s, refs)
+	if !errors.As(err, &ce) {
+		t.Fatalf("ReadBlob with corrupt chunk = %v, want *ChunkError", err)
+	}
+	if ce.Digest != victim.SHA256 {
+		t.Fatalf("ChunkError names %s, want %s", ce.Digest, victim.SHA256)
+	}
+}
+
+func TestTieredPromotesColdHits(t *testing.T) {
+	hot, cold := NewMemory(), NewMemory()
+	tiered := &Tiered{Hot: hot, Cold: cold}
+	data := []byte("cold chunk")
+	sha := SumHex(data)
+	if err := cold.Put(sha, data); err != nil {
+		t.Fatal(err)
+	}
+	if hot.Has(sha) {
+		t.Fatal("hot tier should start empty")
+	}
+	got, err := tiered.Get(sha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("tiered Get = %q", got)
+	}
+	if !hot.Has(sha) {
+		t.Fatal("cold hit was not promoted to the hot tier")
+	}
+	// Puts must land in the cold tier of record.
+	data2 := []byte("fresh chunk")
+	sha2 := SumHex(data2)
+	if err := tiered.Put(sha2, data2); err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Has(sha2) {
+		t.Fatal("Put did not reach the cold tier of record")
+	}
+}
+
+func TestFSStats(t *testing.T) {
+	s, err := OpenFS(filepath.Join(t.TempDir(), "cas"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := bytes.Repeat([]byte("compressible content for the stats walk. "), 2000)
+	refs, err := WriteBlob(s, DefaultChunker, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks, stored, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unique := make(map[string]bool)
+	for _, r := range refs {
+		unique[r.SHA256] = true
+	}
+	if chunks != len(unique) {
+		t.Fatalf("Stats chunks = %d, want %d", chunks, len(unique))
+	}
+	if stored <= 0 {
+		t.Fatalf("Stats storedBytes = %d", stored)
+	}
+	if stored >= int64(len(blob)) {
+		t.Fatalf("gzip-at-rest stored %d bytes for a %d-byte compressible blob", stored, len(blob))
+	}
+}

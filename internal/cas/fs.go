@@ -1,0 +1,218 @@
+package cas
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"orochi/internal/encio"
+)
+
+// FS is the local-filesystem chunk store. Chunks live two levels deep
+// (<root>/<sha[:2]>/<sha>) so no single directory grows unbounded, and
+// each chunk is gzip-compressed at rest — chunking operates on logical
+// (uncompressed) bytes so dedup works, compression recovers the disk
+// savings the old whole-file gzip segments had. Writes are atomic
+// (temp file + fsync + rename + dir fsync), matching the durability
+// discipline of the epoch log writer.
+type FS struct {
+	root string
+}
+
+// OpenFS opens (creating if needed) a filesystem chunk store rooted at
+// dir.
+func OpenFS(dir string) (*FS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cas: open store: %w", err)
+	}
+	return &FS{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *FS) Root() string { return s.root }
+
+func (s *FS) path(sha string) string {
+	return filepath.Join(s.root, sha[:2], sha)
+}
+
+// Put stores data under its digest, atomically. An existing chunk is
+// left untouched (chunks are immutable; same digest, same bytes).
+func (s *FS) Put(sha string, data []byte) error {
+	if !validSHA(sha) {
+		return fmt.Errorf("cas: put: bad digest %q", sha)
+	}
+	path := s.path(sha)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("cas: put %s: %w", short(sha), err)
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		return fmt.Errorf("cas: put %s: %w", short(sha), err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("cas: put %s: %w", short(sha), err)
+	}
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, buf.Bytes()); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cas: put %s: %w", short(sha), err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cas: put %s: %w", short(sha), err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("cas: put %s: %w", short(sha), err)
+	}
+	return nil
+}
+
+// Get reads and decompresses the chunk, then verifies its bytes still
+// hash to sha — every read is an integrity check.
+func (s *FS) Get(sha string) ([]byte, error) {
+	if !validSHA(sha) {
+		return nil, fmt.Errorf("cas: get: bad digest %q", sha)
+	}
+	raw, err := os.ReadFile(s.path(sha))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("cas: get %s: %w", short(sha), ErrNotFound)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cas: get %s: %w", short(sha), err)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("cas: get %s: corrupt chunk: %w", short(sha), err)
+	}
+	data, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("cas: get %s: corrupt chunk: %w", short(sha), err)
+	}
+	if err := zr.Close(); err != nil {
+		return nil, fmt.Errorf("cas: get %s: corrupt chunk: %w", short(sha), err)
+	}
+	if err := encio.ExpectEOF(zr); err != nil {
+		return nil, fmt.Errorf("cas: get %s: corrupt chunk: %w", short(sha), err)
+	}
+	if got := SumHex(data); got != sha {
+		return nil, fmt.Errorf("cas: get %s: chunk bytes hash to %s, want %s", short(sha), short(got), short(sha))
+	}
+	return data, nil
+}
+
+// Has reports whether the chunk file exists.
+func (s *FS) Has(sha string) bool {
+	if !validSHA(sha) {
+		return false
+	}
+	_, err := os.Stat(s.path(sha))
+	return err == nil
+}
+
+// List walks the store and returns every chunk digest.
+func (s *FS) List() ([]string, error) {
+	var shas []string
+	err := filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || strings.HasSuffix(path, ".tmp") {
+			return nil
+		}
+		name := d.Name()
+		if validSHA(name) {
+			shas = append(shas, name)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cas: list: %w", err)
+	}
+	return shas, nil
+}
+
+// Delete removes a chunk; deleting a missing chunk is a no-op.
+func (s *FS) Delete(sha string) error {
+	if !validSHA(sha) {
+		return fmt.Errorf("cas: delete: bad digest %q", sha)
+	}
+	err := os.Remove(s.path(sha))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("cas: delete %s: %w", short(sha), err)
+	}
+	return nil
+}
+
+// Stats reports the chunk count and at-rest (compressed) bytes — the
+// denominator of the storage dedup ratio.
+func (s *FS) Stats() (chunks int, storedBytes int64, err error) {
+	err = filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || strings.HasSuffix(path, ".tmp") || !validSHA(d.Name()) {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		chunks++
+		storedBytes += info.Size()
+		return nil
+	})
+	if err != nil {
+		return 0, 0, fmt.Errorf("cas: stats: %w", err)
+	}
+	return chunks, storedBytes, nil
+}
+
+func validSHA(sha string) bool {
+	if len(sha) != 64 {
+		return false
+	}
+	for i := 0; i < len(sha); i++ {
+		c := sha[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// writeFileSync writes data to path and fsyncs the file, so a rename
+// over it is durable.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,87 @@
+package cas
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Memory is an in-process chunk store, used by tests and as the hot
+// tier of a Tiered store.
+type Memory struct {
+	mu     sync.RWMutex
+	chunks map[string][]byte
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{chunks: make(map[string][]byte)}
+}
+
+// Put stores a copy of data under sha.
+func (s *Memory) Put(sha string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.chunks[sha]; ok {
+		return nil
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.chunks[sha] = cp
+	return nil
+}
+
+// Get returns the chunk's bytes, verified against sha.
+func (s *Memory) Get(sha string) ([]byte, error) {
+	s.mu.RLock()
+	data, ok := s.chunks[sha]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("cas: get %s: %w", short(sha), ErrNotFound)
+	}
+	if got := SumHex(data); got != sha {
+		return nil, fmt.Errorf("cas: get %s: chunk bytes hash to %s, want %s", short(sha), short(got), short(sha))
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// Has reports whether the chunk exists.
+func (s *Memory) Has(sha string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.chunks[sha]
+	return ok
+}
+
+// List returns every stored digest.
+func (s *Memory) List() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	shas := make([]string, 0, len(s.chunks))
+	for sha := range s.chunks {
+		shas = append(shas, sha)
+	}
+	return shas, nil
+}
+
+// Delete removes a chunk; missing chunks are a no-op.
+func (s *Memory) Delete(sha string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.chunks, sha)
+	return nil
+}
+
+// Corrupt flips a byte inside a stored chunk — a test hook for
+// exercising digest-mismatch paths.
+func (s *Memory) Corrupt(sha string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.chunks[sha]
+	if !ok || len(data) == 0 {
+		return false
+	}
+	data[len(data)/2] ^= 0xff
+	return true
+}

@@ -42,6 +42,9 @@ type Options struct {
 	// metrics, and — through its decision log — verdict history and the
 	// acknowledge workflow.
 	Auditor *epoch.Auditor
+	// Scrubber provides the retrievability self-audit counters
+	// (/-/metrics scrub families).
+	Scrubber *epoch.Scrubber
 	// StartedAt anchors uptime and average-rate computations (default:
 	// time of New).
 	StartedAt time.Time
@@ -52,10 +55,11 @@ type Options struct {
 // polling the console under full load does not touch the serving hot
 // path.
 type Console struct {
-	srv     *server.Server
-	mgr     *epoch.Manager
-	auditor *epoch.Auditor
-	started time.Time
+	srv      *server.Server
+	mgr      *epoch.Manager
+	auditor  *epoch.Auditor
+	scrubber *epoch.Scrubber
+	started  time.Time
 
 	// rateMu guards the previous-poll sample behind the instantaneous
 	// req/s figure on /-/stats.
@@ -70,11 +74,12 @@ func New(opts Options) *Console {
 		opts.StartedAt = time.Now()
 	}
 	return &Console{
-		srv:     opts.Server,
-		mgr:     opts.Manager,
-		auditor: opts.Auditor,
-		started: opts.StartedAt,
-		lastAt:  opts.StartedAt,
+		srv:      opts.Server,
+		mgr:      opts.Manager,
+		auditor:  opts.Auditor,
+		scrubber: opts.Scrubber,
+		started:  opts.StartedAt,
+		lastAt:   opts.StartedAt,
 	}
 }
 

@@ -90,7 +90,11 @@ func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
 // every endpoint of the surface.
 func TestConsoleHonestPipeline(t *testing.T) {
 	srv, mgr, auditor := buildPipeline(t, 3, nil)
-	con := console.New(console.Options{Server: srv, Manager: mgr, Auditor: auditor})
+	scrubber := epoch.NewScrubber(mgr.Dir(), auditor.Decisions(), epoch.ScrubberOptions{Sample: -1})
+	if _, err := scrubber.RunOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	con := console.New(console.Options{Server: srv, Manager: mgr, Auditor: auditor, Scrubber: scrubber})
 	ts := httptest.NewServer(con.Handler())
 	defer ts.Close()
 
@@ -114,6 +118,13 @@ func TestConsoleHonestPipeline(t *testing.T) {
 		`orochi_audit_phase_seconds_total{phase="re-execution"}`,
 		"orochi_audit_dedup_ratio ",
 		"orochi_rejects_unacked 0",
+		"orochi_storage_chunks ",
+		"orochi_storage_bytes ",
+		"orochi_storage_dedup_ratio ",
+		"orochi_scrub_runs_total 1",
+		`orochi_scrub_checks_total{kind="chunk"}`,
+		"orochi_scrub_failures_total 0",
+		"orochi_scrub_last_failures 0",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/-/metrics missing %q in:\n%s", want, body)

@@ -53,6 +53,42 @@ func (c *Console) metrics(w http.ResponseWriter, r *http.Request) {
 		p.sample("orochi_epoch_current_events", "", float64(st.CurrentEvents))
 		p.family("orochi_pipeline_failed", "gauge", "1 when the epoch pipeline has failed and stopped sealing, else 0.")
 		p.sample("orochi_pipeline_failed", "", boolGauge(st.Err != ""))
+
+		// Content-addressed storage: at-rest footprint vs the logical
+		// bytes the manifests pin. The stores-side dedup ratio — distinct
+		// from the audit-side re-execution dedup above — is >1 whenever
+		// consecutive epochs share chunks (or gzip-at-rest compresses).
+		if store, err := epoch.OpenChainStore(c.mgr.Dir()); err == nil {
+			if chunks, storedBytes, err := store.Stats(); err == nil {
+				p.family("orochi_storage_chunks", "gauge", "Chunks in the chain's content-addressed store.")
+				p.sample("orochi_storage_chunks", "", float64(chunks))
+				p.family("orochi_storage_bytes", "gauge", "At-rest bytes of the chunk store (compressed).")
+				p.sample("orochi_storage_bytes", "", float64(storedBytes))
+				p.family("orochi_storage_dedup_ratio", "gauge", "Logical sealed bytes per at-rest stored byte (>1 = chunk dedup and compression winning).")
+				ratio := float64(0)
+				if storedBytes > 0 {
+					ratio = float64(bytesLogged) / float64(storedBytes)
+				}
+				p.sample("orochi_storage_dedup_ratio", "", ratio)
+			}
+		}
+	}
+
+	if c.scrubber != nil {
+		st := c.scrubber.Status()
+		p.family("orochi_scrub_runs_total", "counter", "Retrievability self-audit passes completed.")
+		p.sample("orochi_scrub_runs_total", "", float64(st.Runs))
+		p.family("orochi_scrub_checks_total", "counter", "Challenge-reads performed by the scrubber, by artifact kind.")
+		p.sample("orochi_scrub_checks_total", `kind="chunk"`, float64(st.ChunksChecked))
+		p.sample("orochi_scrub_checks_total", `kind="file"`, float64(st.FilesChecked))
+		p.family("orochi_scrub_failures_total", "counter", "Failed retrievability challenges across all passes.")
+		p.sample("orochi_scrub_failures_total", "", float64(st.Failures))
+		p.family("orochi_scrub_last_failures", "gauge", "Failed challenges in the most recent scrub pass.")
+		p.sample("orochi_scrub_last_failures", "", float64(st.LastFailures))
+		if !st.LastRun.IsZero() {
+			p.family("orochi_scrub_last_run_timestamp_seconds", "gauge", "Unix time of the most recent scrub pass.")
+			p.sample("orochi_scrub_last_run_timestamp_seconds", "", float64(st.LastRun.Unix()))
+		}
 	}
 
 	if c.auditor != nil {

@@ -90,6 +90,13 @@ type Verdict struct {
 	// ManifestSHA || verdict byte). Two auditors that agree on the last
 	// ChainSHA agree on every verdict before it.
 	ChainSHA string
+	// Adopted marks a compacted epoch whose stored ACCEPT decision and
+	// checkpoint were adopted instead of re-verified (retention
+	// compaction evicted its artifacts). Adopted verdicts extend the
+	// chain digest exactly as a full audit would, but are not
+	// re-appended to the decision log — the stored decision, possibly
+	// acknowledged, stands.
+	Adopted bool
 }
 
 // Auditor verifies a chain of sealed epochs, continuously or in
@@ -347,7 +354,9 @@ func (a *Auditor) RunOnce(ctx context.Context) (int, error) {
 			batch = append(batch, &Sealed{Number: n, Dir: epochDir, ManifestSHA: sha,
 				Err: fmt.Errorf("epoch: manifest in %s claims epoch %d", epochDir, m.Epoch)})
 		default:
-			batch = append(batch, &Sealed{Number: n, Dir: epochDir, Manifest: m, ManifestSHA: sha})
+			marker, _ := ReadCompacted(epochDir)
+			batch = append(batch, &Sealed{Number: n, Dir: epochDir, Manifest: m, ManifestSHA: sha,
+				Compacted: marker != nil})
 			continue
 		}
 		break
@@ -379,6 +388,12 @@ func (a *Auditor) RunOnce(ctx context.Context) (int, error) {
 		for i, s := range batch {
 			sem <- struct{}{}
 			go func(i int, s *Sealed) {
+				if s.Compacted {
+					// Nothing to load: the epoch's artifacts were evicted
+					// by compaction; auditOne adopts its stored decision.
+					futures[i] <- loadResult{}
+					return
+				}
 				l, err := Load(s)
 				futures[i] <- loadResult{loaded: l, err: err}
 			}(i, s)
@@ -419,15 +434,20 @@ func (a *Auditor) RunOnce(ctx context.Context) (int, error) {
 		}
 		a.mu.Unlock()
 		audited++
-		if err := a.log.Append(decisionFromVerdict(verdict)); err != nil {
-			// The verdict is published in memory; a ledger that cannot
-			// take it is an internal fault the caller must see.
-			return audited, err
+		if !verdict.Adopted {
+			// Adopted verdicts restate a decision the log already holds
+			// (possibly acknowledged); re-appending would reopen its
+			// resolution and forge a fresh DecidedAt.
+			if err := a.log.Append(decisionFromVerdict(verdict)); err != nil {
+				// The verdict is published in memory; a ledger that cannot
+				// take it is an internal fault the caller must see.
+				return audited, err
+			}
 		}
 		if !verdict.Accepted {
 			break
 		}
-		if a.opts.Checkpoints {
+		if a.opts.Checkpoints && !verdict.Adopted {
 			if err := a.writeCheckpoint(s.Number, snapNext); err != nil {
 				// The verdict is already published and a.next advanced, so
 				// park the snapshot for a retry on the next RunOnce instead
@@ -522,6 +542,35 @@ func (a *Auditor) auditOne(ctx context.Context, s *Sealed, r loadResult) (Verdic
 		return reject(fmt.Sprintf("manifest chain mismatch: epoch %d links to %s, previous manifest is %s",
 			s.Number, short(s.Manifest.PrevManifestSHA256), short(prevSHA)),
 			&verifier.Forensics{Phase: PhaseEpochLoad, Check: "manifest-chain"})
+	}
+	if s.Compacted {
+		// Retention compaction evicted this epoch's bulk artifacts; it
+		// survives as its stored ACCEPT decision plus checkpoint. Adopt
+		// both: the chain link was just verified against the on-disk
+		// manifest, the stored decision must pin that exact manifest,
+		// and the checkpoint becomes the next epoch's trusted initial
+		// state. The chain digest is extended with the same
+		// H(prev || manifestSHA || 1) as a full audit, so ChainSHA stays
+		// bit-identical to an uncompacted run.
+		d, ok := a.log.Get(s.Number)
+		if !ok || !d.Accepted {
+			return reject(fmt.Sprintf("epoch %d is compacted but the decision log holds no ACCEPT for it", s.Number),
+				&verifier.Forensics{Phase: PhaseEpochLoad, Check: "compaction"})
+		}
+		if d.ManifestSHA != s.ManifestSHA {
+			return reject(fmt.Sprintf("epoch %d is compacted but its stored decision pins manifest %s, on disk is %s",
+				s.Number, short(d.ManifestSHA), short(s.ManifestSHA)),
+				&verifier.Forensics{Phase: PhaseEpochLoad, Check: "compaction"})
+		}
+		snapNext, err := LoadCheckpoint(a.dir, s.Number)
+		if err != nil {
+			return reject(fmt.Sprintf("epoch %d is compacted but its checkpoint is unreadable: %v", s.Number, err),
+				&verifier.Forensics{Phase: PhaseEpochLoad, Check: "compaction"})
+		}
+		v.Accepted = true
+		v.Adopted = true
+		v.ChainSHA = a.extendChain(s.ManifestSHA, true)
+		return v, snapNext, nil
 	}
 	if init == nil {
 		if r.loaded.Init == nil {

@@ -1,21 +1,22 @@
 package epoch
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 
+	"orochi/internal/cas"
 	"orochi/internal/object"
 	"orochi/internal/reports"
 	"orochi/internal/trace"
 )
 
 // IntegrityError reports that a sealed epoch's artifacts fail
-// verification against the manifest (missing file, digest mismatch,
-// damaged framing, count mismatch). It is evidence tampering or loss,
-// so auditors surface it as a REJECT verdict, not an internal fault.
+// verification against the manifest (missing file or chunk, digest
+// mismatch, damaged framing, count mismatch). It is evidence of
+// tampering or loss, so auditors surface it as a REJECT verdict, not
+// an internal fault.
 type IntegrityError struct {
 	Epoch  int64
 	Detail string
@@ -37,10 +38,20 @@ type Loaded struct {
 }
 
 // Load reads a sealed epoch's segments, reports, and (if present)
-// initial snapshot, verifying every file against the manifest's SHA-256
-// digests, every record against its CRC, and the decoded event counts
-// against the manifest. Failures are *IntegrityError.
+// initial snapshot, verifying every artifact against the manifest's
+// SHA-256 digests and the decoded event counts against the manifest.
+// Chunked (v2) epochs read from the chain's chunk store, every chunk
+// verified by digest on the way; whole-file (v1) epochs read files
+// from the epoch directory, falling back to the store for files a
+// migration has moved there. Failures are *IntegrityError.
 func Load(s *Sealed) (*Loaded, error) {
+	return LoadFrom(s, nil)
+}
+
+// LoadFrom is Load with an explicit chunk store (nil opens the chain's
+// own <dir>/cas on first use — the seam for loading against a remote
+// or tiered store).
+func LoadFrom(s *Sealed, store cas.Store) (*Loaded, error) {
 	fail := func(format string, args ...any) (*Loaded, error) {
 		return nil, &IntegrityError{Epoch: s.Number, Detail: fmt.Sprintf(format, args...)}
 	}
@@ -50,37 +61,97 @@ func Load(s *Sealed) (*Loaded, error) {
 	if s.Manifest == nil {
 		return fail("no manifest")
 	}
+	getStore := func() (cas.Store, error) {
+		if store == nil {
+			fsStore, err := OpenChainStore(filepath.Dir(s.Dir))
+			if err != nil {
+				return nil, err
+			}
+			store = fsStore
+		}
+		return store, nil
+	}
+	// readArtifact fetches one artifact's logical bytes and verifies
+	// them against the manifest pin. The returned error is always an
+	// *IntegrityError detail string-ready via fail().
+	readArtifact := func(label string, fi FileInfo) ([]byte, error) {
+		var data []byte
+		if len(fi.Chunks) > 0 {
+			st, err := getStore()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", label, err)
+			}
+			data, err = cas.ReadBlob(st, fi.Chunks)
+			if err != nil {
+				var ce *cas.ChunkError
+				if errors.As(err, &ce) {
+					return nil, fmt.Errorf("%s: chunk %d of %d (sha256 %s): %v",
+						label, ce.Index+1, len(fi.Chunks), ce.Digest, ce.Err)
+				}
+				return nil, fmt.Errorf("%s: %v", label, err)
+			}
+		} else {
+			var err error
+			data, err = os.ReadFile(filepath.Join(s.Dir, fi.Name))
+			if os.IsNotExist(err) {
+				// Migrated whole-file epochs keep their manifests but the
+				// bytes live in the store as one blob under the file digest.
+				st, serr := getStore()
+				if serr != nil {
+					return nil, fmt.Errorf("%s: %v", label, serr)
+				}
+				data, serr = st.Get(fi.SHA256)
+				if serr != nil {
+					return nil, fmt.Errorf("%s: missing from epoch dir and chunk store: %v", label, serr)
+				}
+			} else if err != nil {
+				return nil, fmt.Errorf("%s: %v", label, err)
+			}
+		}
+		if got := cas.SumHex(data); got != fi.SHA256 {
+			return nil, fmt.Errorf("%s: digest mismatch (manifest %s, disk %s)", label, short(fi.SHA256), short(got))
+		}
+		if int64(len(data)) != fi.Bytes {
+			return nil, fmt.Errorf("%s: size mismatch (manifest %d, disk %d)", label, fi.Bytes, len(data))
+		}
+		return data, nil
+	}
+
+	chunked := s.Manifest.Chunked()
 	var events []trace.Event
 	for _, seg := range s.Manifest.Segments {
-		data, err := os.ReadFile(filepath.Join(s.Dir, seg.Name))
+		label := fmt.Sprintf("segment %s", seg.Name)
+		data, err := readArtifact(label, FileInfo{Name: seg.Name, Bytes: seg.Bytes, SHA256: seg.SHA256, Chunks: seg.Chunks})
 		if err != nil {
-			return fail("segment %s: %v", seg.Name, err)
+			return fail("%v", err)
 		}
-		if got := fileSHA(data); got != seg.SHA256 {
-			return fail("segment %s: digest mismatch (manifest %s, disk %s)", seg.Name, short(seg.SHA256), short(got))
-		}
-		if int64(len(data)) != seg.Bytes {
-			return fail("segment %s: size mismatch (manifest %d, disk %d)", seg.Name, seg.Bytes, len(data))
-		}
-		recs, _, err := parseSegment(data, true)
-		if err != nil {
-			return fail("segment %s: %v", seg.Name, err)
-		}
-		n := 0
-		for _, r := range recs {
-			if r.typ != recEvents {
-				continue
-			}
-			tr, err := trace.Decode(r.payload)
+		var segEvents []trace.Event
+		if chunked {
+			tr, err := trace.DecodeRaw(data)
 			if err != nil {
-				return fail("segment %s: undecodable record: %v", seg.Name, err)
+				return fail("%s: undecodable blob: %v", label, err)
 			}
-			events = append(events, tr.Events...)
-			n += len(tr.Events)
+			segEvents = tr.Events
+		} else {
+			recs, _, err := parseSegment(data, true)
+			if err != nil {
+				return fail("%s: %v", label, err)
+			}
+			for _, r := range recs {
+				if r.typ != recEvents {
+					continue
+				}
+				tr, err := trace.Decode(r.payload)
+				if err != nil {
+					return fail("%s: undecodable record: %v", label, err)
+				}
+				segEvents = append(segEvents, tr.Events...)
+			}
 		}
-		if n != seg.Events {
-			return fail("segment %s: event count mismatch (manifest %d, decoded %d)", seg.Name, seg.Events, n)
+		if len(segEvents) != seg.Events {
+			return fail("%s: event count mismatch (manifest %d, decoded %d)", label, seg.Events, len(segEvents))
 		}
+		events = append(events, segEvents...)
 	}
 	if len(events) != s.Manifest.Events {
 		return fail("event count mismatch (manifest %d, decoded %d)", s.Manifest.Events, len(events))
@@ -90,39 +161,38 @@ func Load(s *Sealed) (*Loaded, error) {
 		return fail("request count mismatch (manifest %d, decoded %d)", s.Manifest.Requests, got)
 	}
 
-	repData, err := os.ReadFile(filepath.Join(s.Dir, s.Manifest.Reports.Name))
+	repData, err := readArtifact("reports", s.Manifest.Reports)
 	if err != nil {
-		return fail("reports: %v", err)
+		return fail("%v", err)
 	}
-	if got := fileSHA(repData); got != s.Manifest.Reports.SHA256 {
-		return fail("reports: digest mismatch (manifest %s, disk %s)", short(s.Manifest.Reports.SHA256), short(got))
+	var rep *reports.Reports
+	if chunked {
+		rep, err = reports.DecodeRaw(repData)
+	} else {
+		rep, err = decodeReportsSegment(repData)
 	}
-	rep, err := decodeReportsSegment(repData)
 	if err != nil {
 		return fail("reports: %v", err)
 	}
 
 	out := &Loaded{Sealed: s, Trace: tr, Reports: rep}
 	if s.Manifest.Init != nil {
-		initData, err := os.ReadFile(filepath.Join(s.Dir, s.Manifest.Init.Name))
+		initData, err := readArtifact("init snapshot", *s.Manifest.Init)
 		if err != nil {
-			return fail("init snapshot: %v", err)
+			return fail("%v", err)
 		}
-		if got := fileSHA(initData); got != s.Manifest.Init.SHA256 {
-			return fail("init snapshot: digest mismatch (manifest %s, disk %s)", short(s.Manifest.Init.SHA256), short(got))
+		var snap *object.Snapshot
+		if chunked {
+			snap, err = object.DecodeSnapshotRaw(initData)
+		} else {
+			snap, err = object.DecodeSnapshot(initData)
 		}
-		snap, err := object.DecodeSnapshot(initData)
 		if err != nil {
 			return fail("init snapshot: %v", err)
 		}
 		out.Init = snap
 	}
 	return out, nil
-}
-
-func fileSHA(data []byte) string {
-	sum := sha256.Sum256(data)
-	return hex.EncodeToString(sum[:])
 }
 
 func short(sha string) string {

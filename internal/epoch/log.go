@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 
+	"orochi/internal/cas"
 	"orochi/internal/reports"
 	"orochi/internal/trace"
 )
@@ -42,13 +43,18 @@ func (o LogWriterOptions) withDefaults() LogWriterOptions {
 	return o
 }
 
-// SegmentInfo describes one finalized segment.
+// SegmentInfo describes one finalized segment. In a whole-file (v1)
+// manifest Bytes/SHA256 are over the on-disk segment file; in a
+// chunked (v2) manifest they describe the segment's logical blob (the
+// raw-encoded trace of its events) and Chunks lists the content-
+// defined chunks that reassemble it.
 type SegmentInfo struct {
-	Name    string `json:"name"`
-	Bytes   int64  `json:"bytes"`
-	Records int    `json:"records"`
-	Events  int    `json:"events"`
-	SHA256  string `json:"sha256"`
+	Name    string    `json:"name"`
+	Bytes   int64     `json:"bytes"`
+	Records int       `json:"records"`
+	Events  int       `json:"events"`
+	SHA256  string    `json:"sha256"`
+	Chunks  []cas.Ref `json:"chunks,omitempty"`
 }
 
 // LogWriter appends trace events to length-prefixed, CRC-checksummed,
@@ -361,12 +367,11 @@ func readSegmentFile(path string, strict bool) (SegmentInfo, []trace.Event, erro
 	if err != nil {
 		return SegmentInfo{}, nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
 	}
-	sum := sha256.Sum256(data[:valid])
 	info := SegmentInfo{
 		Name:    filepath.Base(path),
 		Bytes:   valid,
 		Records: len(recs),
-		SHA256:  hex.EncodeToString(sum[:]),
+		SHA256:  cas.SumHex(data[:valid]),
 	}
 	var events []trace.Event
 	for _, r := range recs {
@@ -395,8 +400,7 @@ func WriteReportsFile(path string, rep *reports.Reports) (FileInfo, error) {
 	if err := writeFileSync(path, data); err != nil {
 		return FileInfo{}, err
 	}
-	sum := sha256.Sum256(data)
-	return FileInfo{Name: filepath.Base(path), Bytes: int64(len(data)), SHA256: hex.EncodeToString(sum[:])}, nil
+	return FileInfo{Name: filepath.Base(path), Bytes: int64(len(data)), SHA256: cas.SumHex(data)}, nil
 }
 
 // decodeReportsSegment parses a single-record reports segment image —

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"orochi/internal/cas"
 	"orochi/internal/object"
 	"orochi/internal/reports"
 	"orochi/internal/server"
@@ -28,6 +29,10 @@ type ManagerOptions struct {
 	TeeBuffer int
 	// Log tunes the per-epoch segmented log.
 	Log LogWriterOptions
+	// Storage selects the sealed-artifact layout: StorageChunked (the
+	// default) seals into the chain's content-addressed store,
+	// StorageWholeFile keeps the original whole-file epoch dirs.
+	Storage StorageMode
 }
 
 func (o ManagerOptions) withDefaults() ManagerOptions {
@@ -46,9 +51,12 @@ type SealedSummary struct {
 	Events   int
 	Requests int
 	Segments int
-	// Bytes is the epoch's on-disk footprint: segment files plus the
-	// reports file (and the init snapshot for epoch 1). Metrics sum it
-	// into the bytes-logged counter.
+	// Bytes is the epoch's logical footprint: segment artifacts plus
+	// the reports bundle (and the init snapshot for epoch 1). In
+	// whole-file mode that is the on-disk byte count; in chunked mode
+	// it is the uncompressed blob size the manifests pin — the
+	// numerator of the storage dedup ratio. Metrics sum it into the
+	// bytes-logged counter.
 	Bytes       int64
 	ManifestSHA string
 	SealedAt    time.Time
@@ -82,6 +90,9 @@ type Manager struct {
 	dir  string
 	srv  *server.Server
 	opts ManagerOptions
+	// store is the chain's chunk store (nil in whole-file mode). Only
+	// the sealer goroutine writes to it.
+	store *cas.FS
 
 	// mu guards the tap-side state. Only the tap (under the collector's
 	// lock), Close, and Status take it; the writer and sealer
@@ -166,8 +177,9 @@ func StartManager(dir string, srv *server.Server, init *object.Snapshot, opts Ma
 		// Leftover checkpoints are as poisonous as leftover epochs: a
 		// later `-from N` audit would resume the NEW chain from the OLD
 		// chain's verified state and spuriously reject an honest run.
-		if epochDirNumber(e.Name()) != 0 || e.Name() == "checkpoints" {
-			return nil, fmt.Errorf("epoch: %s already holds epochs or checkpoints; each serving run needs a fresh chain directory", dir)
+		// A leftover chunk store likewise belongs to a previous chain.
+		if epochDirNumber(e.Name()) != 0 || e.Name() == "checkpoints" || e.Name() == CASDirName {
+			return nil, fmt.Errorf("epoch: %s already holds epochs, checkpoints, or a chunk store; each serving run needs a fresh chain directory", dir)
 		}
 	}
 	m := &Manager{
@@ -180,21 +192,36 @@ func StartManager(dir string, srv *server.Server, init *object.Snapshot, opts Ma
 		notify:   make(chan struct{}, 1),
 	}
 	m.teeQ = make(chan teeMsg, m.opts.TeeBuffer)
+	if m.opts.Storage == StorageChunked {
+		store, err := OpenChainStore(dir)
+		if err != nil {
+			return nil, err
+		}
+		m.store = store
+	}
 	cur, err := m.openEpoch(1)
 	if err != nil {
 		return nil, err
 	}
 	// The first epoch ships the trusted initial snapshot; later epochs
 	// don't — the verifier derives their initial state itself (§4.5).
-	initData, err := init.Encode()
-	if err != nil {
-		return nil, err
+	if m.store != nil {
+		info, err := chunkSnapshot(m.store, init)
+		if err != nil {
+			return nil, fmt.Errorf("epoch: write init snapshot: %w", err)
+		}
+		cur.initInfo = &info
+	} else {
+		initData, err := init.Encode()
+		if err != nil {
+			return nil, err
+		}
+		initPath := filepath.Join(m.dir, epochDirName(1), InitName)
+		if err := writeFileSync(initPath, initData); err != nil {
+			return nil, fmt.Errorf("epoch: write init snapshot: %w", err)
+		}
+		cur.initInfo = &FileInfo{Name: InitName, Bytes: int64(len(initData)), SHA256: cas.SumHex(initData)}
 	}
-	initPath := filepath.Join(m.dir, epochDirName(1), InitName)
-	if err := writeFileSync(initPath, initData); err != nil {
-		return nil, fmt.Errorf("epoch: write init snapshot: %w", err)
-	}
-	cur.initInfo = &FileInfo{Name: InitName, Bytes: int64(len(initData)), SHA256: fileSHA(initData)}
 	m.cur = cur
 	go m.teeLoop()
 	go m.sealLoop()
@@ -350,11 +377,30 @@ func (m *Manager) seal(job *sealJob, prevSHA string) (string, error) {
 		return "", fmt.Errorf("epoch: seal %d: %w", job.number, err)
 	}
 	epochDir := filepath.Join(m.dir, epochDirName(job.number))
-	repInfo, err := WriteReportsFile(filepath.Join(epochDir, ReportsName), job.rec.Finalize())
-	if err != nil {
-		return "", fmt.Errorf("epoch: seal %d: %w", job.number, err)
+	version := 0
+	var repInfo FileInfo
+	if m.store != nil {
+		// Chunked sealing: segment files become content-defined chunks
+		// in the chain store (dedup against everything sealed before),
+		// and the reports bundle is chunked directly — after this the
+		// epoch dir holds only the manifest.
+		version = ManifestVersionChunked
+		segs, err = chunkSegments(m.store, epochDir, segs)
+		if err != nil {
+			return "", fmt.Errorf("epoch: seal %d: %w", job.number, err)
+		}
+		repInfo, err = chunkReports(m.store, job.rec.Finalize())
+		if err != nil {
+			return "", fmt.Errorf("epoch: seal %d: %w", job.number, err)
+		}
+	} else {
+		repInfo, err = WriteReportsFile(filepath.Join(epochDir, ReportsName), job.rec.Finalize())
+		if err != nil {
+			return "", fmt.Errorf("epoch: seal %d: %w", job.number, err)
+		}
 	}
 	manifest := &Manifest{
+		Version:            version,
 		Epoch:              job.number,
 		SealedUnix:         time.Now().Unix(),
 		Events:             job.events,
@@ -449,6 +495,10 @@ func (m *Manager) firstErr() error {
 // Notify returns a channel that receives (with capacity one) after each
 // seal; background auditors use it to wake without polling delay.
 func (m *Manager) Notify() <-chan struct{} { return m.notify }
+
+// Dir returns the chain directory the manager seals into; the console
+// reaches the chunk store through it for storage metrics.
+func (m *Manager) Dir() string { return m.dir }
 
 // Status reports the pipeline's current state.
 func (m *Manager) Status() ManagerStatus {

@@ -1,14 +1,14 @@
 package epoch
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"orochi/internal/cas"
 )
 
 // Standard file names inside an epoch directory.
@@ -18,11 +18,22 @@ const (
 	InitName     = "init.bin"
 )
 
-// FileInfo pins one epoch file by name, size, and content digest.
+// ManifestVersionChunked marks a manifest whose artifacts live in the
+// chain's content-addressed store as ordered chunk lists. Version 0
+// (the field absent) is the original whole-file layout: every artifact
+// is a file in the epoch directory, pinned by its file digest.
+const ManifestVersionChunked = 2
+
+// FileInfo pins one epoch artifact by name, size, and content digest.
+// In a whole-file (v1) manifest the digest is over the artifact's
+// on-disk file bytes. In a chunked (v2) manifest Bytes and SHA256
+// describe the logical (uncompressed) blob and Chunks lists the
+// content-defined chunks that reassemble it, in order.
 type FileInfo struct {
-	Name   string `json:"name"`
-	Bytes  int64  `json:"bytes"`
-	SHA256 string `json:"sha256"`
+	Name   string    `json:"name"`
+	Bytes  int64     `json:"bytes"`
+	SHA256 string    `json:"sha256"`
+	Chunks []cas.Ref `json:"chunks,omitempty"`
 }
 
 // Manifest is the seal record of one epoch. Writing it (atomically, as
@@ -31,6 +42,9 @@ type FileInfo struct {
 // with any sealed artifact — or with a past manifest itself — breaks
 // verification of everything downstream.
 type Manifest struct {
+	// Version is the storage schema: 0/absent for whole-file epochs,
+	// ManifestVersionChunked for content-addressed ones.
+	Version    int   `json:"version,omitempty"`
 	Epoch      int64 `json:"epoch"`
 	SealedUnix int64 `json:"sealed_unix"`
 	Events     int   `json:"events"`
@@ -48,9 +62,30 @@ type Manifest struct {
 	PrevManifestSHA256 string `json:"prev_manifest_sha256"`
 }
 
+// Chunked reports whether the manifest's artifacts live in the chain's
+// content-addressed store.
+func (m *Manifest) Chunked() bool { return m.Version >= ManifestVersionChunked }
+
+// ChunkRefs returns every chunk reference the manifest pins, across
+// segments, reports, and the init snapshot (empty for v1 manifests).
+// GC marks live chunks through it; scrub samples from it.
+func (m *Manifest) ChunkRefs() []cas.Ref {
+	var refs []cas.Ref
+	for _, seg := range m.Segments {
+		refs = append(refs, seg.Chunks...)
+	}
+	refs = append(refs, m.Reports.Chunks...)
+	if m.Init != nil {
+		refs = append(refs, m.Init.Chunks...)
+	}
+	return refs
+}
+
 // WriteManifest seals dir with m: the manifest is written to a temp
 // file, fsynced, and atomically renamed into place. It returns the
-// manifest digest the next epoch must chain to.
+// manifest digest the next epoch must chain to. On any failure the
+// temp file is removed — a stale MANIFEST.json.tmp must never linger
+// for a later seal (or an operator) to trip over.
 func WriteManifest(dir string, m *Manifest) (string, error) {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
@@ -59,16 +94,17 @@ func WriteManifest(dir string, m *Manifest) (string, error) {
 	data = append(data, '\n')
 	tmp := filepath.Join(dir, ManifestName+".tmp")
 	if err := writeFileSync(tmp, data); err != nil {
+		os.Remove(tmp)
 		return "", fmt.Errorf("epoch: write manifest: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		os.Remove(tmp)
 		return "", fmt.Errorf("epoch: write manifest: %w", err)
 	}
 	if err := syncDir(dir); err != nil {
 		return "", err
 	}
-	sum := sha256.Sum256(data)
-	return hex.EncodeToString(sum[:]), nil
+	return cas.SumHex(data), nil
 }
 
 // ReadManifest loads an epoch's manifest and returns it with the digest
@@ -80,8 +116,7 @@ func ReadManifest(dir string) (*Manifest, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	sum := sha256.Sum256(data)
-	sha := hex.EncodeToString(sum[:])
+	sha := cas.SumHex(data)
 	var m Manifest
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, sha, fmt.Errorf("epoch: read manifest in %s: %w", dir, err)
@@ -120,6 +155,11 @@ type Sealed struct {
 	Manifest    *Manifest // nil when Err is set
 	ManifestSHA string
 	Err         error // non-nil when the manifest is damaged
+	// Compacted reports a COMPACTED.json marker: retention compaction
+	// evicted the epoch's bulk artifacts, and it survives as its stored
+	// ACCEPT decision plus checkpoint (see GC). Best-effort here — a
+	// damaged marker reads as false and is surfaced by Scrub.
+	Compacted bool
 }
 
 // ListSealed scans dir for sealed epochs (those whose manifest exists,
@@ -153,7 +193,9 @@ func ListSealed(dir string) ([]*Sealed, error) {
 				Err: fmt.Errorf("epoch: manifest in %s claims epoch %d", epochDir, m.Epoch)})
 			continue
 		}
-		out = append(out, &Sealed{Number: n, Dir: epochDir, Manifest: m, ManifestSHA: sha})
+		marker, _ := ReadCompacted(epochDir)
+		out = append(out, &Sealed{Number: n, Dir: epochDir, Manifest: m, ManifestSHA: sha,
+			Compacted: marker != nil})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Number < out[j].Number })
 	return out, nil

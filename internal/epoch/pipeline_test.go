@@ -169,9 +169,45 @@ func TestEpochPipelineEndToEnd(t *testing.T) {
 	}
 }
 
-// TestEpochTamperBreaksChain flips one byte in a sealed segment: the
-// auditor must reject that epoch on its content digest and refuse to
-// audit anything after it (the chain has no trusted state anymore).
+// tamperChunk flips one byte inside a stored chunk file of dir's chain
+// store.
+func tamperChunk(t *testing.T, dir, sha string) {
+	t.Helper()
+	path := filepath.Join(dir, CASDirName, sha[:2], sha)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// uniqueChunk returns a chunk digest referenced by sealed[idx] but by
+// no earlier epoch, so tampering it cannot damage the epochs before it
+// (chunks are shared across epochs — that is the point of the CAS).
+func uniqueChunk(t *testing.T, sealed []*Sealed, idx int) string {
+	t.Helper()
+	prior := make(map[string]bool)
+	for i := 0; i < idx; i++ {
+		for _, r := range sealed[i].Manifest.ChunkRefs() {
+			prior[r.SHA256] = true
+		}
+	}
+	for _, r := range sealed[idx].Manifest.ChunkRefs() {
+		if !prior[r.SHA256] {
+			return r.SHA256
+		}
+	}
+	t.Fatalf("epoch %d shares every chunk with earlier epochs", sealed[idx].Number)
+	return ""
+}
+
+// TestEpochTamperBreaksChain flips one byte in a sealed chunk unique to
+// epoch 2: the auditor must reject that epoch on its content digest and
+// refuse to audit anything after it (the chain has no trusted state
+// anymore).
 func TestEpochTamperBreaksChain(t *testing.T) {
 	dir := t.TempDir()
 	prog, srv, mgr := startPipeline(t, dir, 40)
@@ -189,17 +225,8 @@ func TestEpochTamperBreaksChain(t *testing.T) {
 		t.Fatalf("sealed %d epochs, want >= 3", len(sealed))
 	}
 
-	// Flip one byte in the middle of epoch 2's first segment.
-	seg := sealed[1].Manifest.Segments[0]
-	segPath := filepath.Join(sealed[1].Dir, seg.Name)
-	data, err := os.ReadFile(segPath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	data[len(data)/2] ^= 0x01
-	if err := os.WriteFile(segPath, data, 0o644); err != nil {
-		t.Fatal(err)
-	}
+	sha := uniqueChunk(t, sealed, 1)
+	tamperChunk(t, dir, sha)
 
 	a := NewAuditor(prog, dir, AuditorOptions{})
 	if _, err := a.RunOnce(context.Background()); err != nil {
@@ -214,6 +241,13 @@ func TestEpochTamperBreaksChain(t *testing.T) {
 	}
 	if verdicts[1].Accepted {
 		t.Fatal("tampered epoch 2 was accepted")
+	}
+	// The REJECT's forensics must name the damaged chunk.
+	if verdicts[1].Forensics == nil || verdicts[1].Forensics.Phase != PhaseEpochLoad {
+		t.Fatalf("tamper forensics = %+v, want phase %s", verdicts[1].Forensics, PhaseEpochLoad)
+	}
+	if !strings.Contains(verdicts[1].Reason, sha) {
+		t.Fatalf("reject reason %q does not name the tampered chunk %s", verdicts[1].Reason, sha)
 	}
 	if a.ChainAccepted() {
 		t.Fatal("chain still accepted after tamper")
@@ -302,18 +336,13 @@ func TestSnapshotChainingAcrossEpochs(t *testing.T) {
 		t.Fatal("epoch 2 accepted under stale initial state")
 	}
 
-	// Tampering with epoch 1's sealed segment must be caught by its
-	// content digest before any re-execution happens.
+	// Tampering with a chunk of epoch 1's sealed segment must be caught
+	// by its content digest before any re-execution happens.
 	seg := sealed[0].Manifest.Segments[0]
-	segPath := filepath.Join(sealed[0].Dir, seg.Name)
-	data, err := os.ReadFile(segPath)
-	if err != nil {
-		t.Fatal(err)
+	if len(seg.Chunks) == 0 {
+		t.Fatalf("segment %s has no chunks", seg.Name)
 	}
-	data[len(data)-5] ^= 0x40
-	if err := os.WriteFile(segPath, data, 0o644); err != nil {
-		t.Fatal(err)
-	}
+	tamperChunk(t, dir, seg.Chunks[0].SHA256)
 	if _, err := Load(sealed[0]); err == nil {
 		t.Fatal("tampered epoch 1 loaded without error")
 	} else if _, ok := err.(*IntegrityError); !ok {

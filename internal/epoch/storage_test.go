@@ -1,0 +1,492 @@
+package epoch
+
+import (
+	"context"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"orochi/internal/cas"
+	"orochi/internal/lang"
+	"orochi/internal/server"
+)
+
+// startPipelineMode is startPipeline with an explicit storage mode, for
+// exercising the whole-file (v1) layout and the migration path.
+func startPipelineMode(t *testing.T, dir string, epochEvents int, mode StorageMode) (*lang.Program, *server.Server, *Manager) {
+	t.Helper()
+	prog := compilePipelineApp(t)
+	srv := server.New(prog, server.Options{Record: true})
+	if err := srv.Setup(pipelineSchema); err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := StartManager(dir, srv, srv.Snapshot(), ManagerOptions{
+		EpochEvents: epochEvents,
+		Storage:     mode,
+		Log:         LogWriterOptions{SegmentEvents: 16, BatchEvents: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, srv, mgr
+}
+
+// sealChain seals >= 3 epochs into dir and returns the program.
+func sealChain(t *testing.T, dir string, mode StorageMode) *lang.Program {
+	t.Helper()
+	prog, srv, mgr := startPipelineMode(t, dir, 20, mode)
+	for b := 0; b < 3; b++ {
+		srv.ServeAll(burst(12, b), 3) // 24 events per burst >= 20
+	}
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestGCSweepsOrphanChunks(t *testing.T) {
+	dir := t.TempDir()
+	prog := sealChain(t, dir, StorageChunked)
+
+	// Plant an orphan — debris a crashed seal would leave behind.
+	store, err := OpenChainStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphan := []byte("orphaned chunk from a crashed seal")
+	orphanSHA := cas.SumHex(orphan)
+	if err := store.Put(orphanSHA, orphan); err != nil {
+		t.Fatal(err)
+	}
+
+	dry, err := GC(dir, GCOptions{DryRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dry.SweptChunks != 1 || dry.SweptBytes == 0 {
+		t.Fatalf("dry run should report exactly the orphan: %+v", dry)
+	}
+	if !store.Has(orphanSHA) {
+		t.Fatal("dry run must not delete anything")
+	}
+	if len(dry.Compacted) != 0 {
+		t.Fatalf("no retention requested, yet compacted %v", dry.Compacted)
+	}
+
+	res, err := GC(dir, GCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SweptChunks != 1 {
+		t.Fatalf("swept %d chunks, want 1 (the orphan)", res.SweptChunks)
+	}
+	if store.Has(orphanSHA) {
+		t.Fatal("orphan survived the sweep")
+	}
+	if res.LiveChunks == 0 {
+		t.Fatal("live set should not be empty")
+	}
+
+	// Every referenced chunk survived: the chain still audits clean.
+	a := NewAuditor(prog, dir, AuditorOptions{})
+	if _, err := a.RunOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !a.ChainAccepted() {
+		t.Fatalf("chain rejected after GC: %+v", a.Verdicts())
+	}
+}
+
+func TestGCRetentionSkipsUnverifiedEpochs(t *testing.T) {
+	dir := t.TempDir()
+	sealChain(t, dir, StorageChunked)
+
+	// No audit has run: no decisions, no checkpoints — nothing may be
+	// compacted, however old.
+	res, err := GC(dir, GCOptions{Retain: 1, DryRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Compacted) != 0 {
+		t.Fatalf("compacted unverified epochs %v", res.Compacted)
+	}
+	if len(res.Skipped) == 0 {
+		t.Fatal("retention candidates without decisions should be reported as skipped")
+	}
+}
+
+func TestGCRetentionCompactsAndAuditorAdopts(t *testing.T) {
+	dir := t.TempDir()
+	prog := sealChain(t, dir, StorageChunked)
+
+	full := NewAuditor(prog, dir, AuditorOptions{Checkpoints: true})
+	if _, err := full.RunOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	fullVerdicts := full.Verdicts()
+	if !full.ChainAccepted() || len(fullVerdicts) < 3 {
+		t.Fatalf("full audit failed: %+v", fullVerdicts)
+	}
+	n := len(fullVerdicts)
+
+	res, err := GC(dir, GCOptions{Retain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Compacted) != n-1 {
+		t.Fatalf("compacted %v, want the %d epochs before the newest", res.Compacted, n-1)
+	}
+	if res.SweptChunks == 0 {
+		t.Fatal("compaction should have released chunks to sweep")
+	}
+	marker, err := ReadCompacted(filepath.Join(dir, epochDirName(1)))
+	if err != nil || marker == nil {
+		t.Fatalf("epoch 1 should carry a compaction marker: %v %v", marker, err)
+	}
+	if marker.ManifestSHA == "" || marker.ChainSHA == "" {
+		t.Fatalf("marker must pin manifest and chain digests: %+v", marker)
+	}
+
+	// A fresh auditor adopts the compacted epochs (decision +
+	// checkpoint) and fully re-verifies the retained tail. The chain
+	// digest must come out bit-identical to the original full audit.
+	re := NewAuditor(prog, dir, AuditorOptions{})
+	if _, err := re.RunOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	verdicts := re.Verdicts()
+	if len(verdicts) != n {
+		t.Fatalf("re-audit covered %d epochs, want %d", len(verdicts), n)
+	}
+	for i, v := range verdicts {
+		if !v.Accepted {
+			t.Fatalf("epoch %d rejected after compaction: %s", v.Epoch, v.Reason)
+		}
+		wantAdopted := i < n-1
+		if v.Adopted != wantAdopted {
+			t.Fatalf("epoch %d adopted=%v, want %v", v.Epoch, v.Adopted, wantAdopted)
+		}
+	}
+	if got, want := verdicts[n-1].ChainSHA, fullVerdicts[n-1].ChainSHA; got != want {
+		t.Fatalf("chain digest diverged after compaction: %s vs %s", got, want)
+	}
+
+	// Tampering a surviving chunk must still break the retained tail.
+	sealed, err := ListSealed(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := sealed[len(sealed)-1]
+	refs := last.Manifest.ChunkRefs()
+	if len(refs) == 0 {
+		t.Fatal("retained epoch has no chunks")
+	}
+	tamperChunk(t, dir, refs[0].SHA256)
+	post := NewAuditor(prog, dir, AuditorOptions{})
+	if _, err := post.RunOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	pv := post.Verdicts()
+	lastV := pv[len(pv)-1]
+	if lastV.Accepted || lastV.Epoch != last.Number {
+		t.Fatalf("tampered retained epoch should reject: %+v", lastV)
+	}
+	if !strings.Contains(lastV.Reason, refs[0].SHA256) {
+		t.Fatalf("reject should name the tampered chunk digest, got: %s", lastV.Reason)
+	}
+}
+
+func TestScrubDetectsTamperAndRecordsDecision(t *testing.T) {
+	dir := t.TempDir()
+	sealChain(t, dir, StorageChunked)
+
+	clean, err := Scrub(context.Background(), dir, ScrubOptions{Sample: -1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.OK() {
+		t.Fatalf("clean chain failed scrub: %+v", clean.Failures)
+	}
+	if clean.ChunksChecked == 0 || clean.Epochs < 3 {
+		t.Fatalf("scrub checked nothing: %+v", clean)
+	}
+
+	sealed, err := ListSealed(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sha := uniqueChunk(t, sealed, 1)
+	tamperChunk(t, dir, sha)
+
+	res, err := Scrub(context.Background(), dir, ScrubOptions{Sample: -1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("scrub missed a tampered chunk at full sampling")
+	}
+	found := false
+	for _, f := range res.Failures {
+		if f.Chunk == sha && f.Epoch == sealed[1].Number {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("failures should name chunk %s of epoch %d: %+v", short(sha), sealed[1].Number, res.Failures)
+	}
+
+	log, err := OpenDecisionLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	appended, err := RecordScrubFailures(log, dir, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if appended == 0 {
+		t.Fatal("scrub failures should append REJECT decisions")
+	}
+	d, ok := log.Get(sealed[1].Number)
+	if !ok || d.Accepted {
+		t.Fatalf("epoch %d should hold a REJECT decision: %+v", sealed[1].Number, d)
+	}
+	if d.Forensics == nil || d.Forensics.Phase != PhaseScrub {
+		t.Fatalf("decision should carry scrub forensics: %+v", d.Forensics)
+	}
+	if !strings.Contains(d.Reason, sha) {
+		t.Fatalf("decision reason should name the chunk digest: %s", d.Reason)
+	}
+}
+
+func TestScrubDetectsMissingChunk(t *testing.T) {
+	dir := t.TempDir()
+	sealChain(t, dir, StorageChunked)
+	sealed, err := ListSealed(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sha := uniqueChunk(t, sealed, 0)
+	store, err := OpenChainStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Delete(sha); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Scrub(context.Background(), dir, ScrubOptions{Sample: -1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("scrub missed a deleted chunk")
+	}
+}
+
+func TestScrubberRunOnceSharesDecisionLog(t *testing.T) {
+	dir := t.TempDir()
+	prog := sealChain(t, dir, StorageChunked)
+	a := NewAuditor(prog, dir, AuditorOptions{})
+	if _, err := a.RunOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := ListSealed(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sha := uniqueChunk(t, sealed, 1)
+	tamperChunk(t, dir, sha)
+
+	sc := NewScrubber(dir, a.Decisions(), ScrubberOptions{Sample: -1})
+	res, err := sc.RunOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("scrubber missed the tampered chunk")
+	}
+	st := sc.Status()
+	if st.Runs != 1 || st.Failures == 0 || st.LastFailures == 0 {
+		t.Fatalf("scrubber status not updated: %+v", st)
+	}
+	// The REJECT landed in the auditor's ledger (same DecisionLog).
+	d, ok := a.Decisions().Get(sealed[1].Number)
+	if !ok || d.Accepted || d.Forensics == nil || d.Forensics.Phase != PhaseScrub {
+		t.Fatalf("scrub REJECT should replace epoch %d's decision: %+v", sealed[1].Number, d)
+	}
+}
+
+// copyTree copies a chain directory for migration parity tests.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrateChainAuditsBitIdentical(t *testing.T) {
+	orig := t.TempDir()
+	prog := sealChain(t, orig, StorageWholeFile)
+
+	migrated := t.TempDir()
+	copyTree(t, orig, migrated)
+	moved, err := MigrateChain(migrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("migration moved nothing")
+	}
+	// Idempotent: a second pass finds everything already in the store.
+	if again, err := MigrateChain(migrated); err != nil || again != 0 {
+		t.Fatalf("second migration pass moved %d (err %v), want 0", again, err)
+	}
+
+	// The epoch dirs hold only manifests now; the bytes live in the CAS
+	// under the digests the (untouched) manifests already pin.
+	sealedM, err := ListSealed(migrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := OpenChainStore(migrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sealedM {
+		for _, seg := range s.Manifest.Segments {
+			if _, err := os.Stat(filepath.Join(s.Dir, seg.Name)); !os.IsNotExist(err) {
+				t.Fatalf("epoch %d still holds %s after migration", s.Number, seg.Name)
+			}
+			if !store.Has(seg.SHA256) {
+				t.Fatalf("epoch %d segment %s missing from store", s.Number, seg.Name)
+			}
+		}
+	}
+
+	// Both chains — whole-file and migrated — must audit bit-identically
+	// at any worker count: same manifests, same verdicts, same ChainSHA.
+	for _, workers := range []int{1, 8} {
+		av := auditVerdicts(t, prog, orig, workers)
+		bv := auditVerdicts(t, prog, migrated, workers)
+		if len(av) != len(bv) || len(av) < 3 {
+			t.Fatalf("workers=%d: verdict counts differ: %d vs %d", workers, len(av), len(bv))
+		}
+		for i := range av {
+			if !av[i].Accepted || !bv[i].Accepted {
+				t.Fatalf("workers=%d epoch %d rejected: %q / %q", workers, av[i].Epoch, av[i].Reason, bv[i].Reason)
+			}
+			if av[i].ManifestSHA != bv[i].ManifestSHA || av[i].ChainSHA != bv[i].ChainSHA {
+				t.Fatalf("workers=%d epoch %d digests diverged after migration", workers, av[i].Epoch)
+			}
+		}
+	}
+
+	// The migrated chain scrubs clean, and GC keeps its blobs live.
+	res, err := Scrub(context.Background(), migrated, ScrubOptions{Sample: -1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("migrated chain failed scrub: %+v", res.Failures)
+	}
+	gc, err := GC(migrated, GCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc.SweptChunks != 0 {
+		t.Fatalf("GC swept %d live migrated blobs", gc.SweptChunks)
+	}
+	if post := auditVerdicts(t, prog, migrated, 2); !post[len(post)-1].Accepted {
+		t.Fatal("migrated chain rejected after GC")
+	}
+}
+
+func auditVerdicts(t *testing.T, prog *lang.Program, dir string, workers int) []Verdict {
+	t.Helper()
+	a := NewAuditor(prog, dir, AuditorOptions{Workers: workers})
+	if _, err := a.RunOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return a.Verdicts()
+}
+
+func TestManifestUnknownFieldsAudit(t *testing.T) {
+	dir := t.TempDir()
+	prog, srv, mgr := startPipelineMode(t, dir, 1000, StorageChunked)
+	srv.ServeAll(burst(10, 0), 2)
+	if err := mgr.Close(); err != nil { // single sealed epoch
+		t.Fatal(err)
+	}
+	sealed, err := ListSealed(dir)
+	if err != nil || len(sealed) != 1 {
+		t.Fatalf("want exactly 1 sealed epoch: %d, %v", len(sealed), err)
+	}
+
+	// A future writer may add fields this reader doesn't know. Inject
+	// one; the chain is a single epoch, so no successor pins the old
+	// manifest bytes and the audit must still ACCEPT.
+	path := filepath.Join(sealed[0].Dir, ManifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := strings.Replace(string(data), "{\n", "{\n  \"future_field\": {\"nested\": [1, 2, 3]},\n", 1)
+	if patched == string(data) {
+		t.Fatal("failed to inject unknown field")
+	}
+	if err := os.WriteFile(path, []byte(patched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, sha, err := ReadManifest(sealed[0].Dir)
+	if err != nil {
+		t.Fatalf("manifest with unknown fields failed to parse: %v", err)
+	}
+	if sha != cas.SumHex([]byte(patched)) {
+		t.Fatal("digest must cover the on-disk bytes, unknown fields included")
+	}
+	if m.Epoch != sealed[0].Number || !m.Chunked() {
+		t.Fatalf("known fields lost around the unknown one: %+v", m)
+	}
+
+	verdicts := auditVerdicts(t, prog, dir, 1)
+	if len(verdicts) != 1 || !verdicts[0].Accepted {
+		t.Fatalf("unknown manifest fields broke the audit: %+v", verdicts)
+	}
+}
+
+func TestWriteManifestCleansTmpOnRenameFailure(t *testing.T) {
+	dir := t.TempDir()
+	// A directory squatting on the manifest name makes the final rename
+	// fail after the temp file was written and fsynced.
+	if err := os.Mkdir(filepath.Join(dir, ManifestName), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, err := WriteManifest(dir, &Manifest{Epoch: 1})
+	if err == nil {
+		t.Fatal("rename onto a directory should fail")
+	}
+	if _, serr := os.Stat(filepath.Join(dir, ManifestName+".tmp")); !os.IsNotExist(serr) {
+		t.Fatalf("stale %s.tmp left behind after failed rename: %v", ManifestName, serr)
+	}
+}

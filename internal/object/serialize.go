@@ -29,8 +29,10 @@ type tableWire struct {
 	Rows     [][]string
 }
 
-// Encode serializes the snapshot (gob+gzip).
-func (s *Snapshot) Encode() ([]byte, error) {
+// EncodeRaw serializes the snapshot with gob, uncompressed — the
+// logical form the content-addressed store chunks (compression moves
+// down to the chunk layer).
+func (s *Snapshot) EncodeRaw() ([]byte, error) {
 	wire := snapshotWire{
 		Registers: make(map[string]string, len(s.Registers)),
 		KV:        make(map[string]string, len(s.KV)),
@@ -53,14 +55,41 @@ func (s *Snapshot) Encode() ([]byte, error) {
 		wire.Tables = append(wire.Tables, tw)
 	}
 	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return nil, fmt.Errorf("object: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Encode serializes the snapshot (gob+gzip).
+func (s *Snapshot) Encode() ([]byte, error) {
+	raw, err := s.EncodeRaw()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
 	zw := gzip.NewWriter(&buf)
-	if err := gob.NewEncoder(zw).Encode(wire); err != nil {
+	if _, err := zw.Write(raw); err != nil {
 		return nil, fmt.Errorf("object: encode snapshot: %w", err)
 	}
 	if err := zw.Close(); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// DecodeSnapshotRaw deserializes a snapshot produced by EncodeRaw.
+// Trailing garbage is an error, matching DecodeSnapshot's strictness.
+func DecodeSnapshotRaw(data []byte) (*Snapshot, error) {
+	br := bytes.NewReader(data)
+	var wire snapshotWire
+	if err := gob.NewDecoder(br).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("object: decode snapshot: %w", err)
+	}
+	if err := encio.ExpectEOF(br); err != nil {
+		return nil, fmt.Errorf("object: decode snapshot: %w", err)
+	}
+	return decodeSnapshotWire(&wire)
 }
 
 // DecodeSnapshot deserializes a snapshot produced by Encode. Truncated
@@ -79,6 +108,10 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	if err := encio.ExpectEOF(zr); err != nil {
 		return nil, fmt.Errorf("object: decode snapshot: %w", err)
 	}
+	return decodeSnapshotWire(&wire)
+}
+
+func decodeSnapshotWire(wire *snapshotWire) (*Snapshot, error) {
 	out := &Snapshot{
 		Registers: make(map[string]lang.Value, len(wire.Registers)),
 		KV:        make(map[string]lang.Value, len(wire.KV)),

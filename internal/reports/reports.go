@@ -212,13 +212,43 @@ func (r *Reports) CanonicalBytes() []byte {
 	return b.Bytes()
 }
 
+// EncodeRaw serializes the reports with gob, uncompressed — the
+// logical form the content-addressed store chunks so consecutive
+// epochs' shared report structure actually dedups (compression moves
+// down to the chunk layer).
+func (r *Reports) EncodeRaw() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		return nil, fmt.Errorf("reports: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeRaw deserializes reports produced by EncodeRaw. Trailing
+// garbage is an error, matching Decode's strictness.
+func DecodeRaw(data []byte) (*Reports, error) {
+	br := bytes.NewReader(data)
+	var r Reports
+	if err := gob.NewDecoder(br).Decode(&r); err != nil {
+		return nil, fmt.Errorf("reports: decode: %w", err)
+	}
+	if err := encio.ExpectEOF(br); err != nil {
+		return nil, fmt.Errorf("reports: decode: %w", err)
+	}
+	return &r, nil
+}
+
 // Encode serializes the reports with gob and gzip — the wire format the
 // verifier downloads, and the basis of the report-size accounting in
 // Fig. 8.
 func (r *Reports) Encode() ([]byte, error) {
+	raw, err := r.EncodeRaw()
+	if err != nil {
+		return nil, err
+	}
 	var buf bytes.Buffer
 	zw := gzip.NewWriter(&buf)
-	if err := gob.NewEncoder(zw).Encode(r); err != nil {
+	if _, err := zw.Write(raw); err != nil {
 		return nil, fmt.Errorf("reports: encode: %w", err)
 	}
 	if err := zw.Close(); err != nil {

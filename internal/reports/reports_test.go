@@ -198,3 +198,33 @@ func TestDecodeRejectsTruncatedAndTrailing(t *testing.T) {
 		t.Fatalf("clean stream rejected: %v", err)
 	}
 }
+
+func TestEncodeRawRoundTrip(t *testing.T) {
+	rep := sampleReports()
+	raw, err := rep.EncodeRaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeRaw(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalOps() != rep.TotalOps() || back.OpCounts["r1"] != 3 {
+		t.Fatal("raw round trip lost data")
+	}
+	// Raw and compressed forms must agree on the logical content.
+	zdata, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zback, err := Decode(zdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(zback.CanonicalBytes()) != string(back.CanonicalBytes()) {
+		t.Fatal("Encode and EncodeRaw disagree on logical content")
+	}
+	if _, err := DecodeRaw(append(raw, 0x00)); err == nil {
+		t.Fatal("trailing garbage after raw stream must be an error")
+	}
+}

@@ -10,12 +10,42 @@ import (
 	"orochi/internal/encio"
 )
 
+// EncodeRaw serializes the trace with gob, uncompressed. This is the
+// logical form the content-addressed store chunks: gzip output has no
+// cross-epoch redundancy, so dedup must operate on raw bytes, with
+// compression pushed down to the chunk layer.
+func (t *Trace) EncodeRaw() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(t); err != nil {
+		return nil, fmt.Errorf("trace: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeRaw deserializes a trace produced by EncodeRaw. Trailing
+// garbage is an error, matching Decode's strictness.
+func DecodeRaw(data []byte) (*Trace, error) {
+	r := bytes.NewReader(data)
+	var t Trace
+	if err := gob.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if err := encio.ExpectEOF(r); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return &t, nil
+}
+
 // Encode serializes the trace with gob+gzip — the format the collector
 // ships to the verifier and cmd/orochi-audit reads from disk.
 func (t *Trace) Encode() ([]byte, error) {
+	raw, err := t.EncodeRaw()
+	if err != nil {
+		return nil, err
+	}
 	var buf bytes.Buffer
 	zw := gzip.NewWriter(&buf)
-	if err := gob.NewEncoder(zw).Encode(t); err != nil {
+	if _, err := zw.Write(raw); err != nil {
 		return nil, fmt.Errorf("trace: encode: %w", err)
 	}
 	if err := zw.Close(); err != nil {
