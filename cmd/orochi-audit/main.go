@@ -37,8 +37,15 @@
 // stays fully re-auditable; with -retain N, epochs older than the
 // newest N that hold a stored ACCEPT decision and a checkpoint are
 // compacted to exactly those two artifacts. -scrub walks the manifest
-// hash chain and challenge-reads sampled chunks; failures are recorded
-// as REJECT decisions in the chain's decision log.
+// hash chain and challenge-reads sampled chunks; a failure is recorded
+// in the chain's decision log — as a scrub annotation on an epoch that
+// already holds a decision (the stored verdict and its resolution
+// stand), or as a fresh REJECT decision for a never-audited epoch.
+//
+// Both -gc and -scrub take the chain directory's exclusive lock and
+// refuse to run while a live orochi-serve is sealing into it: GC would
+// read an in-flight seal's chunks as orphans, and a second decision-log
+// writer could race a live append.
 //
 // Exit status: 0 = accepted, 1 = rejected (or scrub failures),
 // 2 = usage/IO error, 130 = canceled.
@@ -88,7 +95,7 @@ func main() {
 	gc := flag.Bool("gc", false, "garbage-collect -epochs' chunk store (sweep unreferenced chunks) and exit; no re-audit")
 	gcDryRun := flag.Bool("gc-dry-run", false, "with -gc: report what would be compacted and swept without deleting anything")
 	retain := flag.Int("retain", 0, "with -gc: compact verified epochs older than the newest N to decision+checkpoint (0 = no compaction)")
-	scrub := flag.Bool("scrub", false, "run the retrievability self-audit over -epochs and exit; failures are recorded as REJECT decisions")
+	scrub := flag.Bool("scrub", false, "run the retrievability self-audit over -epochs and exit; failures are recorded in the decision log (REJECT for never-audited epochs, an annotation otherwise)")
 	scrubSample := flag.Int("scrub-sample", 0, "with -scrub: chunks challenged per epoch (default 16, -1 = every chunk)")
 	flag.Parse()
 
@@ -111,6 +118,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "orochi-audit: -gc needs -epochs (the chain directory to collect)")
 			os.Exit(2)
 		}
+		lock := lockChainOrExit(*epochsDir, "-gc")
+		defer lock.Unlock()
 		gcChain(*epochsDir, epoch.GCOptions{DryRun: *gcDryRun, Retain: *retain})
 		return
 	}
@@ -119,6 +128,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "orochi-audit: -scrub needs -epochs (the chain directory to challenge)")
 			os.Exit(2)
 		}
+		lock := lockChainOrExit(*epochsDir, "-scrub")
+		defer lock.Unlock()
 		scrubChain(ctx, *epochsDir, *scrubSample)
 		return
 	}
@@ -227,6 +238,9 @@ func writeDecision(w io.Writer, d epoch.Decision) {
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "evidence: %d requests, %d events   manifest %.12s   chain %.12s\n",
 		d.Requests, d.Events, d.ManifestSHA, d.ChainSHA)
+	if d.ScrubFailed {
+		fmt.Fprintf(w, "scrub: FAILED %s — %s\n", d.ScrubAt.Format(time.RFC3339), d.ScrubDetail)
+	}
 	if d.Timings.Total > 0 {
 		fmt.Fprintf(w, "audit time: %v (procopre %v, db redo %v, re-exec %v [db query %v], other %v)\n",
 			d.Timings.Total, d.Timings.ProcOpRep, d.Timings.DBRedo, d.Timings.ReExec, d.Timings.DBQuery, d.Timings.Other)
@@ -241,6 +255,20 @@ func writeDecision(w io.Writer, d epoch.Decision) {
 			fmt.Fprintf(w, "  %s\n", line)
 		}
 	}
+}
+
+// lockChainOrExit takes the chain directory's exclusive lock for a
+// maintenance pass. Maintenance mutates the chunk store and the
+// decision log, so running it against a chain a live orochi-serve is
+// sealing into must fail up front, not corrupt the chain.
+func lockChainOrExit(dir, op string) *epoch.ChainLock {
+	lock, err := epoch.LockChain(dir)
+	if errors.Is(err, epoch.ErrChainBusy) {
+		fmt.Fprintf(os.Stderr, "orochi-audit: %s refused: %s is in use by a live process (orochi-serve?); stop it first\n", op, dir)
+		os.Exit(2)
+	}
+	exitOn(err)
+	return lock
 }
 
 // gcChain runs one garbage-collection pass and prints what it did.
@@ -261,8 +289,9 @@ func gcChain(dir string, opts epoch.GCOptions) {
 		res.Epochs, res.LiveChunks, res.SweptChunks, res.SweptBytes, mode)
 }
 
-// scrubChain runs one retrievability pass, records failures as REJECT
-// decisions, and exits 1 when any challenge failed.
+// scrubChain runs one retrievability pass, records failures in the
+// decision log (see epoch.RecordScrubFailures), and exits 1 when any
+// challenge failed.
 func scrubChain(ctx context.Context, dir string, sample int) {
 	res, err := epoch.Scrub(ctx, dir, epoch.ScrubOptions{Sample: sample})
 	exitOn(err)
@@ -286,7 +315,7 @@ func scrubChain(ctx context.Context, dir string, sample int) {
 		fmt.Fprintln(os.Stderr, "orochi-audit: scrub failures could not be recorded:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("scrub verdict: REJECT — %d failed challenge(s), %d decision(s) recorded\n", len(res.Failures), n)
+	fmt.Printf("scrub verdict: REJECT — %d failed challenge(s), %d recorded in the decision log\n", len(res.Failures), n)
 	os.Exit(1)
 }
 

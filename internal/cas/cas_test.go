@@ -322,3 +322,52 @@ func TestFSStats(t *testing.T) {
 		t.Fatalf("gzip-at-rest stored %d bytes for a %d-byte compressible blob", stored, len(blob))
 	}
 }
+
+func TestFSPutConcurrentSameDigest(t *testing.T) {
+	// The Store contract: Put is atomic and idempotent, and concurrent
+	// writers of the same digest must all succeed — losers of the rename
+	// race find the winner's identical bytes already in place.
+	store, err := OpenFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("same chunk, many writers "), 512)
+	sha := SumHex(data)
+	const writers = 16
+	errs := make(chan error, writers)
+	start := make(chan struct{})
+	for i := 0; i < writers; i++ {
+		go func() {
+			<-start
+			errs <- store.Put(sha, data)
+		}()
+	}
+	close(start)
+	for i := 0; i < writers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("concurrent Put failed: %v", err)
+		}
+	}
+	got, err := store.Get(sha)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("chunk unreadable after concurrent Puts: %v", err)
+	}
+	// No temp debris: every writer either renamed its file in or
+	// removed it.
+	var stray []string
+	err = filepath.Walk(store.Root(), func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && strings.HasSuffix(path, ".tmp") {
+			stray = append(stray, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stray) != 0 {
+		t.Fatalf("temp files left behind: %v", stray)
+	}
+}

@@ -61,13 +61,32 @@ func (s *FS) Put(sha string, data []byte) error {
 	if err := zw.Close(); err != nil {
 		return fmt.Errorf("cas: put %s: %w", short(sha), err)
 	}
-	tmp := path + ".tmp"
-	if err := writeFileSync(tmp, buf.Bytes()); err != nil {
-		os.Remove(tmp)
+	// Each writer gets its own temp file: concurrent Puts of the same
+	// digest must not interleave writes on a shared temp path or race
+	// each other's rename — whichever rename lands last wins, and both
+	// leave identical bytes (same digest, same content).
+	tmp, err := os.CreateTemp(filepath.Dir(path), sha[:8]+"-*.tmp")
+	if err != nil {
 		return fmt.Errorf("cas: put %s: %w", short(sha), err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	tmpPath := tmp.Name()
+	_, werr := tmp.Write(buf.Bytes())
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("cas: put %s: %w", short(sha), werr)
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		os.Remove(tmpPath)
+		if _, serr := os.Stat(path); serr == nil {
+			// A concurrent Put already landed this chunk; ours is moot.
+			return nil
+		}
 		return fmt.Errorf("cas: put %s: %w", short(sha), err)
 	}
 	if err := syncDir(filepath.Dir(path)); err != nil {

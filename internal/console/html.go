@@ -86,7 +86,7 @@ th, td { border: 1px solid #999; padding: 2px 8px; text-align: left; }
 <tr><th>epoch</th><th>verdict</th><th>reason</th><th>resolution</th><th>chain</th><th></th></tr>
 {{range .Decisions}}<tr>
 <td>{{.Epoch}}</td>
-<td>{{if .Accepted}}<span class="accept">ACCEPT</span>{{else}}<span class="reject">REJECT</span>{{end}}</td>
+<td>{{if .Accepted}}<span class="accept">ACCEPT</span>{{else}}<span class="reject">REJECT</span>{{end}}{{if .ScrubFailed}} <span class="reject">scrub-failed</span>{{end}}</td>
 <td>{{.Reason}}</td>
 <td>{{.Resolution}}{{if .Note}}: {{.Note}}{{end}}</td>
 <td>{{printf "%.12s" .ChainSHA}}</td>

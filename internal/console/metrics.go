@@ -157,14 +157,19 @@ func (c *Console) metrics(w http.ResponseWriter, r *http.Request) {
 		p.sample("orochi_audit_dedup_cache_misses_total", "", float64(sum.DedupMisses))
 
 		if log := c.decisions(); log != nil {
-			unacked := 0
+			unacked, scrubFlagged := 0, 0
 			for _, d := range log.Decisions() {
 				if !d.Accepted && d.Resolution == epoch.ResolutionOpen {
 					unacked++
 				}
+				if d.ScrubFailed {
+					scrubFlagged++
+				}
 			}
 			p.family("orochi_rejects_unacked", "gauge", "REJECT decisions no operator has acknowledged yet.")
 			p.sample("orochi_rejects_unacked", "", float64(unacked))
+			p.family("orochi_scrub_flagged_epochs", "gauge", "Epochs whose stored decision carries a failed-retrievability annotation.")
+			p.sample("orochi_scrub_flagged_epochs", "", float64(scrubFlagged))
 		}
 	}
 

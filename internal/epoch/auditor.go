@@ -97,6 +97,14 @@ type Verdict struct {
 	// re-appended to the decision log — the stored decision, possibly
 	// acknowledged, stands.
 	Adopted bool
+	// keepStored marks a REJECT whose epoch holds a stored ACCEPT that
+	// must survive it: a compacted epoch's adoption failed (unreadable
+	// checkpoint, manifest mismatch), which can be transient — its bulk
+	// artifacts are gone, so the stored ACCEPT is the only trust
+	// artifact left and overwriting it with this verdict would make the
+	// failure permanent. The verdict still breaks this run's chain; a
+	// later run re-attempts adoption from the intact decision.
+	keepStored bool
 }
 
 // Auditor verifies a chain of sealed epochs, continuously or in
@@ -203,7 +211,12 @@ func (a *Auditor) rehydrate() {
 		}
 	}
 	last := prior[len(prior)-1]
-	if last.Epoch == a.opts.From-1 && int64(len(prior)) == last.Epoch-prior[0].Epoch+1 {
+	if last.Epoch == a.opts.From-1 && int64(len(prior)) == last.Epoch-prior[0].Epoch+1 &&
+		last.ChainSHA != "" {
+		// A decision with no chain digest (a scrub REJECT recorded for a
+		// never-audited epoch) cannot seed the digest sequence; without
+		// it this run's digests start fresh rather than silently chaining
+		// from an empty string.
 		a.chainSHA = last.ChainSHA
 	}
 }
@@ -434,10 +447,12 @@ func (a *Auditor) RunOnce(ctx context.Context) (int, error) {
 		}
 		a.mu.Unlock()
 		audited++
-		if !verdict.Adopted {
+		if !verdict.Adopted && !verdict.keepStored {
 			// Adopted verdicts restate a decision the log already holds
 			// (possibly acknowledged); re-appending would reopen its
-			// resolution and forge a fresh DecidedAt.
+			// resolution and forge a fresh DecidedAt. keepStored REJECTs
+			// must not replace a compacted epoch's stored ACCEPT — the
+			// epoch's only remaining trust artifact.
 			if err := a.log.Append(decisionFromVerdict(verdict)); err != nil {
 				// The verdict is published in memory; a ledger that cannot
 				// take it is an internal fault the caller must see.
@@ -552,7 +567,13 @@ func (a *Auditor) auditOne(ctx context.Context, s *Sealed, r loadResult) (Verdic
 		// state. The chain digest is extended with the same
 		// H(prev || manifestSHA || 1) as a full audit, so ChainSHA stays
 		// bit-identical to an uncompacted run.
+		// Any reject below must not overwrite a decision the log already
+		// holds: the stored decision is the compacted epoch's only
+		// remaining trust artifact, and an adoption failure (unreadable
+		// checkpoint, manifest mismatch) can be transient — replacing the
+		// decision would make it permanent and unrecoverable.
 		d, ok := a.log.Get(s.Number)
+		v.keepStored = ok
 		if !ok || !d.Accepted {
 			return reject(fmt.Sprintf("epoch %d is compacted but the decision log holds no ACCEPT for it", s.Number),
 				&verifier.Forensics{Phase: PhaseEpochLoad, Check: "compaction"})

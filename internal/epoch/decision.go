@@ -62,6 +62,17 @@ type Decision struct {
 	Resolution string    `json:"resolution"`
 	Note       string    `json:"note,omitempty"`
 	AckedAt    time.Time `json:"acked_at,omitzero"`
+	// ScrubFailed flags a retrievability challenge this epoch failed
+	// after the decision was published (ScrubDetail names the artifact,
+	// ScrubAt the pass). It is an annotation, not a verdict: the audit
+	// verdict, resolution, chain digest, and metrics stand untouched —
+	// for a compacted epoch the stored ACCEPT is the only remaining
+	// trust artifact, and a failed challenge (which can be a transient
+	// read error) must never destroy it. A re-audit's fresh verdict
+	// clears the flag.
+	ScrubFailed bool      `json:"scrub_failed,omitempty"`
+	ScrubDetail string    `json:"scrub_detail,omitempty"`
+	ScrubAt     time.Time `json:"scrub_at,omitzero"`
 }
 
 // DecisionTimings is the persisted slice of verifier.Stats phase
@@ -77,10 +88,11 @@ type DecisionTimings struct {
 
 // decisionEvent is one line of the log. The log is event-sourced: a
 // "verdict" line (re)states an epoch's decision whole, an "ack" line
-// transitions its resolution. Replaying the lines in order rebuilds the
+// transitions its resolution, a "scrub" line annotates it with a failed
+// retrievability challenge. Replaying the lines in order rebuilds the
 // exact state, so appends never rewrite the file.
 type decisionEvent struct {
-	Kind     string    `json:"kind"` // "verdict" | "ack"
+	Kind     string    `json:"kind"` // "verdict" | "ack" | "scrub"
 	Decision *Decision `json:"decision,omitempty"`
 	Epoch    int64     `json:"epoch,omitempty"`
 	Note     string    `json:"note,omitempty"`
@@ -184,6 +196,12 @@ func (l *DecisionLog) replay() (int64, error) {
 				d.Note = ev.Note
 				d.AckedAt = ev.At
 			}
+		case "scrub":
+			if d, ok := l.byEpoch[ev.Epoch]; ok {
+				d.ScrubFailed = true
+				d.ScrubDetail = ev.Note
+				d.ScrubAt = ev.At
+			}
 		default:
 			return false, fmt.Errorf("epoch: decision log line %d: unknown kind %q", lineNo, ev.Kind)
 		}
@@ -268,6 +286,30 @@ func (l *DecisionLog) Ack(epoch int64, note string) (Decision, error) {
 	d.Note = note
 	d.AckedAt = at
 	return *d, nil
+}
+
+// MarkScrubFailed annotates an epoch's stored decision with a failed
+// retrievability challenge. The annotation never changes the verdict,
+// the resolution, or any audit metric — in particular it never
+// downgrades an ACCEPT (for a compacted epoch the stored ACCEPT is the
+// only remaining trust artifact) and never reopens an acknowledged
+// decision. Annotating an epoch with no stored decision is an error;
+// record those as fresh scrub REJECT verdicts instead.
+func (l *DecisionLog) MarkScrubFailed(epoch int64, detail string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d, ok := l.byEpoch[epoch]
+	if !ok {
+		return fmt.Errorf("epoch: no decision recorded for epoch %d", epoch)
+	}
+	at := time.Now().UTC()
+	if err := l.append(decisionEvent{Kind: "scrub", Epoch: epoch, Note: detail, At: at}); err != nil {
+		return err
+	}
+	d.ScrubFailed = true
+	d.ScrubDetail = detail
+	d.ScrubAt = at
+	return nil
 }
 
 // Decisions returns every recorded decision in epoch order.

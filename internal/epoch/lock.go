@@ -1,0 +1,104 @@
+package epoch
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+)
+
+// ChainLockName is the advisory lock file at a chain directory's root.
+// A live manager (orochi-serve) holds the lock for the whole serving
+// run; offline maintenance (orochi-audit -gc / -scrub) takes it for the
+// duration of a pass. The exclusion keeps GC from sweeping the chunks
+// of an in-flight seal (written before their manifest lands, so the
+// sweep would read them as orphans) and keeps the decision log from
+// gaining a second writer whose torn-tail truncation could race a live
+// append.
+const ChainLockName = "chain.lock"
+
+// ErrChainBusy reports that another process holds a chain directory's
+// lock (match with errors.Is).
+var ErrChainBusy = errors.New("chain directory is in use by another process")
+
+// ChainLock is a held exclusive lock on a chain directory.
+type ChainLock struct {
+	f   *os.File
+	key string
+}
+
+// chainLocks is the process-local side of the lock: POSIX record locks
+// do not conflict between descriptors of the same process (and close
+// of any descriptor for the file drops them), so in-process exclusion
+// — one manager and one maintenance pass in the same binary — is
+// enforced here, and cross-process exclusion by the kernel.
+var chainLocks = struct {
+	sync.Mutex
+	held map[string]bool
+}{held: make(map[string]bool)}
+
+// LockChain takes dir's exclusive advisory lock, creating the lock file
+// (and dir) if needed. It fails immediately with an error matching
+// ErrChainBusy when another process holds the lock — it never waits.
+// The lock is released by Unlock, or by the kernel when the process
+// exits, so a crashed holder never wedges the chain. POSIX record
+// locks (fcntl F_SETLK) rather than flock: they conflict across
+// processes on every filesystem that supports locking at all,
+// including virtualized ones where BSD flock is a per-process no-op.
+func LockChain(dir string) (*ChainLock, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("epoch: lock chain: %w", err)
+	}
+	key, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("epoch: lock chain: %w", err)
+	}
+	chainLocks.Lock()
+	if chainLocks.held[key] {
+		chainLocks.Unlock()
+		return nil, fmt.Errorf("epoch: %w: %s", ErrChainBusy, dir)
+	}
+	chainLocks.held[key] = true
+	chainLocks.Unlock()
+	release := func() {
+		chainLocks.Lock()
+		delete(chainLocks.held, key)
+		chainLocks.Unlock()
+	}
+	f, err := os.OpenFile(filepath.Join(dir, ChainLockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		release()
+		return nil, fmt.Errorf("epoch: lock chain: %w", err)
+	}
+	// Whole-file write lock. A POSIX lock is dropped when *any* of the
+	// process's descriptors for the file closes — the registry above
+	// guarantees this process opens ChainLockName at most once at a
+	// time, keeping that rule safe.
+	flk := &syscall.Flock_t{Type: syscall.F_WRLCK, Whence: 0}
+	if err := syscall.FcntlFlock(f.Fd(), syscall.F_SETLK, flk); err != nil {
+		f.Close()
+		release()
+		if err == syscall.EAGAIN || err == syscall.EACCES || err == syscall.EWOULDBLOCK {
+			return nil, fmt.Errorf("epoch: %w: %s", ErrChainBusy, dir)
+		}
+		return nil, fmt.Errorf("epoch: lock chain %s: %w", dir, err)
+	}
+	return &ChainLock{f: f, key: key}, nil
+}
+
+// Unlock releases the lock. The lock file itself is left in place —
+// removing it would let a third process lock a fresh inode while a
+// second still holds the old one.
+func (l *ChainLock) Unlock() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	err := l.f.Close() // closing the descriptor drops the kernel lock
+	l.f = nil
+	chainLocks.Lock()
+	delete(chainLocks.held, l.key)
+	chainLocks.Unlock()
+	return err
+}

@@ -93,6 +93,11 @@ type Manager struct {
 	// store is the chain's chunk store (nil in whole-file mode). Only
 	// the sealer goroutine writes to it.
 	store *cas.FS
+	// lock is the chain directory's exclusive lock, held for the whole
+	// serving run so offline maintenance (orochi-audit -gc/-scrub)
+	// cannot sweep an in-flight seal's chunks or write the decision log
+	// concurrently. Released by Close (or process exit).
+	lock *ChainLock
 
 	// mu guards the tap-side state. Only the tap (under the collector's
 	// lock), Close, and Status take it; the writer and sealer
@@ -169,6 +174,16 @@ func StartManager(dir string, srv *server.Server, init *object.Snapshot, opts Ma
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("epoch: start manager: %w", err)
 	}
+	lock, err := LockChain(dir)
+	if err != nil {
+		return nil, err
+	}
+	started := false
+	defer func() {
+		if !started {
+			lock.Unlock()
+		}
+	}()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("epoch: start manager: %w", err)
@@ -185,6 +200,7 @@ func StartManager(dir string, srv *server.Server, init *object.Snapshot, opts Ma
 	m := &Manager{
 		dir:      dir,
 		srv:      srv,
+		lock:     lock,
 		opts:     opts.withDefaults(),
 		teeDone:  make(chan struct{}),
 		sealQ:    make(chan *sealJob, 16),
@@ -226,6 +242,7 @@ func StartManager(dir string, srv *server.Server, init *object.Snapshot, opts Ma
 	go m.teeLoop()
 	go m.sealLoop()
 	srv.Collector.SetTap(m)
+	started = true
 	return m, nil
 }
 
@@ -482,6 +499,7 @@ func (m *Manager) Close() error {
 	<-m.teeDone
 	<-m.sealDone
 	m.srv.Collector.Reset()
+	m.lock.Unlock() // the chain is quiescent; maintenance may run now
 	return m.firstErr()
 }
 

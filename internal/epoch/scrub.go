@@ -216,11 +216,16 @@ func artifactOfChunk(m *Manifest, idx int) string {
 }
 
 // scrubDecision converts a scrub failure into a durable REJECT
-// decision for its epoch: retrievability loss is audit evidence, and
-// recording it through the same ledger the chain auditor uses means
-// the console, -explain, and the ack workflow all see it.
+// decision for an epoch that has never been audited: retrievability
+// loss is audit evidence, and recording it through the same ledger the
+// chain auditor uses means the console, -explain, and the ack workflow
+// all see it. Epochs that already hold a decision are annotated
+// instead (DecisionLog.MarkScrubFailed) — a verdict line would replace
+// the stored decision whole, and destroying a compacted epoch's ACCEPT
+// over one failed challenge would brick the chain unrecoverably.
 func scrubDecision(manifestSHA string, f ScrubFailure) Decision {
 	detail := f.String()
+	now := time.Now().UTC()
 	return Decision{
 		Epoch:    f.Epoch,
 		Accepted: false,
@@ -231,14 +236,24 @@ func scrubDecision(manifestSHA string, f ScrubFailure) Decision {
 			Detail: detail,
 		},
 		ManifestSHA: manifestSHA,
-		DecidedAt:   time.Now().UTC(),
+		DecidedAt:   now,
 		Resolution:  ResolutionOpen,
+		ScrubFailed: true,
+		ScrubDetail: detail,
+		ScrubAt:     now,
 	}
 }
 
-// RecordScrubFailures appends one REJECT decision per failed epoch to
-// the chain's decision log (the first failure per epoch wins — one
-// decision per epoch). It returns how many decisions were appended.
+// RecordScrubFailures records a pass's failures in the chain's decision
+// log, one entry per failed epoch (the first failure per epoch wins).
+// An epoch that already holds a decision is annotated — its verdict,
+// resolution, and metrics stand, so an ACCEPT (a compacted epoch's only
+// trust artifact) is never downgraded and an acknowledged REJECT is
+// never reopened; an epoch already flagged stays flagged without
+// another line, so a persistent failure re-challenged by the background
+// scrubber every pass does not grow the log. Only an epoch with no
+// decision at all gets a fresh scrub REJECT verdict. It returns how
+// many lines were appended.
 func RecordScrubFailures(log *DecisionLog, dir string, res *ScrubResult) (int, error) {
 	if res.OK() {
 		return 0, nil
@@ -256,6 +271,16 @@ func RecordScrubFailures(log *DecisionLog, dir string, res *ScrubResult) (int, e
 			continue
 		}
 		seen[f.Epoch] = true
+		if d, ok := log.Get(f.Epoch); ok {
+			if d.ScrubFailed {
+				continue
+			}
+			if err := log.MarkScrubFailed(f.Epoch, f.String()); err != nil {
+				return appended, err
+			}
+			appended++
+			continue
+		}
 		if err := log.Append(scrubDecision(shaByEpoch[f.Epoch], f)); err != nil {
 			return appended, err
 		}
@@ -284,7 +309,9 @@ type ScrubberStatus struct {
 }
 
 // Scrubber periodically scrubs a chain directory in the background and
-// records failures as REJECT decisions. It shares the auditor's
+// records failures in the decision log (annotating epochs that already
+// hold a decision, REJECTing only never-audited ones — see
+// RecordScrubFailures). It shares the auditor's
 // DecisionLog — two writers on the same decisions.jsonl would corrupt
 // the event stream, so the serve CLI passes Auditor.Decisions() in.
 type Scrubber struct {

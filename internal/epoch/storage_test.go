@@ -2,6 +2,7 @@ package epoch
 
 import (
 	"context"
+	"errors"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -311,11 +312,173 @@ func TestScrubberRunOnceSharesDecisionLog(t *testing.T) {
 	if st.Runs != 1 || st.Failures == 0 || st.LastFailures == 0 {
 		t.Fatalf("scrubber status not updated: %+v", st)
 	}
-	// The REJECT landed in the auditor's ledger (same DecisionLog).
+	// The failure landed in the auditor's ledger (same DecisionLog) as
+	// an annotation: the epoch was audited ACCEPT before the tamper, and
+	// that stored verdict must stand — a scrub failure flags it without
+	// rewriting it.
 	d, ok := a.Decisions().Get(sealed[1].Number)
-	if !ok || d.Accepted || d.Forensics == nil || d.Forensics.Phase != PhaseScrub {
-		t.Fatalf("scrub REJECT should replace epoch %d's decision: %+v", sealed[1].Number, d)
+	if !ok || !d.Accepted {
+		t.Fatalf("scrub must not downgrade epoch %d's stored ACCEPT: %+v", sealed[1].Number, d)
 	}
+	if !d.ScrubFailed || !strings.Contains(d.ScrubDetail, sha) {
+		t.Fatalf("epoch %d should carry a scrub annotation naming chunk %s: %+v", sealed[1].Number, short(sha), d)
+	}
+	if d.ChainSHA == "" || d.Timings.Total == 0 {
+		t.Fatalf("annotation must leave the audit's chain digest and metrics intact: %+v", d)
+	}
+
+	// A second pass re-challenges the same persistent failure; the flag
+	// already stands, so nothing more is appended — the log must not
+	// grow every scrub interval forever.
+	before := decisionLogLines(t, dir)
+	if _, err := sc.RunOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if after := decisionLogLines(t, dir); after != before {
+		t.Fatalf("repeated scrub pass grew the decision log: %d -> %d lines", before, after)
+	}
+}
+
+// decisionLogLines counts lines of dir's decisions.jsonl.
+func decisionLogLines(t *testing.T, dir string) int {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, DecisionLogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Count(string(data), "\n")
+}
+
+func TestScrubNeverReopensAckedReject(t *testing.T) {
+	dir := t.TempDir()
+	prog := sealChain(t, dir, StorageChunked)
+	sealed, err := ListSealed(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sha := uniqueChunk(t, sealed, 1)
+	tamperChunk(t, dir, sha)
+
+	// The chain audit REJECTs the tampered epoch; an operator
+	// investigates and acknowledges the verdict.
+	a := NewAuditor(prog, dir, AuditorOptions{})
+	if _, err := a.RunOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	n := sealed[1].Number
+	if d, ok := a.Decisions().Get(n); !ok || d.Accepted {
+		t.Fatalf("tampered epoch %d should hold a REJECT: %+v", n, d)
+	}
+	acked, err := a.Decisions().Ack(n, "tamper investigated")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A scrub pass re-finds the same damage. The acknowledged decision
+	// must stand — annotated, not reopened with a fresh DecidedAt.
+	res, err := Scrub(context.Background(), dir, ScrubOptions{Sample: -1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("scrub missed the tampered chunk")
+	}
+	if _, err := RecordScrubFailures(a.Decisions(), dir, res); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := a.Decisions().Get(n)
+	if !ok || d.Resolution != ResolutionAcked || d.Note != "tamper investigated" {
+		t.Fatalf("scrub reopened an acknowledged decision: %+v", d)
+	}
+	if !d.DecidedAt.Equal(acked.DecidedAt) {
+		t.Fatalf("scrub forged a fresh DecidedAt: %v -> %v", acked.DecidedAt, d.DecidedAt)
+	}
+	if !d.ScrubFailed {
+		t.Fatalf("acked decision should still gain the scrub annotation: %+v", d)
+	}
+}
+
+func TestCompactedAdoptionFailureKeepsStoredAccept(t *testing.T) {
+	dir := t.TempDir()
+	prog := sealChain(t, dir, StorageChunked)
+
+	full := NewAuditor(prog, dir, AuditorOptions{Checkpoints: true})
+	if _, err := full.RunOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !full.ChainAccepted() {
+		t.Fatalf("full audit failed: %+v", full.Verdicts())
+	}
+	fullVerdicts := full.Verdicts()
+	n := len(fullVerdicts)
+	if _, err := GC(dir, GCOptions{Retain: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Make epoch 1's checkpoint transiently unreadable: adoption fails,
+	// but the stored ACCEPT — the compacted epoch's only remaining trust
+	// artifact — must survive the failed run so a later run can recover.
+	ckpt := checkpointPath(dir, 1)
+	if err := os.Rename(ckpt, ckpt+".away"); err != nil {
+		t.Fatal(err)
+	}
+	broken := NewAuditor(prog, dir, AuditorOptions{})
+	if _, err := broken.RunOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	bv := broken.Verdicts()
+	if len(bv) == 0 || bv[0].Accepted {
+		t.Fatalf("adoption without a checkpoint should REJECT in-memory: %+v", bv)
+	}
+	if d, ok := broken.Decisions().Get(1); !ok || !d.Accepted {
+		t.Fatalf("failed adoption overwrote epoch 1's stored ACCEPT: %+v (ok=%v)", d, ok)
+	}
+
+	// The failure heals; a fresh run adopts from the intact decision and
+	// the chain digest comes out bit-identical to the original audit.
+	if err := os.Rename(ckpt+".away", ckpt); err != nil {
+		t.Fatal(err)
+	}
+	re := NewAuditor(prog, dir, AuditorOptions{})
+	if _, err := re.RunOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !re.ChainAccepted() {
+		t.Fatalf("chain did not recover after the checkpoint returned: %+v", re.Verdicts())
+	}
+	rv := re.Verdicts()
+	if len(rv) != n || rv[n-1].ChainSHA != fullVerdicts[n-1].ChainSHA {
+		t.Fatalf("recovered chain digest diverged: %+v", rv)
+	}
+}
+
+func TestLockChainExcludesMaintenance(t *testing.T) {
+	dir := t.TempDir()
+	_, srv, mgr := startPipelineMode(t, dir, 1000, StorageChunked)
+	srv.ServeAll(burst(10, 0), 2)
+
+	// A live manager holds the chain lock: maintenance must be refused.
+	if _, err := LockChain(dir); !errors.Is(err, ErrChainBusy) {
+		t.Fatalf("LockChain against a live manager: err=%v, want ErrChainBusy", err)
+	}
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lock, err := LockChain(dir)
+	if err != nil {
+		t.Fatalf("LockChain after Close: %v", err)
+	}
+	if _, err := LockChain(dir); !errors.Is(err, ErrChainBusy) {
+		t.Fatalf("second LockChain while held: err=%v, want ErrChainBusy", err)
+	}
+	if err := lock.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	relock, err := LockChain(dir)
+	if err != nil {
+		t.Fatalf("LockChain after Unlock: %v", err)
+	}
+	relock.Unlock()
 }
 
 // copyTree copies a chain directory for migration parity tests.
