@@ -90,9 +90,34 @@ type AuditResult = verifier.Result
 // App bundles a sample application's sources and schema.
 type App = apps.App
 
-// CompileApp parses application sources (script name -> source).
+// Engine is a language execution engine. Two ship with the package —
+// EngineInterp (the tree-walking reference) and EngineCompiled (the
+// closure-compiled default) — with bit-identical observable behavior:
+// digests, outputs, fault renderings, reports and verdicts do not
+// depend on the choice. Select one via ServerOptions.Engine /
+// AuditOptions.Engine, or by name with EngineByName.
+type Engine = lang.Engine
+
+// The two engine implementations; see Engine.
+var (
+	EngineInterp   = lang.EngineInterp
+	EngineCompiled = lang.EngineCompiled
+)
+
+// EngineByName resolves a CLI engine name ("interp", "compiled"; ""
+// means the default, compiled).
+func EngineByName(name string) (Engine, error) {
+	return lang.EngineByName(name)
+}
+
+// CompileApp parses application sources (script name -> source) through
+// a process-wide content-keyed cache: identical sources return the same
+// *Program, so the server and the verifier share one compiled program
+// (and the compiled engine's once-lowered form) instead of recompiling
+// per component. Cache counters are exported at /-/metrics as
+// orochi_lang_cache_{hits,misses}.
 func CompileApp(files map[string]string) (*Program, error) {
-	return lang.Compile(files)
+	return lang.CompileCached(files)
 }
 
 // NewServer builds an executor for prog.
@@ -161,6 +186,12 @@ func OOOAuditContext(ctx context.Context, prog *Program, tr *Trace, rep *Reports
 	return verifier.OOOAuditContext(ctx, prog, tr, rep, init)
 }
 
+// OOOAuditContextOpts is OOOAuditContext with audit options (only
+// opts.Engine applies — the OOO audit has no grouping or workers).
+func OOOAuditContextOpts(ctx context.Context, prog *Program, tr *Trace, rep *Reports, init *Snapshot, opts AuditOptions) (*AuditResult, error) {
+	return verifier.OOOAuditContextOpts(ctx, prog, tr, rep, init, opts)
+}
+
 // OOOAudit runs OOOAuditContext with a background context.
 //
 // Deprecated: use OOOAuditContext, which supports cancellation.
@@ -183,6 +214,12 @@ const (
 // responses would have differed (unchanged / changed / inconclusive).
 func PatchAuditContext(ctx context.Context, patched *Program, tr *Trace, rep *Reports, init *Snapshot) (*PatchResult, error) {
 	return verifier.PatchAuditContext(ctx, patched, tr, rep, init)
+}
+
+// PatchAuditContextOpts is PatchAuditContext with audit options (only
+// opts.Engine applies).
+func PatchAuditContextOpts(ctx context.Context, patched *Program, tr *Trace, rep *Reports, init *Snapshot, opts AuditOptions) (*PatchResult, error) {
+	return verifier.PatchAuditContextOpts(ctx, patched, tr, rep, init, opts)
 }
 
 // PatchAudit runs PatchAuditContext with a background context.

@@ -97,7 +97,14 @@ func main() {
 	retain := flag.Int("retain", 0, "with -gc: compact verified epochs older than the newest N to decision+checkpoint (0 = no compaction)")
 	scrub := flag.Bool("scrub", false, "run the retrievability self-audit over -epochs and exit; failures are recorded in the decision log (REJECT for never-audited epochs, an annotation otherwise)")
 	scrubSample := flag.Int("scrub-sample", 0, "with -scrub: chunks challenged per epoch (default 16, -1 = every chunk)")
+	engineName := flag.String("engine", "compiled", "language execution engine (interp or compiled); verdicts are identical under either")
 	flag.Parse()
+
+	engine, engErr := lang.EngineByName(*engineName)
+	if engErr != nil {
+		fmt.Fprintf(os.Stderr, "orochi-audit: %v\n", engErr)
+		os.Exit(2)
+	}
 
 	if *explain > 0 {
 		if *epochsDir == "" {
@@ -134,7 +141,7 @@ func main() {
 		return
 	}
 
-	vopts := verifier.Options{MaxGroup: *maxGroup, CollectStats: *stats, Workers: *auditWorkers}
+	vopts := verifier.Options{MaxGroup: *maxGroup, CollectStats: *stats, Workers: *auditWorkers, Engine: engine}
 	if *progress {
 		vopts.Observer = &progressPrinter{}
 	}
@@ -437,7 +444,7 @@ func loadProgram(appName, srcDir string, withErrors bool) (*lang.Program, error)
 		if len(files) == 0 {
 			return nil, fmt.Errorf("orochi-audit: no .php files in %s", srcDir)
 		}
-		return lang.Compile(files)
+		return lang.CompileCached(files)
 	default:
 		return nil, fmt.Errorf("orochi-audit: one of -app or -src is required")
 	}

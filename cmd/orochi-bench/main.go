@@ -63,7 +63,18 @@ func main() {
 	// parallelism is measured by the dedicated -fig workers sweep.
 	auditWorkers := flag.Int("audit-workers", 1, "verifier worker pool for the audit-running figures (1 = sequential/paper-faithful, 0 = all CPUs)")
 	jsonOut := flag.String("json", "", "machine-readable mode: measure the headline numbers (Fig-8 audit cost per request, serve req/s, speedup, dedup ratio) and write them as JSON to this file ('-' = stdout), instead of printing figures")
+	engineName := flag.String("engine", "compiled", "language execution engine for the figures (interp or compiled); -json measures both regardless")
 	flag.Parse()
+
+	eng, err := lang.EngineByName(*engineName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orochi-bench: %v\n", err)
+		os.Exit(2)
+	}
+	// The figures build servers and verifiers in many places; routing the
+	// flag through the process-wide default keeps every nil-Engine path on
+	// the selected engine.
+	lang.DefaultEngine = eng
 
 	if *jsonOut != "" {
 		benchJSON(*jsonOut, *scale, *conc, *auditWorkers)
@@ -154,12 +165,28 @@ type storageResult struct {
 	LoadOverhead float64 `json:"load_overhead"`
 }
 
+// engineResult is one execution engine's row of the -json "engine"
+// section: the MediaWiki workload served and Fig-8-audited under that
+// engine alone. Observables are engine-independent (the audit must
+// ACCEPT under both); only the costs differ.
+type engineResult struct {
+	Engine string `json:"engine"`
+	// ServeNsPerReq is summed handler CPU per request while recording;
+	// AuditNsPerReq is the Fig-8 audit-cost unit under this engine.
+	ServeNsPerReq int64 `json:"serve_ns_per_req"`
+	AuditNsPerReq int64 `json:"audit_ns_per_req"`
+	// AllocsPerReq is heap allocations per request across the serving
+	// run (runtime.MemStats delta).
+	AllocsPerReq uint64 `json:"allocs_per_req"`
+}
+
 // benchOutput is the top-level -json document.
 type benchOutput struct {
-	Scale        int           `json:"scale"`
-	Concurrency  int           `json:"concurrency"`
-	AuditWorkers int           `json:"audit_workers"`
-	Results      []benchResult `json:"results"`
+	Scale        int            `json:"scale"`
+	Concurrency  int            `json:"concurrency"`
+	AuditWorkers int            `json:"audit_workers"`
+	Results      []benchResult  `json:"results"`
+	Engine       []engineResult `json:"engine"`
 }
 
 // benchJSON measures each paper workload once (serve → baseline replay
@@ -191,6 +218,7 @@ func benchJSON(path string, scale, conc, auditWorkers int) {
 			Storage:        storageBench(item.w, conc),
 		})
 	}
+	out.Engine = engineBench(scale, conc, auditWorkers)
 	data, err := json.MarshalIndent(out, "", "  ")
 	check(err)
 	data = append(data, '\n')
@@ -200,6 +228,46 @@ func benchJSON(path string, scale, conc, auditWorkers int) {
 		err = os.WriteFile(path, data, 0o644)
 	}
 	check(err)
+}
+
+// engineBench measures the MediaWiki workload under each execution
+// engine in turn: recording-mode serve cost, the Fig-8 audit cost, and
+// serving allocations. The verdict must be ACCEPT under every engine.
+func engineBench(scale, conc, auditWorkers int) []engineResult {
+	w := workload.Wiki(workload.DefaultWikiParams().Scale(scale))
+	var out []engineResult
+	for _, name := range lang.Engines() {
+		eng, err := lang.EngineByName(name)
+		check(err)
+		// Compile (and for the compiled engine, lower) outside the
+		// measured window; the cache makes this free after the first hit.
+		prog := w.App.Compile()
+		warm := server.New(prog, server.Options{Record: false, Engine: eng})
+		check(warm.Setup(w.App.Schema))
+		if len(w.Requests) > 0 {
+			warm.Process("warm-0", w.Requests[0])
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		served, err := harness.Serve(w, harness.ServeConfig{Record: true, Concurrency: conc, Engine: eng})
+		check(err)
+		runtime.ReadMemStats(&ms1)
+		res, err := served.AuditContext(benchCtx, verifier.Options{Workers: auditWorkers, Engine: eng})
+		check(err)
+		if !res.Accepted {
+			fmt.Fprintf(os.Stderr, "engine %s: AUDIT REJECTED: %s\n", name, res.Reason)
+			os.Exit(1)
+		}
+		n := int64(served.Requests)
+		out = append(out, engineResult{
+			Engine:        name,
+			ServeNsPerReq: served.ServeCPU.Nanoseconds() / n,
+			AuditNsPerReq: res.Stats.Total.Nanoseconds() / n,
+			AllocsPerReq:  (ms1.Mallocs - ms0.Mallocs) / uint64(n),
+		})
+	}
+	return out
 }
 
 // storageBench seals the workload twice — chunked and whole-file —
@@ -508,11 +576,15 @@ func fig10() {
 	fmt.Fprintln(tw, "instruction\tunmodified ns\tunivalent\tmultival fixed\tmultival marginal")
 	cats := []string{"Multiply", "Concat", "Isset", "Jump", "GetVal",
 		"ArraySet", "Iteration", "Microtime", "Increment", "NewArray"}
+	empty := emptyLoopProgram()
 	for _, cat := range cats {
-		base := measureInstr(cat, "plain", 1)
-		uni := measureInstr(cat, "simd-same", 4)
-		c2 := measureInstr(cat, "simd-diff", 2)
-		c16 := measureInstr(cat, "simd-diff", 16)
+		// Compile once per category, outside every timed window: the four
+		// measurements below reuse the same program.
+		prog := instrProgram(cat)
+		base := measureInstr(prog, empty, "plain", 1)
+		uni := measureInstr(prog, empty, "simd-same", 4)
+		c2 := measureInstr(prog, empty, "simd-diff", 2)
+		c16 := measureInstr(prog, empty, "simd-diff", 16)
 		marginal := (c16 - c2) / 14
 		if marginal < 0 {
 			marginal = 0 // measurement noise on lane-independent ops
@@ -552,10 +624,11 @@ func (b *instrBridge) NonDet(string, string, []lang.Value) (lang.Value, error) {
 	return float64(b.n), nil
 }
 
-// measureInstr times one loop iteration of the category's body (ns per
-// logical instruction execution).
-func measureInstr(cat, mode string, lanes int) float64 {
-	const iters = 20000
+const instrIters = 20000
+
+// instrProgram compiles the category's measurement loop (content-keyed
+// cache: identical sources compile once per process).
+func instrProgram(cat string) *lang.Program {
 	src := fmt.Sprintf(`
 $u = 7;
 $m = intval($_GET["seed"]);
@@ -564,8 +637,28 @@ $pair = [1, 2];
 for ($i = 0; $i < %d; $i++) {
   %s
 }
-echo "done";`, iters, fig10Bodies[cat])
-	prog := lang.MustCompile(map[string]string{"m": src})
+echo "done";`, instrIters, fig10Bodies[cat])
+	return lang.MustCompileCached(map[string]string{"m": src})
+}
+
+// emptyLoopProgram compiles the empty-loop baseline shared by every
+// category.
+func emptyLoopProgram() *lang.Program {
+	return lang.MustCompileCached(map[string]string{"m": fmt.Sprintf(`
+$u = 7;
+$m = intval($_GET["seed"]);
+$arr = [];
+$pair = [1, 2];
+for ($i = 0; $i < %d; $i++) {
+}
+echo "done";`, instrIters)})
+}
+
+// measureInstr times one loop iteration of the precompiled category
+// program (ns per logical instruction execution). Compilation happens in
+// the callers, never inside the timed window.
+func measureInstr(prog, empty *lang.Program, mode string, lanes int) float64 {
+	const iters = instrIters
 	rids := make([]string, lanes)
 	ins := make([]lang.RequestInput, lanes)
 	for i := range rids {
@@ -583,16 +676,13 @@ echo "done";`, iters, fig10Bodies[cat])
 		cfg.Mode = lang.ModeSIMD
 		cfg.Bridge = &instrBridge{}
 	}
-	// Subtract the empty-loop baseline to isolate the body cost.
-	empty := lang.MustCompile(map[string]string{"m": fmt.Sprintf(`
-$u = 7;
-$m = intval($_GET["seed"]);
-$arr = [];
-$pair = [1, 2];
-for ($i = 0; $i < %d; $i++) {
-}
-echo "done";`, iters)})
+	// Subtract the empty-loop baseline to isolate the body cost. One
+	// untimed warm-up run per program keeps lazy lowering (the compiled
+	// engine's first-run cost) out of the measurement.
 	timeRun := func(p *lang.Program) float64 {
+		if _, err := lang.Run(p, cfg); err != nil {
+			check(err)
+		}
 		best := math.MaxFloat64
 		for rep := 0; rep < 3; rep++ {
 			start := time.Now()

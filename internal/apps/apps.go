@@ -10,7 +10,6 @@ package apps
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"orochi/internal/lang"
 )
@@ -24,25 +23,18 @@ type App struct {
 	Schema []string
 }
 
-// Compile parses the application (cached; programs are immutable).
+// Compile parses the application through the content-keyed program
+// cache (lang.CompileCached): every component of a process — server,
+// verifier, epoch auditor, benchmarks — that compiles the same sources
+// shares one *lang.Program, and with it the compiled engine's
+// once-lowered closure form.
 func (a *App) Compile() *lang.Program {
-	compileMu.Lock()
-	defer compileMu.Unlock()
-	if p, ok := compiled[a.Name]; ok {
-		return p
-	}
-	p, err := lang.Compile(a.Sources)
+	p, err := lang.CompileCached(a.Sources)
 	if err != nil {
 		panic(fmt.Sprintf("apps: %s does not compile: %v", a.Name, err))
 	}
-	compiled[a.Name] = p
 	return p
 }
-
-var (
-	compileMu sync.Mutex
-	compiled  = map[string]*lang.Program{}
-)
 
 // withFramework installs the shared framework include and prepends the
 // per-request bootstrap (fw_boot + route dispatch) to every entry-point

@@ -125,6 +125,10 @@ func TestConsoleHonestPipeline(t *testing.T) {
 		`orochi_scrub_checks_total{kind="chunk"}`,
 		"orochi_scrub_failures_total 0",
 		"orochi_scrub_last_failures 0",
+		"# TYPE orochi_lang_cache_hits counter",
+		"orochi_lang_cache_hits ",
+		"# TYPE orochi_lang_cache_misses counter",
+		"orochi_lang_cache_misses ",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/-/metrics missing %q in:\n%s", want, body)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"orochi/internal/epoch"
+	"orochi/internal/lang"
 	"orochi/internal/verifier"
 )
 
@@ -24,6 +25,14 @@ func (c *Console) metrics(w http.ResponseWriter, r *http.Request) {
 
 	p.family("orochi_uptime_seconds", "gauge", "Seconds since the process started serving.")
 	p.sample("orochi_uptime_seconds", "", now.Sub(c.started).Seconds())
+
+	// The content-keyed program cache is process-wide: the server and
+	// the background verifier share compiled programs by source digest.
+	langHits, langMisses := lang.CacheStats()
+	p.family("orochi_lang_cache_hits", "counter", "Compiles answered by the content-keyed program cache.")
+	p.sample("orochi_lang_cache_hits", "", float64(langHits))
+	p.family("orochi_lang_cache_misses", "counter", "Compiles that built (and cached) a fresh program.")
+	p.sample("orochi_lang_cache_misses", "", float64(langMisses))
 
 	if c.srv != nil {
 		cpu, n := c.srv.CPU()

@@ -34,6 +34,9 @@ type ServeConfig struct {
 	Shards int
 	// TamperResponse is the misbehaving-executor hook.
 	TamperResponse func(rid, body string) string
+	// Engine selects the language execution engine (nil =
+	// lang.DefaultEngine); observables are engine-independent.
+	Engine lang.Engine
 }
 
 // Served captures everything a serving run produced.
@@ -64,6 +67,7 @@ func Serve(w *workload.Workload, cfg ServeConfig) (*Served, error) {
 		RandSeed:       cfg.RandSeed,
 		Shards:         cfg.Shards,
 		TamperResponse: cfg.TamperResponse,
+		Engine:         cfg.Engine,
 	})
 	if err := srv.Setup(w.App.Schema); err != nil {
 		return nil, fmt.Errorf("harness: schema: %w", err)

@@ -1,5 +1,7 @@
 package lang
 
+import "sync"
+
 // Site identifies a branch point in the program. The recording runtime
 // folds (site, direction) pairs into the control-flow digest (§4.3), so
 // two requests receive the same opaque tag iff they took the same path.
@@ -278,4 +280,10 @@ type Program struct {
 	Funcs   map[string]*FuncDecl
 	// NumSites is the number of branch sites assigned at parse time.
 	NumSites int
+
+	// The compiled engine's lowered form, computed lazily on first use
+	// (see compiled.go). Programs are shared between the server and
+	// concurrent verifier workers, hence the Once.
+	lowerOnce sync.Once
+	lowered   *cprog
 }

@@ -1,0 +1,76 @@
+package lang
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The program cache is content-keyed: sha256 over the (name, source)
+// pairs of the app. The server and the verifier of the same epoch —
+// and every audit of every epoch of the same app — therefore share one
+// *Program, which also shares the lazily-lowered compiled form
+// (Program.compiled), so Phase-3 never recompiles what serving already
+// compiled.
+
+var (
+	progCache   sync.Map // [32]byte → *Program
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+)
+
+// CompileCached is Compile behind a process-wide content-keyed cache.
+// Identical sources (same script names, same bytes) return the same
+// *Program. Compile errors are not cached.
+func CompileCached(files map[string]string) (*Program, error) {
+	key := sourceKey(files)
+	if p, ok := progCache.Load(key); ok {
+		cacheHits.Add(1)
+		return p.(*Program), nil
+	}
+	prog, err := Compile(files)
+	if err != nil {
+		return nil, err
+	}
+	cacheMisses.Add(1)
+	actual, _ := progCache.LoadOrStore(key, prog)
+	return actual.(*Program), nil
+}
+
+// MustCompileCached is CompileCached, panicking on error (for tests and
+// embedded apps whose source is known-good).
+func MustCompileCached(files map[string]string) *Program {
+	p, err := CompileCached(files)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// CacheStats returns the cumulative program-cache hit/miss counters,
+// surfaced at /-/metrics as orochi_lang_cache_{hits,misses}.
+func CacheStats() (hits, misses uint64) {
+	return cacheHits.Load(), cacheMisses.Load()
+}
+
+func sourceKey(files map[string]string) [32]byte {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, n := range names {
+		// Length-prefixed so (name, source) boundaries cannot alias.
+		fmt.Fprintf(h, "%d:", len(n))
+		io.WriteString(h, n)
+		fmt.Fprintf(h, "%d:", len(files[n]))
+		io.WriteString(h, files[n])
+	}
+	var key [32]byte
+	h.Sum(key[:0])
+	return key
+}

@@ -134,14 +134,27 @@ func (ex *exec) callRefBuiltin(sc *scope, call *Call) (Value, error) {
 		}
 		rest = append(rest, v)
 	}
+	result, newTarget, err := ex.refBuiltinApply(call.Name, fn, cur, rest, call.Line)
+	if err != nil {
+		return nil, err
+	}
+	if err := ex.assignTo(sc, lv, newTarget); err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// refBuiltinApply is the engine-independent core of a by-reference
+// builtin call: the current target value in, (result, new target value)
+// out. Both engines route through it so the per-lane clone/merge rules
+// stay identical.
+func (ex *exec) refBuiltinApply(name string, fn refBuiltinFn, cur Value, rest []Value, line int) (Value, Value, error) {
 	anyMulti := DeepContainsMulti(cur)
 	for _, a := range rest {
 		if DeepContainsMulti(a) {
 			anyMulti = true
 		}
 	}
-	var result Value
-	var newTarget Value
 	if !anyMulti {
 		ex.countInstr(false)
 		arr, ok := cur.(*Array)
@@ -149,47 +162,42 @@ func (ex *exec) callRefBuiltin(sc *scope, call *Call) (Value, error) {
 			if cur == nil {
 				arr = NewArray()
 			} else {
-				return nil, &RuntimeError{Msg: call.Name + "() expects an array", Line: call.Line}
+				return nil, nil, &RuntimeError{Msg: name + "() expects an array", Line: line}
 			}
 		}
-		result, err = fn(ex, arr, rest, call.Line)
+		result, err := fn(ex, arr, rest, line)
+		if err != nil {
+			return nil, nil, err
+		}
+		return result, arr, nil
+	}
+	ex.countInstr(true)
+	tgtVals := make([]Value, ex.lanes)
+	result, err := ex.forLanes(func(i int) (Value, error) {
+		laneCur := CloneValue(MaterializeLane(cur, i))
+		arr, ok := laneCur.(*Array)
+		if !ok {
+			if laneCur == nil {
+				arr = NewArray()
+			} else {
+				return nil, &RuntimeError{Msg: name + "() expects an array", Line: line}
+			}
+		}
+		laneRest := make([]Value, len(rest))
+		for j, a := range rest {
+			laneRest[j] = CloneValue(MaterializeLane(a, i))
+		}
+		r, err := fn(ex, arr, laneRest, line)
 		if err != nil {
 			return nil, err
 		}
-		newTarget = arr
-	} else {
-		ex.countInstr(true)
-		tgtVals := make([]Value, ex.lanes)
-		result, err = ex.forLanes(func(i int) (Value, error) {
-			laneCur := CloneValue(MaterializeLane(cur, i))
-			arr, ok := laneCur.(*Array)
-			if !ok {
-				if laneCur == nil {
-					arr = NewArray()
-				} else {
-					return nil, &RuntimeError{Msg: call.Name + "() expects an array", Line: call.Line}
-				}
-			}
-			laneRest := make([]Value, len(rest))
-			for j, a := range rest {
-				laneRest[j] = CloneValue(MaterializeLane(a, i))
-			}
-			r, err := fn(ex, arr, laneRest, call.Line)
-			if err != nil {
-				return nil, err
-			}
-			tgtVals[i] = arr
-			return r, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		newTarget = NewMulti(tgtVals)
+		tgtVals[i] = arr
+		return r, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	if err := ex.assignTo(sc, lv, newTarget); err != nil {
-		return nil, err
-	}
-	return result, nil
+	return result, NewMulti(tgtVals), nil
 }
 
 // callStateOp issues a shared-object operation through the bridge. In
@@ -204,8 +212,15 @@ func (ex *exec) callStateOp(sc *scope, call *Call) (Value, error) {
 		}
 		args[i] = v
 	}
+	return ex.stateOpCore(call.Name, args, call.Line)
+}
+
+// stateOpCore is the engine-independent core of a state-op call:
+// arguments already evaluated, everything from the bridge check to the
+// per-lane issue shared by both engines.
+func (ex *exec) stateOpCore(name string, args []Value, line int) (Value, error) {
 	if ex.bridge == nil {
-		return nil, &RuntimeError{Msg: "no shared-state bridge configured", Line: call.Line}
+		return nil, &RuntimeError{Msg: "no shared-state bridge configured", Line: line}
 	}
 	anyMulti := false
 	for _, a := range args {
@@ -219,7 +234,7 @@ func (ex *exec) callStateOp(sc *scope, call *Call) (Value, error) {
 	// faults on its arguments never reaches a shared object, so it must
 	// not count toward report M — the server records no log entry for
 	// it, and the verifier's re-execution must agree on the count.
-	if err := ex.checkStateOpArgs(call.Name, args, call.Line); err != nil {
+	if err := ex.checkStateOpArgs(name, args, line); err != nil {
 		return nil, err
 	}
 	opnum := ex.opnum
@@ -229,7 +244,7 @@ func (ex *exec) callStateOp(sc *scope, call *Call) (Value, error) {
 		for j, a := range args {
 			laneArgs[j] = MaterializeLane(a, i)
 		}
-		return ex.stateOpLane(call.Name, ex.rids[i], opnum, laneArgs, call.Line)
+		return ex.stateOpLane(name, ex.rids[i], opnum, laneArgs, line)
 	})
 }
 
@@ -326,6 +341,11 @@ func (ex *exec) callNonDet(sc *scope, call *Call) (Value, error) {
 		}
 		args[i] = v
 	}
+	return ex.nonDetCore(call.Name, args)
+}
+
+// nonDetCore is the engine-independent core of a nondet builtin call.
+func (ex *exec) nonDetCore(name string, args []Value) (Value, error) {
 	anyMulti := false
 	for _, a := range args {
 		if DeepContainsMulti(a) {
@@ -340,9 +360,9 @@ func (ex *exec) callNonDet(sc *scope, call *Call) (Value, error) {
 			laneArgs[j] = MaterializeLane(a, i)
 		}
 		if ex.bridge == nil {
-			return nativeNonDet(call.Name, laneArgs)
+			return nativeNonDet(name, laneArgs)
 		}
-		return ex.bridge.NonDet(ex.rids[i], call.Name, laneArgs)
+		return ex.bridge.NonDet(ex.rids[i], name, laneArgs)
 	})
 }
 

@@ -316,14 +316,20 @@ func (ex *exec) evalLogical(sc *scope, x *Logical) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
+	return logicalResult(r), nil
+}
+
+// logicalResult coerces the decisive operand of a short-circuit operator
+// to bool(s). Shared by both engines.
+func logicalResult(r Value) Value {
 	if m, ok := r.(*Multi); ok {
 		vals := make([]Value, len(m.V))
 		for i, v := range m.V {
 			vals[i] = ToBool(v)
 		}
-		return NewMulti(vals), nil
+		return NewMulti(vals)
 	}
-	return ToBool(r), nil
+	return ToBool(r)
 }
 
 // binaryOp applies a non-short-circuit binary operator with SIMD
@@ -690,6 +696,12 @@ func (ex *exec) execUnset(sc *scope, lv *LValue) error {
 	if err != nil {
 		return err
 	}
+	return ex.unsetIn(parent, idx, lv.Line)
+}
+
+// unsetIn deletes parent[idx]. Shared by both engines so the multivalue
+// and non-array fault rules cannot drift.
+func (ex *exec) unsetIn(parent, idx Value, line int) error {
 	switch c := parent.(type) {
 	case *Array:
 		if IsMulti(idx) {
@@ -697,7 +709,7 @@ func (ex *exec) execUnset(sc *scope, lv *LValue) error {
 		}
 		k, err := NormalizeKey(idx)
 		if err != nil {
-			return &RuntimeError{Msg: err.Error(), Line: lv.Line}
+			return &RuntimeError{Msg: err.Error(), Line: line}
 		}
 		c.Delete(k)
 		return nil
@@ -705,11 +717,11 @@ func (ex *exec) execUnset(sc *scope, lv *LValue) error {
 		for i := range c.V {
 			a, ok := c.V[i].(*Array)
 			if !ok {
-				return &RuntimeError{Msg: "unset on non-array", Line: lv.Line}
+				return &RuntimeError{Msg: "unset on non-array", Line: line}
 			}
 			k, err := NormalizeKey(Lane(idx, i))
 			if err != nil {
-				return &RuntimeError{Msg: err.Error(), Line: lv.Line}
+				return &RuntimeError{Msg: err.Error(), Line: line}
 			}
 			a.Delete(k)
 		}
@@ -717,6 +729,6 @@ func (ex *exec) execUnset(sc *scope, lv *LValue) error {
 	case nil:
 		return nil
 	default:
-		return &RuntimeError{Msg: "unset on non-array", Line: lv.Line}
+		return &RuntimeError{Msg: "unset on non-array", Line: line}
 	}
 }

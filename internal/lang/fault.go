@@ -51,12 +51,13 @@ func (e *RuntimeError) sameFault(o *RuntimeError) bool {
 // fallback, CheckOp rejects from the verifier bridge — propagate
 // immediately.
 func (ex *exec) forLanes(f func(lane int) (Value, error)) (Value, error) {
-	vals := make([]Value, ex.lanes)
+	vals := ex.getLaneSlice()
 	var fault *RuntimeError
 	for i := 0; i < ex.lanes; i++ {
 		v, err := f(i)
 		if err == nil {
 			if fault != nil {
+				ex.putLaneSlice(vals)
 				return nil, ErrDivergence // earlier lanes faulted, this one did not
 			}
 			vals[i] = v
@@ -64,18 +65,28 @@ func (ex *exec) forLanes(f func(lane int) (Value, error)) (Value, error) {
 		}
 		var rt *RuntimeError
 		if !errors.As(err, &rt) {
+			ex.putLaneSlice(vals)
 			return nil, err
 		}
 		if i > 0 && fault == nil {
+			ex.putLaneSlice(vals)
 			return nil, ErrDivergence // earlier lanes succeeded, this one faulted
 		}
 		if fault != nil && !fault.sameFault(rt) {
+			ex.putLaneSlice(vals)
 			return nil, ErrDivergence // lanes faulted at different sites or with different messages
 		}
 		fault = rt
 	}
 	if fault != nil {
+		ex.putLaneSlice(vals)
 		return nil, fault
 	}
-	return NewMulti(vals), nil
+	merged := NewMulti(vals)
+	if _, retained := merged.(*Multi); !retained {
+		// All lanes were equal, so NewMulti collapsed to a univalue and
+		// nothing holds the slice: recycle it.
+		ex.putLaneSlice(vals)
+	}
+	return merged, nil
 }

@@ -63,6 +63,10 @@ type Config struct {
 	// CollectStats enables univalent/multivalent instruction counting
 	// (Fig. 10/11 accounting).
 	CollectStats bool
+	// Engine selects the execution engine (nil = DefaultEngine). Both
+	// engines produce bit-identical observable behavior; EngineInterp is
+	// the reference, EngineCompiled the fast path.
+	Engine Engine
 }
 
 // Result is the outcome of one execution.
@@ -105,101 +109,6 @@ func (r *Result) OutputEqual(i int, want string) bool {
 }
 
 const defaultMaxSteps = 100_000_000
-
-// Run executes a script under cfg.
-//
-// A request-level fault — the script raised a RuntimeError, or cfg
-// names a script the program does not contain — returns BOTH a usable
-// *Result and the error: the Result carries the control-flow digest
-// folded with the fault site (ModeRecord), the count of state
-// operations issued before the fault, and the partial output. The
-// server records faulted requests into control-flow groups from this
-// Result and serves RenderFault(err); the verifier re-executes those
-// error groups and checks the rendering against the trace. Errors that
-// are not request-level faults (divergence, multivalue fallback,
-// bridge rejects, configuration mistakes) return a nil Result.
-func Run(prog *Program, cfg Config) (*Result, error) {
-	lanes := len(cfg.RIDs)
-	if lanes == 0 {
-		return nil, &RuntimeError{Msg: "no lanes"}
-	}
-	if len(cfg.Inputs) != lanes {
-		return nil, &RuntimeError{Msg: "inputs/rids length mismatch"}
-	}
-	if cfg.Mode != ModeSIMD && lanes != 1 {
-		return nil, &RuntimeError{Msg: "multi-lane execution requires ModeSIMD"}
-	}
-	if cfg.Mode == ModeRecord && cfg.Bridge == nil {
-		return nil, &RuntimeError{Msg: "ModeRecord requires a bridge"}
-	}
-	script, ok := prog.Scripts[cfg.Script]
-	if !ok {
-		// The script name is client-controlled input, so this is a
-		// request-level fault, not a caller bug: produce an auditable
-		// fault result (zero ops, empty output, digest of the fault).
-		rt := &RuntimeError{Msg: fmt.Sprintf("unknown script %q", cfg.Script)}
-		res := &Result{out: newOutput(lanes)}
-		if cfg.Mode == ModeRecord {
-			d := NewDigest(cfg.Script)
-			d.Fault(rt.Line, rt.Msg)
-			res.Digest = d.Sum()
-		}
-		return res, rt
-	}
-	maxSteps := cfg.MaxSteps
-	if maxSteps <= 0 {
-		maxSteps = defaultMaxSteps
-	}
-	ex := &exec{
-		prog:     prog,
-		mode:     cfg.Mode,
-		lanes:    lanes,
-		rids:     cfg.RIDs,
-		bridge:   cfg.Bridge,
-		out:      newOutput(lanes),
-		globals:  make(map[string]Value),
-		opnum:    1,
-		maxSteps: maxSteps,
-		stats:    cfg.CollectStats,
-	}
-	if cfg.Mode == ModeRecord {
-		ex.digest = NewDigest(cfg.Script)
-	}
-	ex.super = buildSuperglobals(cfg.Inputs)
-	sc := &scope{vars: ex.globals, isGlobal: true, ex: ex}
-	_, _, err := ex.execStmts(sc, script.Body)
-	res := &Result{
-		OpCount:    ex.opnum - 1,
-		InstrUni:   ex.instrUni,
-		InstrMulti: ex.instrMulti,
-		Steps:      ex.steps,
-		out:        ex.out,
-	}
-	if err != nil {
-		var rt *RuntimeError
-		if !errors.As(err, &rt) {
-			// A FallbackError in a single-lane execution cannot mean
-			// "re-execute individually" — there is nothing to split. The
-			// unsupported construct is deterministic, so it is an
-			// auditable runtime fault: the server serves its canonical
-			// rendering and the verifier's one-lane replay reproduces it.
-			var fb *FallbackError
-			if ex.lanes != 1 || !errors.As(err, &fb) {
-				return nil, err
-			}
-			rt = &RuntimeError{Msg: "unsupported construct: " + fb.Reason}
-		}
-		if ex.digest != nil {
-			ex.digest.Fault(rt.Line, rt.Msg)
-			res.Digest = ex.digest.Sum()
-		}
-		return res, rt
-	}
-	if ex.digest != nil {
-		res.Digest = ex.digest.Sum()
-	}
-	return res, nil
-}
 
 // buildSuperglobals materializes $_GET/$_POST/$_COOKIE. With multiple
 // lanes each cell is a multivalue over the lanes (missing keys become
@@ -260,6 +169,16 @@ type exec struct {
 	instrUni   int64
 	instrMulti int64
 	callDepth  int
+
+	// Compiled-engine state: the global frame as resolved slots plus a
+	// presence bitmap (present-with-nil and absent differ only for
+	// isset, whose index expressions must or must not evaluate).
+	gslots []Value
+	gset   []bool
+	// Hot-path free lists; exec is single-goroutine so these need no
+	// locking. See pool.go.
+	laneSlices [][]Value
+	frames     []*cframe
 }
 
 func (ex *exec) countInstr(multi bool) {

@@ -1,0 +1,240 @@
+package lang
+
+import "sort"
+
+// Resolution is the analysis half of the front-end/engine split: it maps
+// every variable name to an integer slot before execution, so the
+// compiled engine replaces scope-map lookups with slice indexing.
+//
+// Slot layout follows PHP's two-namespace scoping exactly as the
+// interpreter implements it:
+//
+//   - One program-wide global frame. Top-level script statements read
+//     and write it directly; `global $x;` inside a function redirects
+//     that function's $x to it. The global slot table is the union of
+//     every name referenced by any script body plus every
+//     `global`-declared name, so any script of the program can run
+//     against the same layout.
+//   - One local frame per function: every name the function body
+//     references gets a local slot. `global` is a *statement* — it can
+//     execute conditionally — so a global-declared name keeps its local
+//     slot and the frame carries a runtime redirect flag per slot
+//     (cframe.gflags); the declaration's execution flips the flag.
+//   - Superglobals (_GET/_POST/_COOKIE) are recognized at compile time
+//     and access ex.super directly; they never occupy a slot.
+type resolution struct {
+	globals  map[string]int
+	nglobals int
+	funcs    map[string]*funcInfo
+}
+
+// funcInfo is the per-function slot table.
+type funcInfo struct {
+	locals  map[string]int
+	nlocals int
+	// globalDecl holds names that appear in any `global` statement of
+	// the function body; such names compile to flag-checked accessors.
+	globalDecl map[string]bool
+	// gslot maps each global-declared name to its global slot.
+	gslot map[string]int
+}
+
+func isSuperglobal(name string) bool {
+	return name == "_GET" || name == "_POST" || name == "_COOKIE"
+}
+
+// resolve computes the slot tables for prog.
+func resolve(prog *Program) *resolution {
+	res := &resolution{
+		globals: make(map[string]int),
+		funcs:   make(map[string]*funcInfo, len(prog.Funcs)),
+	}
+	gslot := func(name string) int {
+		if s, ok := res.globals[name]; ok {
+			return s
+		}
+		s := res.nglobals
+		res.globals[name] = s
+		res.nglobals++
+		return s
+	}
+
+	// Deterministic walk order (slot numbering does not affect behavior,
+	// but determinism keeps debugging sane).
+	scriptNames := make([]string, 0, len(prog.Scripts))
+	for name := range prog.Scripts {
+		scriptNames = append(scriptNames, name)
+	}
+	sort.Strings(scriptNames)
+	for _, name := range scriptNames {
+		walkStmts(prog.Scripts[name].Body, func(n string) {
+			if !isSuperglobal(n) {
+				gslot(n)
+			}
+		}, nil)
+	}
+
+	funcNames := make([]string, 0, len(prog.Funcs))
+	for name := range prog.Funcs {
+		funcNames = append(funcNames, name)
+	}
+	sort.Strings(funcNames)
+	for _, name := range funcNames {
+		fn := prog.Funcs[name]
+		fi := &funcInfo{
+			locals:     make(map[string]int),
+			globalDecl: make(map[string]bool),
+			gslot:      make(map[string]int),
+		}
+		lslot := func(n string) {
+			if isSuperglobal(n) {
+				return
+			}
+			if _, ok := fi.locals[n]; !ok {
+				fi.locals[n] = fi.nlocals
+				fi.nlocals++
+			}
+		}
+		for _, p := range fn.Params {
+			lslot(p.Name)
+		}
+		walkStmts(fn.Body, lslot, func(n string) {
+			if isSuperglobal(n) {
+				return
+			}
+			fi.globalDecl[n] = true
+			fi.gslot[n] = gslot(n)
+		})
+		res.funcs[name] = fi
+	}
+	return res
+}
+
+// walkStmts visits every variable name referenced by stmts. onVar fires
+// for each reference (including `global` names, which also need a local
+// slot for the redirect flag); onGlobal additionally fires for names in
+// `global` statements (nil to ignore).
+func walkStmts(stmts []Stmt, onVar func(string), onGlobal func(string)) {
+	for _, s := range stmts {
+		walkStmt(s, onVar, onGlobal)
+	}
+}
+
+func walkStmt(s Stmt, onVar func(string), onGlobal func(string)) {
+	switch st := s.(type) {
+	case *ExprStmt:
+		walkExpr(st.E, onVar)
+	case *Assign:
+		walkLValue(st.Target, onVar)
+		walkExpr(st.RHS, onVar)
+	case *If:
+		for _, c := range st.Conds {
+			walkExpr(c, onVar)
+		}
+		for _, b := range st.Bodies {
+			walkStmts(b, onVar, onGlobal)
+		}
+		walkStmts(st.Else, onVar, onGlobal)
+	case *While:
+		walkExpr(st.Cond, onVar)
+		walkStmts(st.Body, onVar, onGlobal)
+	case *For:
+		if st.Init != nil {
+			walkStmt(st.Init, onVar, onGlobal)
+		}
+		if st.Cond != nil {
+			walkExpr(st.Cond, onVar)
+		}
+		if st.Post != nil {
+			walkStmt(st.Post, onVar, onGlobal)
+		}
+		walkStmts(st.Body, onVar, onGlobal)
+	case *Foreach:
+		walkExpr(st.Subject, onVar)
+		if st.KeyVar != "" {
+			onVar(st.KeyVar)
+		}
+		onVar(st.ValVar)
+		walkStmts(st.Body, onVar, onGlobal)
+	case *Switch:
+		walkExpr(st.Subject, onVar)
+		for _, cs := range st.Cases {
+			walkExpr(cs.Match, onVar)
+			walkStmts(cs.Body, onVar, onGlobal)
+		}
+		walkStmts(st.Default, onVar, onGlobal)
+	case *Return:
+		if st.E != nil {
+			walkExpr(st.E, onVar)
+		}
+	case *Echo:
+		for _, a := range st.Args {
+			walkExpr(a, onVar)
+		}
+	case *Global:
+		for _, n := range st.Names {
+			onVar(n)
+			if onGlobal != nil {
+				onGlobal(n)
+			}
+		}
+	case *Unset:
+		for _, lv := range st.Targets {
+			walkLValue(lv, onVar)
+		}
+	case *Break, *Continue:
+	}
+}
+
+func walkExpr(e Expr, onVar func(string)) {
+	switch x := e.(type) {
+	case *Lit:
+	case *Var:
+		onVar(x.Name)
+	case *Index:
+		walkExpr(x.Target, onVar)
+		if x.Idx != nil {
+			walkExpr(x.Idx, onVar)
+		}
+	case *Binary:
+		walkExpr(x.L, onVar)
+		walkExpr(x.R, onVar)
+	case *Logical:
+		walkExpr(x.L, onVar)
+		walkExpr(x.R, onVar)
+	case *Unary:
+		walkExpr(x.E, onVar)
+	case *Ternary:
+		walkExpr(x.Cond, onVar)
+		walkExpr(x.Then, onVar)
+		walkExpr(x.Else, onVar)
+	case *Call:
+		for _, a := range x.Args {
+			walkExpr(a, onVar)
+		}
+	case *ArrayLit:
+		for _, ent := range x.Entries {
+			if ent.Key != nil {
+				walkExpr(ent.Key, onVar)
+			}
+			walkExpr(ent.Val, onVar)
+		}
+	case *IssetExpr:
+		for _, lv := range x.Targets {
+			walkLValue(lv, onVar)
+		}
+	case *EmptyExpr:
+		walkLValue(x.Target, onVar)
+	case *IncDec:
+		walkLValue(x.Target, onVar)
+	}
+}
+
+func walkLValue(lv *LValue, onVar func(string)) {
+	onVar(lv.Name)
+	for _, step := range lv.Steps {
+		if step.Idx != nil {
+			walkExpr(step.Idx, onVar)
+		}
+	}
+}

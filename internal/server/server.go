@@ -53,6 +53,11 @@ type Options struct {
 	// boundaries. The epoch pipeline (internal/epoch) installs its
 	// manager here to tee the live trace into a durable segmented log.
 	Tap trace.Tap
+	// Engine selects the language execution engine (nil =
+	// lang.DefaultEngine). Engines are observationally identical — the
+	// recorded digests and reports do not depend on this choice — so it
+	// is purely a performance knob.
+	Engine lang.Engine
 }
 
 // Server is one executor instance.
@@ -198,6 +203,7 @@ func (s *Server) run(rid string, in trace.Input) string {
 		RIDs:   []string{rid},
 		Inputs: []lang.RequestInput{{Get: in.Get, Post: in.Post, Cookie: in.Cookie}},
 		Bridge: bridge,
+		Engine: s.opts.Engine,
 	})
 	// A faulted request is a first-class, auditable outcome: Run still
 	// returned a Result whose digest is folded with the fault site, so

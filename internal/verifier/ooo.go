@@ -46,6 +46,13 @@ func OOOAudit(prog *lang.Program, tr *trace.Trace, rep *reports.Reports, init *o
 // error matching ErrAuditCanceled; leftover request goroutines are
 // unblocked by the scheduler's shutdown, and no verdict is produced.
 func OOOAuditContext(ctx context.Context, prog *lang.Program, tr *trace.Trace, rep *reports.Reports, init *object.Snapshot) (*Result, error) {
+	return OOOAuditContextOpts(ctx, prog, tr, rep, init, Options{})
+}
+
+// OOOAuditContextOpts is OOOAuditContext with audit options. Only
+// opts.Engine is consulted: the OOO audit is inherently per-request
+// (no grouping), so MaxGroup/Workers do not apply.
+func OOOAuditContextOpts(ctx context.Context, prog *lang.Program, tr *trace.Trace, rep *reports.Reports, init *object.Snapshot, opts Options) (*Result, error) {
 	if ctx.Err() != nil {
 		return nil, auditCanceled(ctx)
 	}
@@ -151,7 +158,7 @@ func OOOAuditContext(ctx context.Context, prog *lang.Program, tr *trace.Trace, r
 
 	inputs := tr.Inputs()
 	responses := tr.Responses()
-	sched := newOOOScheduler(env)
+	sched := newOOOScheduler(env, opts.Engine)
 	defer sched.shutdown()
 	for si, key := range schedule {
 		// Operationwise stepping makes the schedule loop the natural
@@ -222,8 +229,9 @@ func OOOAuditContext(ctx context.Context, prog *lang.Program, tr *trace.Trace, r
 
 // oooScheduler single-steps request goroutines through their state ops.
 type oooScheduler struct {
-	env  *auditEnv
-	reqs map[string]*oooRequest
+	env    *auditEnv
+	engine lang.Engine
+	reqs   map[string]*oooRequest
 }
 
 type oooRequest struct {
@@ -235,8 +243,8 @@ type oooRequest struct {
 	err    error
 }
 
-func newOOOScheduler(env *auditEnv) *oooScheduler {
-	return &oooScheduler{env: env, reqs: make(map[string]*oooRequest)}
+func newOOOScheduler(env *auditEnv, engine lang.Engine) *oooScheduler {
+	return &oooScheduler{env: env, engine: engine, reqs: make(map[string]*oooRequest)}
 }
 
 // start launches the request's goroutine; it runs until its first state
@@ -259,6 +267,7 @@ func (s *oooScheduler) start(prog *lang.Program, rid string, in trace.Input) {
 			RIDs:   []string{rid},
 			Inputs: []lang.RequestInput{{Get: in.Get, Post: in.Post, Cookie: in.Cookie}},
 			Bridge: bridge,
+			Engine: s.engine,
 		})
 	}()
 }

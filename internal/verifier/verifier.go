@@ -43,6 +43,11 @@ type Options struct {
 	// and ends, groups re-executed, ops replayed, the verdict). With
 	// Workers > 1 some callbacks fire concurrently; see Observer.
 	Observer Observer
+	// Engine selects the language execution engine for Phase-3
+	// re-execution (nil = lang.DefaultEngine). Verdicts are
+	// bit-identical across engines; the server and verifier may even
+	// use different engines.
+	Engine lang.Engine
 }
 
 // ErrAuditCanceled reports an audit abandoned because its context was
@@ -418,6 +423,7 @@ func runGroup(prog *lang.Program, env *auditEnv, script string, tag uint64, rids
 	res, err := lang.Run(prog, lang.Config{
 		Mode: lang.ModeSIMD, Script: script, RIDs: rids, Inputs: gInputs,
 		Bridge: bridge, CollectStats: opts.CollectStats, MaxSteps: opts.MaxSteps,
+		Engine: opts.Engine,
 	})
 	stats.DedupHits += bridge.cache.Hits
 	stats.DedupMisses += bridge.cache.Misses
