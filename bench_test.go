@@ -267,6 +267,49 @@ func BenchmarkEngineInstr(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineSIMD is BenchmarkEngineInstr's multivalent sibling:
+// the same Fig-10 loops run as one 32-lane SIMD group, uniform (every
+// lane identical, the dedup-friendly case) and divergent (per-lane
+// seeds force multivalue arithmetic through forLanes). This is the
+// Phase-3 shape the engines actually run during an audit.
+func BenchmarkEngineSIMD(b *testing.B) {
+	const lanes = 32
+	for _, variant := range []struct {
+		name    string
+		seed    func(i int) string
+		collect string
+	}{
+		{"Uniform", func(int) string { return "5" }, "GetVal"},
+		{"Divergent", func(i int) string { return fmt.Sprint(i + 1) }, "Multiply"},
+	} {
+		prog := lang.MustCompileCached(map[string]string{"m": fig10Script(fig10Bodies[variant.collect])})
+		rids := make([]string, lanes)
+		inputs := make([]lang.RequestInput, lanes)
+		for i := range rids {
+			rids[i] = fmt.Sprintf("r%03d", i)
+			inputs[i] = lang.RequestInput{Get: map[string]string{"seed": variant.seed(i)}}
+		}
+		for _, name := range lang.Engines() {
+			eng, err := lang.EngineByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := lang.Config{
+				Mode: lang.ModeSIMD, Script: "m", RIDs: rids, Inputs: inputs,
+				Bridge: &fig10Bridge{}, Engine: eng,
+			}
+			b.Run(variant.name+"/"+name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := lang.Run(prog, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // --- Fig. 8 right: latency under load (scaled; full sweep in cmd) ---
 
 func BenchmarkFig8Latency(b *testing.B) {

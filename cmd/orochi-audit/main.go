@@ -97,7 +97,7 @@ func main() {
 	retain := flag.Int("retain", 0, "with -gc: compact verified epochs older than the newest N to decision+checkpoint (0 = no compaction)")
 	scrub := flag.Bool("scrub", false, "run the retrievability self-audit over -epochs and exit; failures are recorded in the decision log (REJECT for never-audited epochs, an annotation otherwise)")
 	scrubSample := flag.Int("scrub-sample", 0, "with -scrub: chunks challenged per epoch (default 16, -1 = every chunk)")
-	engineName := flag.String("engine", "compiled", "language execution engine (interp or compiled); verdicts are identical under either")
+	engineName := flag.String("engine", "compiled", "language execution engine (interp, compiled or bytecode); verdicts are identical under any")
 	flag.Parse()
 
 	engine, engErr := lang.EngineByName(*engineName)

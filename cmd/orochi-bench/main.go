@@ -50,6 +50,10 @@ import (
 // half-printed table behind a hung Ctrl-C.
 var benchCtx = context.Background()
 
+// benchMaxGroup routes the -max-group flag into every audit a figure
+// runs (0 = the verifier's default SIMD batch cap).
+var benchMaxGroup int
+
 func main() {
 	var stop context.CancelFunc
 	benchCtx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -63,8 +67,10 @@ func main() {
 	// parallelism is measured by the dedicated -fig workers sweep.
 	auditWorkers := flag.Int("audit-workers", 1, "verifier worker pool for the audit-running figures (1 = sequential/paper-faithful, 0 = all CPUs)")
 	jsonOut := flag.String("json", "", "machine-readable mode: measure the headline numbers (Fig-8 audit cost per request, serve req/s, speedup, dedup ratio) and write them as JSON to this file ('-' = stdout), instead of printing figures")
-	engineName := flag.String("engine", "compiled", "language execution engine for the figures (interp or compiled); -json measures both regardless")
+	engineName := flag.String("engine", "compiled", "language execution engine for the figures (interp, compiled or bytecode); -json measures all three regardless")
+	maxGroup := flag.Int("max-group", 0, "cap requests re-executed per SIMD batch in the audits behind the figures (0 = verifier default of 3000); lane-width experiments, verdicts identical at any setting")
 	flag.Parse()
+	benchMaxGroup = *maxGroup
 
 	eng, err := lang.EngineByName(*engineName)
 	if err != nil {
@@ -180,13 +186,25 @@ type engineResult struct {
 	AllocsPerReq uint64 `json:"allocs_per_req"`
 }
 
+// engineAuditResult is one application's row of the -json
+// "engine_audit" section: the Fig-8 audit cost of the same recorded
+// run re-executed under each engine. The serve is shared (verdicts are
+// engine-independent, so the auditing engine is free to differ from
+// the serving one); only Phase-3 re-execution cost varies.
+type engineAuditResult struct {
+	App string `json:"app"`
+	// AuditNsPerReq maps engine name -> audit ns/request.
+	AuditNsPerReq map[string]int64 `json:"audit_ns_per_req"`
+}
+
 // benchOutput is the top-level -json document.
 type benchOutput struct {
-	Scale        int            `json:"scale"`
-	Concurrency  int            `json:"concurrency"`
-	AuditWorkers int            `json:"audit_workers"`
-	Results      []benchResult  `json:"results"`
-	Engine       []engineResult `json:"engine"`
+	Scale        int                 `json:"scale"`
+	Concurrency  int                 `json:"concurrency"`
+	AuditWorkers int                 `json:"audit_workers"`
+	Results      []benchResult       `json:"results"`
+	Engine       []engineResult      `json:"engine"`
+	EngineAudit  []engineAuditResult `json:"engine_audit"`
 }
 
 // benchJSON measures each paper workload once (serve → baseline replay
@@ -198,7 +216,7 @@ func benchJSON(path string, scale, conc, auditWorkers int) {
 		check(err)
 		baseAudit, err := harness.BaselineReplay(item.w, served)
 		check(err)
-		res, err := served.AuditContext(benchCtx, verifier.Options{Workers: auditWorkers})
+		res, err := served.AuditContext(benchCtx, verifier.Options{Workers: auditWorkers, MaxGroup: benchMaxGroup})
 		check(err)
 		if !res.Accepted {
 			fmt.Fprintf(os.Stderr, "%s: AUDIT REJECTED: %s\n", item.name, res.Reason)
@@ -219,6 +237,7 @@ func benchJSON(path string, scale, conc, auditWorkers int) {
 		})
 	}
 	out.Engine = engineBench(scale, conc, auditWorkers)
+	out.EngineAudit = engineAuditBench(scale, conc, auditWorkers)
 	data, err := json.MarshalIndent(out, "", "  ")
 	check(err)
 	data = append(data, '\n')
@@ -253,7 +272,7 @@ func engineBench(scale, conc, auditWorkers int) []engineResult {
 		served, err := harness.Serve(w, harness.ServeConfig{Record: true, Concurrency: conc, Engine: eng})
 		check(err)
 		runtime.ReadMemStats(&ms1)
-		res, err := served.AuditContext(benchCtx, verifier.Options{Workers: auditWorkers, Engine: eng})
+		res, err := served.AuditContext(benchCtx, verifier.Options{Workers: auditWorkers, Engine: eng, MaxGroup: benchMaxGroup})
 		check(err)
 		if !res.Accepted {
 			fmt.Fprintf(os.Stderr, "engine %s: AUDIT REJECTED: %s\n", name, res.Reason)
@@ -266,6 +285,55 @@ func engineBench(scale, conc, auditWorkers int) []engineResult {
 			AuditNsPerReq: res.Stats.Total.Nanoseconds() / n,
 			AllocsPerReq:  (ms1.Mallocs - ms0.Mallocs) / uint64(n),
 		})
+	}
+	return out
+}
+
+// engineAuditBench serves each paper workload once and audits the
+// recorded run under every engine: the per-app Fig-8 audit cost as a
+// function of the Phase-3 execution engine alone, with serving held
+// constant. Every audit must ACCEPT — the engine is not an observable.
+func engineAuditBench(scale, conc, auditWorkers int) []engineAuditResult {
+	var out []engineAuditResult
+	for _, item := range workloads(scale) {
+		served, err := harness.Serve(item.w, harness.ServeConfig{Record: true, Concurrency: conc})
+		check(err)
+		row := engineAuditResult{App: item.name, AuditNsPerReq: make(map[string]int64)}
+		// Round 0 is an unmeasured warm-up per engine (lazy lowering,
+		// page cache); rounds 1..3 are measured and the best is kept.
+		// Rounds are interleaved across engines rather than running each
+		// engine's samples back-to-back: these audits are a few hundred
+		// ms of wall time each, so a background hiccup or GC drift that
+		// lands on one engine's whole block would skew the comparison,
+		// while interleaving spreads it across all three.
+		best := make(map[string]int64)
+		for round := 0; round < 6; round++ {
+			for _, name := range lang.Engines() {
+				eng, err := lang.EngineByName(name)
+				check(err)
+				// GC fence: without it, garbage from the previous
+				// engine's audit gets collected inside — and charged
+				// to — this engine's wall time.
+				runtime.GC()
+				res, err := served.AuditContext(benchCtx, verifier.Options{Workers: auditWorkers, Engine: eng, MaxGroup: benchMaxGroup})
+				check(err)
+				if !res.Accepted {
+					fmt.Fprintf(os.Stderr, "%s under %s: AUDIT REJECTED: %s\n", item.name, name, res.Reason)
+					os.Exit(1)
+				}
+				if round == 0 {
+					continue
+				}
+				ns := res.Stats.Total.Nanoseconds() / int64(served.Requests)
+				if b, ok := best[name]; !ok || ns < b {
+					best[name] = ns
+				}
+			}
+		}
+		for name, ns := range best {
+			row.AuditNsPerReq[name] = ns
+		}
+		out = append(out, row)
 	}
 	return out
 }
@@ -409,7 +477,7 @@ func fig8(scale, conc, auditWorkers int) {
 		// Baseline audit = sequential re-execution of the trace.
 		baseAudit, err := harness.BaselineReplay(item.w, served)
 		check(err)
-		res, err := served.AuditContext(benchCtx, verifier.Options{Workers: auditWorkers})
+		res, err := served.AuditContext(benchCtx, verifier.Options{Workers: auditWorkers, MaxGroup: benchMaxGroup})
 		check(err)
 		if !res.Accepted {
 			fmt.Fprintf(os.Stderr, "%s: AUDIT REJECTED: %s\n", item.name, res.Reason)
@@ -546,7 +614,7 @@ func fig9(scale, conc, auditWorkers int) {
 		check(err)
 		base, err := harness.BaselineReplay(item.w, served)
 		check(err)
-		res, err := served.AuditContext(benchCtx, verifier.Options{Workers: auditWorkers})
+		res, err := served.AuditContext(benchCtx, verifier.Options{Workers: auditWorkers, MaxGroup: benchMaxGroup})
 		check(err)
 		if !res.Accepted {
 			fmt.Fprintf(os.Stderr, "%s: AUDIT REJECTED: %s\n", item.name, res.Reason)
@@ -712,7 +780,7 @@ func fig11(scale, conc, auditWorkers int) {
 	w := workload.Wiki(workload.DefaultWikiParams().Scale(scale))
 	served, err := harness.Serve(w, harness.ServeConfig{Record: true, Concurrency: conc})
 	check(err)
-	res, err := served.AuditContext(benchCtx, verifier.Options{CollectStats: true, Workers: auditWorkers})
+	res, err := served.AuditContext(benchCtx, verifier.Options{CollectStats: true, Workers: auditWorkers, MaxGroup: benchMaxGroup})
 	check(err)
 	if !res.Accepted {
 		fmt.Fprintf(os.Stderr, "AUDIT REJECTED: %s\n", res.Reason)
@@ -774,7 +842,7 @@ func figWorkers(scale, conc int) {
 			// Best of 2 runs per width to keep scheduler noise out.
 			var t time.Duration = math.MaxInt64
 			for rep := 0; rep < 2; rep++ {
-				res, err := served.AuditContext(benchCtx, verifier.Options{Workers: wN})
+				res, err := served.AuditContext(benchCtx, verifier.Options{Workers: wN, MaxGroup: benchMaxGroup})
 				check(err)
 				if !res.Accepted {
 					fmt.Fprintf(os.Stderr, "%s: AUDIT REJECTED at %d workers: %s\n", item.name, wN, res.Reason)

@@ -71,7 +71,8 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "inject faulting requests (unknown script, undefined function, bad SQL) into the workload at this rate; the audit must still ACCEPT")
 	shards := flag.Int("shards", 0, "lock-stripe count for the object store and recorder (0 = default); reports are identical at every setting")
 	tamperReq := flag.Int64("tamper-request", 0, "misbehaving-executor demo: corrupt the Nth audited request's response between the executor and the collector — the collector records (and the client sees) the tampered bytes, and the audit must REJECT naming that request")
-	engineName := flag.String("engine", "compiled", "language execution engine (interp or compiled); observables are identical under either")
+	engineName := flag.String("engine", "compiled", "language execution engine (interp, compiled or bytecode); observables are identical under any")
+	maxGroup := flag.Int("max-group", 0, "cap requests re-executed per SIMD batch in the background auditor (0 = verifier default of 3000); verdicts are identical at any setting")
 	flag.Parse()
 
 	eng, err := lang.EngineByName(*engineName)
@@ -133,7 +134,7 @@ func main() {
 			auditor = epoch.NewAuditor(prog, *epochDir, epoch.AuditorOptions{
 				Notify:      mgr.Notify(),
 				Checkpoints: true,
-				Verify:      verifier.Options{Workers: vw, Engine: eng},
+				Verify:      verifier.Options{Workers: vw, Engine: eng, MaxGroup: *maxGroup},
 			})
 			var auditCtx context.Context
 			auditCtx, stopAudit = context.WithCancel(context.Background())

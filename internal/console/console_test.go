@@ -129,6 +129,8 @@ func TestConsoleHonestPipeline(t *testing.T) {
 		"orochi_lang_cache_hits ",
 		"# TYPE orochi_lang_cache_misses counter",
 		"orochi_lang_cache_misses ",
+		"# TYPE orochi_lang_cache_evictions counter",
+		"orochi_lang_cache_evictions ",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/-/metrics missing %q in:\n%s", want, body)

@@ -33,6 +33,8 @@ func (c *Console) metrics(w http.ResponseWriter, r *http.Request) {
 	p.sample("orochi_lang_cache_hits", "", float64(langHits))
 	p.family("orochi_lang_cache_misses", "counter", "Compiles that built (and cached) a fresh program.")
 	p.sample("orochi_lang_cache_misses", "", float64(langMisses))
+	p.family("orochi_lang_cache_evictions", "counter", "Programs dropped by the cache's LRU bound (held references stay valid).")
+	p.sample("orochi_lang_cache_evictions", "", float64(lang.CacheEvictions()))
 
 	if c.srv != nil {
 		cpu, n := c.srv.CPU()

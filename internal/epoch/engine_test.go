@@ -42,6 +42,8 @@ func TestChainVerdictsEngineIndependent(t *testing.T) {
 		{"interp-w8", lang.EngineInterp, 8},
 		{"compiled-w1", lang.EngineCompiled, 1},
 		{"compiled-w8", lang.EngineCompiled, 8},
+		{"bytecode-w1", lang.EngineBytecode, 1},
+		{"bytecode-w8", lang.EngineBytecode, 8},
 	}
 	type obs struct {
 		Epoch       int64

@@ -13,20 +13,25 @@ import (
 	"orochi/internal/workload"
 )
 
-// The dual-engine differential harness: the compiled engine is a pure
-// performance substitution for the interpreter, so every observable —
-// response bytes (including canonical HTTP 500 fault renderings),
-// canonical report bytes, audit verdicts, forensics — must be
-// bit-identical between engines at any worker count and any SIMD lane
-// width. These tests pin that end to end, on real workloads.
+// The engine-matrix differential harness: the compiled and bytecode
+// engines are pure performance substitutions for the interpreter, so
+// every observable — response bytes (including canonical HTTP 500
+// fault renderings), canonical report bytes, audit verdicts, forensics
+// — must be bit-identical across engines at any worker count and any
+// SIMD lane width. These tests pin that end to end, on real workloads.
 
-var bothEngines = []struct {
+var allEngines = []struct {
 	name string
 	eng  lang.Engine
 }{
 	{"interp", lang.EngineInterp},
 	{"compiled", lang.EngineCompiled},
+	{"bytecode", lang.EngineBytecode},
 }
+
+// fastEngines are the non-reference engines checked against the
+// interpreter's serving run.
+var fastEngines = allEngines[1:]
 
 // serveDeterministic runs w sequentially with a fixed clock and seed so
 // two runs differ only in the engine under test.
@@ -72,18 +77,21 @@ func TestDualEngineByteEquivalence(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			ref := serveDeterministic(t, tc.w, lang.EngineInterp)
-			got := serveDeterministic(t, tc.w, lang.EngineCompiled)
-			refBodies, gotBodies := traceBodies(ref.Trace), traceBodies(got.Trace)
-			if !reflect.DeepEqual(refBodies, gotBodies) {
-				for i := range refBodies {
-					if i < len(gotBodies) && refBodies[i] != gotBodies[i] {
-						t.Fatalf("response %d differs:\ninterp:   %s\ncompiled: %s", i, refBodies[i], gotBodies[i])
+			refBodies := traceBodies(ref.Trace)
+			for _, e := range fastEngines {
+				got := serveDeterministic(t, tc.w, e.eng)
+				gotBodies := traceBodies(got.Trace)
+				if !reflect.DeepEqual(refBodies, gotBodies) {
+					for i := range refBodies {
+						if i < len(gotBodies) && refBodies[i] != gotBodies[i] {
+							t.Fatalf("response %d differs:\ninterp: %s\n%s: %s", i, refBodies[i], e.name, gotBodies[i])
+						}
 					}
+					t.Fatalf("%s: response counts differ: %d vs %d", e.name, len(refBodies), len(gotBodies))
 				}
-				t.Fatalf("response counts differ: %d vs %d", len(refBodies), len(gotBodies))
-			}
-			if !bytes.Equal(ref.Reports.CanonicalBytes(), got.Reports.CanonicalBytes()) {
-				t.Fatal("canonical report bytes differ between engines")
+				if !bytes.Equal(ref.Reports.CanonicalBytes(), got.Reports.CanonicalBytes()) {
+					t.Fatalf("canonical report bytes differ between interp and %s", e.name)
+				}
 			}
 		})
 	}
@@ -114,10 +122,15 @@ func TestDualEngineFaultClasses(t *testing.T) {
 	}
 
 	ref := serveDeterministic(t, w, lang.EngineInterp)
-	got := serveDeterministic(t, w, lang.EngineCompiled)
-	refBodies, gotBodies := traceBodies(ref.Trace), traceBodies(got.Trace)
-	if !reflect.DeepEqual(refBodies, gotBodies) {
-		t.Fatal("fault-class responses differ between engines")
+	refBodies := traceBodies(ref.Trace)
+	for _, e := range fastEngines {
+		got := serveDeterministic(t, w, e.eng)
+		if !reflect.DeepEqual(refBodies, traceBodies(got.Trace)) {
+			t.Fatalf("fault-class responses differ between interp and %s", e.name)
+		}
+		if !bytes.Equal(ref.Reports.CanonicalBytes(), got.Reports.CanonicalBytes()) {
+			t.Fatalf("canonical report bytes differ between interp and %s on the fault mix", e.name)
+		}
 	}
 	n500 := 0
 	for _, b := range refBodies {
@@ -128,11 +141,8 @@ func TestDualEngineFaultClasses(t *testing.T) {
 	if n500 != 3*len(faults) {
 		t.Fatalf("expected %d canonical 500s, saw %d", 3*len(faults), n500)
 	}
-	if !bytes.Equal(ref.Reports.CanonicalBytes(), got.Reports.CanonicalBytes()) {
-		t.Fatal("canonical report bytes differ between engines on the fault mix")
-	}
 
-	for _, e := range bothEngines {
+	for _, e := range allEngines {
 		for _, maxGroup := range []int{1, 0} {
 			res, err := ref.Audit(verifier.Options{Engine: e.eng, MaxGroup: maxGroup})
 			if err != nil {
@@ -155,7 +165,7 @@ func TestDualEngineVerdictEquivalence(t *testing.T) {
 		workload.ErrorMixParams{Rate: 0.1, Seed: 5})
 
 	honest := serveDeterministic(t, w, lang.EngineCompiled)
-	for _, e := range bothEngines {
+	for _, e := range allEngines {
 		for _, workers := range []int{1, 8} {
 			res, err := honest.Audit(verifier.Options{Engine: e.eng, Workers: workers})
 			if err != nil {
@@ -189,7 +199,7 @@ func TestDualEngineVerdictEquivalence(t *testing.T) {
 	}
 	var wantReason string
 	var wantForensics *verifier.Forensics
-	for i, e := range bothEngines {
+	for i, e := range allEngines {
 		for _, workers := range []int{1, 8} {
 			res, aerr := tampered.Audit(verifier.Options{Engine: e.eng, Workers: workers})
 			if aerr != nil {

@@ -1,0 +1,1591 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The bytecode engine lowers each script and function body into a flat
+// instruction array executed by a threaded-dispatch loop: a dense
+// switch over a uint8 opcode, which the Go compiler turns into a jump
+// table, with an explicit program counter instead of a tree (or
+// closure-tree) walk. Relative to the closure-compiled engine this
+// removes the per-node closure-call overhead and the (Value, error)
+// return plumbing between nodes: operands flow through a per-frame
+// operand stack, and the hottest operators (integer arithmetic and
+// comparisons, variable loads/stores) execute inline in the loop.
+//
+// Everything semantic is shared with the other engines, exactly as the
+// closure engine shares it with the interpreter: binaryOp/indexRead/
+// setPath/condDirection/forLanes, the state-op, nondet and builtin
+// cores, and the slot model from resolve.go (slot-indexed frames with
+// presence bitmaps, runtime `global` redirect flags). The inline fast
+// paths below replicate the scalar cores bit-for-bit and fall back to
+// them for every case they do not cover, so value semantics cannot
+// drift; the differential suite and fuzzer enforce the equivalence
+// over all three engines.
+//
+// Compile-time-detectable faults (undefined functions, bad call
+// shapes) lower to opFault, deferring the error to execution time: a
+// faulty call on a never-taken branch must stay silent, as in the
+// other engines.
+
+// bop is a bytecode opcode. The dispatch switch is dense over these
+// values; keep them contiguous.
+type bop uint8
+
+const (
+	opConst bop = iota // push v
+	opPop              // discard top
+
+	// Variable access, one opcode per storage class (resolve.go).
+	opLoadG      // push gslots[a]
+	opLoadL      // push locals[a]
+	opLoadGL     // flag-checked: a = local slot, b = global slot
+	opLoadSuper  // push super[s]
+	opStoreG     // simple assign: pop, clone, store, countInstr
+	opStoreL     //
+	opStoreGL    //
+	opStoreSuper //
+
+	// Statement accounting and control flow.
+	opStep       // statement-entry (and while-bottom) step
+	opBranch     // digest record: site a, direction b
+	opJmp        // pc = a
+	opJumpFalse  // pop; condDirection; if false pc = a (no record)
+	opLoopCond   // pop; condDirection; false: branch(a,0), pc=b; true: branch(a,1)
+	opTernCond   // pop; condDirection; true: branch(a,1); false: branch(a,0), pc=b
+	opAnd        // pop; short-circuit &&: site a, end b
+	opOr         // pop; short-circuit ||: site a, end b
+	opLogicalRes // pop; push logicalResult
+	opRet        // return: a=1 pops the return value
+	opDepthCheck // fault at line a if the call depth is exhausted
+
+	// Operators. The specialized forms execute the common univalue
+	// case inline and defer everything else to ex.binaryOp.
+	opBinary // s=op, a=line: pop r, l; push binaryOp
+	opAdd
+	opSub
+	opMul
+	opConcat
+	opLt
+	opLe
+	opGt
+	opGe
+	opUnary     // s=op, a=line
+	opIndexRead // a=line: pop i, t; countInstr; indexRead
+	opEcho      // pop; echo
+
+	// Arrays.
+	opNewArray    // push NewArray()
+	opArrayAppend // pop v; append to top-of-stack array
+	opArraySetKV  // a=line: pop k, v; set in top-of-stack array
+
+	// Foreach iterators (per-frame iterator stack).
+	opIterInit  // a=site, b=done, aux *biterDef: pop subject
+	opIterNext  // a=site, b=done, aux *biterDef
+	opIterBreak // a=site, b=done: branch(a,0), pop iterator, pc=b
+
+	// Switch.
+	opCase // a=body: pop match, peek subject; looseEqDirection
+
+	// Lvalue paths (aux *blval).
+	opAssign     // pop v; path assign
+	opCompound   // s=op, a=line: pop v; old = read; binaryOp; assign
+	opIncDec     // aux *bincdec: push pre/post result
+	opLoadLV     // push read of the path (ref-builtin target read)
+	opIsset      // aux []*blval: push bool
+	opEmpty      // aux *blval: push bool
+	opUnset      // aux []*blval
+	opGlobalDecl // aux []int32: set gflags
+
+	// Calls.
+	opCallUser    // aux *bucall: pop provided args
+	opRefCall     // aux *brefcall: pop rest args, then target value
+	opCallState   // s=name, a=nargs, b=line
+	opCallNonDet  // s=name, a=nargs
+	opCallBuiltin // s=name, a=nargs, b=line, aux builtinFn
+
+	opFault // aux *RuntimeError: deferred compile-time-detectable fault
+)
+
+// bins is one bytecode instruction. a and b hold line numbers, slots,
+// sites, directions or jump targets depending on the opcode.
+type bins struct {
+	op   bop
+	a, b int32
+	s    string
+	v    Value
+	aux  any
+}
+
+// bprog is a Program lowered for the bytecode engine.
+type bprog struct {
+	res     *resolution
+	scripts map[string]*bscript
+	funcs   map[string]*bfunc
+}
+
+type bscript struct{ code []bins }
+
+type bfunc struct {
+	name      string
+	params    []bparam
+	code      []bins
+	info      *funcInfo
+	hasGlobal bool
+}
+
+// bparam mirrors cparam: slot is -1 for a superglobal-named parameter.
+type bparam struct {
+	slot int
+	def  []bins // fragment in the function's own frame; nil if required
+}
+
+// bvref is a variable reference resolved to its storage class.
+type bvref struct {
+	kind  uint8
+	slot  int
+	gslot int
+	name  string
+}
+
+const (
+	bvGlobal = iota
+	bvLocal
+	bvLocalG // flag-checked `global` redirect
+	bvSuper
+)
+
+func (r *bvref) get(fr *bframe) Value {
+	switch r.kind {
+	case bvGlobal:
+		return fr.ex.gslots[r.slot]
+	case bvLocal:
+		return fr.locals[r.slot]
+	case bvLocalG:
+		if fr.gflags[r.slot] {
+			return fr.ex.gslots[r.gslot]
+		}
+		return fr.locals[r.slot]
+	default:
+		return fr.ex.super[r.name]
+	}
+}
+
+func (r *bvref) set(fr *bframe, v Value) {
+	switch r.kind {
+	case bvGlobal:
+		fr.ex.gslots[r.slot] = v
+		fr.ex.gset[r.slot] = true
+	case bvLocal:
+		fr.locals[r.slot] = v
+		fr.set[r.slot] = true
+	case bvLocalG:
+		if fr.gflags[r.slot] {
+			fr.ex.gslots[r.gslot] = v
+			fr.ex.gset[r.gslot] = true
+			return
+		}
+		fr.locals[r.slot] = v
+		fr.set[r.slot] = true
+	default:
+		if arr, ok := v.(*Array); ok {
+			fr.ex.super[r.name] = arr
+		}
+	}
+}
+
+func (r *bvref) exists(fr *bframe) bool {
+	switch r.kind {
+	case bvGlobal:
+		return fr.ex.gset[r.slot]
+	case bvLocal:
+		return fr.set[r.slot]
+	case bvLocalG:
+		if fr.gflags[r.slot] {
+			return fr.ex.gset[r.gslot]
+		}
+		return fr.set[r.slot]
+	default:
+		return true
+	}
+}
+
+func (r *bvref) unset(fr *bframe) {
+	switch r.kind {
+	case bvGlobal:
+		fr.ex.gslots[r.slot] = nil
+		fr.ex.gset[r.slot] = false
+	case bvLocal:
+		fr.locals[r.slot] = nil
+		fr.set[r.slot] = false
+	case bvLocalG:
+		if fr.gflags[r.slot] {
+			fr.ex.gslots[r.gslot] = nil
+			fr.ex.gset[r.gslot] = false
+			return
+		}
+		fr.locals[r.slot] = nil
+		fr.set[r.slot] = false
+	default:
+	}
+}
+
+// blval is a lowered lvalue path: the base reference plus one compiled
+// fragment per index step (nil fragment = the append form $a[]).
+type blval struct {
+	ref   bvref
+	steps [][]bins
+	line  int
+}
+
+// bincdec is a lowered ++/-- expression.
+type bincdec struct {
+	t    *blval
+	op   string // "+" or "-"
+	pre  bool
+	line int
+}
+
+// biterDef is the static part of a foreach: where the key/value bind
+// and whether elements need a deep copy.
+type biterDef struct {
+	hasKey  bool
+	key     bvref
+	val     bvref
+	mutates bool
+	line    int
+}
+
+// biter is one live foreach iteration (per-frame stack, so iterators
+// nest and unwind with break/return).
+type biter struct {
+	uniKeys  []Key
+	uniVals  []Value
+	laneKeys [][]Key
+	laneVals [][]Value
+	multi    bool
+	n, i     int
+}
+
+// bucall is a lowered user-function call: the first min(args, params)
+// arguments are compiled inline before the opcode; extras (beyond the
+// parameter list) are fragments the opcode evaluates in the caller's
+// frame after defaults bind, exactly as the other engines order it.
+type bucall struct {
+	fn     *bfunc
+	nprov  int
+	extras [][]bins
+	line   int
+}
+
+// brefcall is a lowered by-reference builtin call.
+type brefcall struct {
+	name  string
+	fn    refBuiltinFn
+	t     *blval
+	nrest int
+	line  int
+}
+
+// bframe is one bytecode activation record: locals as in cframe, plus
+// the operand stack and the live-iterator stack.
+type bframe struct {
+	ex     *exec
+	locals []Value
+	set    []bool
+	gflags []bool
+	stack  []Value
+	sp     int
+	iters  []biter
+}
+
+func (fr *bframe) push(v Value) {
+	if fr.sp < len(fr.stack) {
+		fr.stack[fr.sp] = v
+	} else {
+		fr.stack = append(fr.stack, v)
+	}
+	fr.sp++
+}
+
+func (fr *bframe) pop() Value {
+	fr.sp--
+	return fr.stack[fr.sp]
+}
+
+// pushIter grows the live-iterator stack by one, reusing the snapshot
+// buffers a previously popped iterator left in the slot: a foreach
+// re-entered at the same depth (the common loop-in-loop shape) then
+// iterates allocation-free.
+func (fr *bframe) pushIter() *biter {
+	n := len(fr.iters)
+	if n < cap(fr.iters) {
+		fr.iters = fr.iters[:n+1]
+	} else {
+		fr.iters = append(fr.iters, biter{})
+	}
+	it := &fr.iters[n]
+	it.i = 0
+	return it
+}
+
+// snapshotInto is Array.snapshot into reusable buffers.
+func snapshotInto(a *Array, keys []Key, vals []Value) ([]Key, []Value) {
+	n := len(a.keys)
+	if cap(keys) < n {
+		keys = make([]Key, n)
+	} else {
+		keys = keys[:n]
+	}
+	if cap(vals) < n {
+		vals = make([]Value, n)
+	} else {
+		vals = vals[:n]
+	}
+	copy(keys, a.keys)
+	for i, k := range a.keys {
+		vals[i] = a.m[k]
+	}
+	return keys, vals
+}
+
+// bytecode returns prog's bytecode lowering, computing it once.
+func (p *Program) bytecode() *bprog {
+	p.bcOnce.Do(func() {
+		p.bc = lowerBC(p)
+	})
+	return p.bc
+}
+
+func lowerBC(prog *Program) *bprog {
+	res := resolve(prog)
+	bp := &bprog{
+		res:     res,
+		scripts: make(map[string]*bscript, len(prog.Scripts)),
+		funcs:   make(map[string]*bfunc, len(prog.Funcs)),
+	}
+	// Two passes so calls bind their callee's *bfunc — and see its
+	// parameter count, which decides the provided/extra argument split
+	// at a call site — before any body is lowered.
+	for name, fn := range prog.Funcs {
+		hasGlobal := false
+		walkStmts(fn.Body, func(string) {}, func(n string) {
+			if !isSuperglobal(n) {
+				hasGlobal = true
+			}
+		})
+		bf := &bfunc{name: name, info: res.funcs[name], hasGlobal: hasGlobal}
+		bf.params = make([]bparam, len(fn.Params))
+		for i, pm := range fn.Params {
+			slot := -1
+			if !isSuperglobal(pm.Name) {
+				slot = bf.info.locals[pm.Name]
+			}
+			bf.params[i] = bparam{slot: slot}
+		}
+		bp.funcs[name] = bf
+	}
+	for name, fn := range prog.Funcs {
+		bf := bp.funcs[name]
+		bc := &bcompiler{prog: prog, res: res, funcs: bp.funcs, fn: bf.info}
+		for i, pm := range fn.Params {
+			if pm.Default != nil {
+				bf.params[i].def = bc.frag(pm.Default)
+			}
+		}
+		bc.stmts(fn.Body)
+		bf.code = bc.code
+	}
+	for name, s := range prog.Scripts {
+		bc := &bcompiler{prog: prog, res: res, funcs: bp.funcs}
+		bc.stmts(s.Body)
+		bp.scripts[name] = &bscript{code: bc.code}
+	}
+	return bp
+}
+
+// --- Compiler ---
+
+// bctx is one enclosing breakable construct during compilation.
+type bctx struct {
+	kind      uint8 // bctxLoop, bctxForeach, bctxSwitch
+	site      Site
+	breaks    []int // instruction indices whose target patches to the end
+	continues []int // likewise to the continue point (loops only)
+}
+
+const (
+	bctxLoop = iota
+	bctxForeach
+	bctxSwitch
+)
+
+type bcompiler struct {
+	prog  *Program
+	res   *resolution
+	funcs map[string]*bfunc
+	fn    *funcInfo
+	code  []bins
+	ctxs  []bctx
+}
+
+func (bc *bcompiler) emit(in bins) int {
+	bc.code = append(bc.code, in)
+	return len(bc.code) - 1
+}
+
+func (bc *bcompiler) here() int32 { return int32(len(bc.code)) }
+
+// frag compiles e into a standalone fragment (own code array, own
+// jump-target space) that leaves one value on the operand stack.
+func (bc *bcompiler) frag(e Expr) []bins {
+	sub := &bcompiler{prog: bc.prog, res: bc.res, funcs: bc.funcs, fn: bc.fn}
+	sub.expr(e)
+	return sub.code
+}
+
+func (bc *bcompiler) vref(name string) bvref {
+	if isSuperglobal(name) {
+		return bvref{kind: bvSuper, name: name}
+	}
+	if bc.fn == nil {
+		g, ok := bc.res.globals[name]
+		if !ok {
+			panic(fmt.Sprintf("lang: unresolved global %q", name))
+		}
+		return bvref{kind: bvGlobal, slot: g}
+	}
+	l, ok := bc.fn.locals[name]
+	if !ok {
+		panic(fmt.Sprintf("lang: unresolved local %q", name))
+	}
+	if !bc.fn.globalDecl[name] {
+		return bvref{kind: bvLocal, slot: l}
+	}
+	return bvref{kind: bvLocalG, slot: l, gslot: bc.fn.gslot[name]}
+}
+
+func (bc *bcompiler) lvalue(lv *LValue) *blval {
+	steps := make([][]bins, len(lv.Steps))
+	for i, s := range lv.Steps {
+		if s.Idx != nil {
+			steps[i] = bc.frag(s.Idx)
+		}
+	}
+	return &blval{ref: bc.vref(lv.Name), steps: steps, line: lv.Line}
+}
+
+// storeOp emits the simple-assignment store for a no-steps lvalue.
+func (bc *bcompiler) storeOp(r bvref) {
+	switch r.kind {
+	case bvGlobal:
+		bc.emit(bins{op: opStoreG, a: int32(r.slot)})
+	case bvLocal:
+		bc.emit(bins{op: opStoreL, a: int32(r.slot)})
+	case bvLocalG:
+		bc.emit(bins{op: opStoreGL, a: int32(r.slot), b: int32(r.gslot)})
+	default:
+		bc.emit(bins{op: opStoreSuper, s: r.name})
+	}
+}
+
+func (bc *bcompiler) loadOp(r bvref) {
+	switch r.kind {
+	case bvGlobal:
+		bc.emit(bins{op: opLoadG, a: int32(r.slot)})
+	case bvLocal:
+		bc.emit(bins{op: opLoadL, a: int32(r.slot)})
+	case bvLocalG:
+		bc.emit(bins{op: opLoadGL, a: int32(r.slot), b: int32(r.gslot)})
+	default:
+		bc.emit(bins{op: opLoadSuper, s: r.name})
+	}
+}
+
+func (bc *bcompiler) stmts(stmts []Stmt) {
+	for _, s := range stmts {
+		bc.stmt(s)
+	}
+}
+
+func (bc *bcompiler) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *ExprStmt:
+		bc.emit(bins{op: opStep})
+		bc.expr(st.E)
+		bc.emit(bins{op: opPop})
+	case *Assign:
+		bc.emit(bins{op: opStep})
+		bc.expr(st.RHS)
+		if st.Op == "=" {
+			if len(st.Target.Steps) == 0 {
+				bc.storeOp(bc.vref(st.Target.Name))
+				return
+			}
+			bc.emit(bins{op: opAssign, aux: bc.lvalue(st.Target)})
+			return
+		}
+		bc.emit(bins{
+			op: opCompound, s: strings.TrimSuffix(st.Op, "="),
+			a: int32(st.Line), aux: bc.lvalue(st.Target),
+		})
+	case *If:
+		bc.emit(bins{op: opStep})
+		var ends []int
+		for i, cond := range st.Conds {
+			bc.expr(cond)
+			jf := bc.emit(bins{op: opJumpFalse})
+			bc.emit(bins{op: opBranch, a: int32(st.Site), b: int32(i)})
+			bc.stmts(st.Bodies[i])
+			ends = append(ends, bc.emit(bins{op: opJmp}))
+			bc.code[jf].a = bc.here()
+		}
+		bc.emit(bins{op: opBranch, a: int32(st.Site), b: int32(len(st.Conds))})
+		bc.stmts(st.Else)
+		for _, j := range ends {
+			bc.code[j].a = bc.here()
+		}
+	case *While:
+		bc.emit(bins{op: opStep})
+		top := bc.here()
+		bc.expr(st.Cond)
+		lc := bc.emit(bins{op: opLoopCond, a: int32(st.Site)})
+		bc.ctxs = append(bc.ctxs, bctx{kind: bctxLoop})
+		bc.stmts(st.Body)
+		cont := bc.here()
+		bc.emit(bins{op: opStep}) // loop-bottom step before the re-test
+		bc.emit(bins{op: opJmp, a: top})
+		bc.endCtx(cont)
+		bc.code[lc].b = bc.here()
+	case *For:
+		bc.emit(bins{op: opStep})
+		if st.Init != nil {
+			bc.stmt(st.Init)
+		}
+		top := bc.here()
+		lc := -1
+		if st.Cond != nil {
+			bc.expr(st.Cond)
+			lc = bc.emit(bins{op: opLoopCond, a: int32(st.Site)})
+		} else {
+			bc.emit(bins{op: opBranch, a: int32(st.Site), b: 1})
+		}
+		bc.ctxs = append(bc.ctxs, bctx{kind: bctxLoop})
+		bc.stmts(st.Body)
+		cont := bc.here()
+		if st.Post != nil {
+			bc.stmt(st.Post)
+		}
+		bc.emit(bins{op: opJmp, a: top})
+		bc.endCtx(cont)
+		if lc >= 0 {
+			bc.code[lc].b = bc.here()
+		}
+	case *Foreach:
+		bc.emit(bins{op: opStep})
+		bc.expr(st.Subject)
+		def := &biterDef{hasKey: st.KeyVar != "", val: bc.vref(st.ValVar), mutates: st.MutatesVal, line: st.Line}
+		if def.hasKey {
+			def.key = bc.vref(st.KeyVar)
+		}
+		ii := bc.emit(bins{op: opIterInit, a: int32(st.Site), aux: def})
+		next := bc.here()
+		in := bc.emit(bins{op: opIterNext, a: int32(st.Site), aux: def})
+		bc.ctxs = append(bc.ctxs, bctx{kind: bctxForeach, site: st.Site})
+		bc.stmts(st.Body)
+		bc.emit(bins{op: opJmp, a: next})
+		bc.endCtx(int32(next))
+		end := bc.here()
+		bc.code[ii].b = end
+		bc.code[in].b = end
+	case *Switch:
+		bc.emit(bins{op: opStep})
+		bc.expr(st.Subject)
+		cases := make([]int, len(st.Cases))
+		for i, cs := range st.Cases {
+			bc.expr(cs.Match)
+			cases[i] = bc.emit(bins{op: opCase})
+		}
+		// No arm matched: arm index -1 → direction 0.
+		bc.emit(bins{op: opPop})
+		bc.emit(bins{op: opBranch, a: int32(st.Site), b: 0})
+		bc.ctxs = append(bc.ctxs, bctx{kind: bctxSwitch})
+		bc.stmts(st.Default)
+		var ends []int
+		ends = append(ends, bc.emit(bins{op: opJmp}))
+		for i, cs := range st.Cases {
+			bc.code[cases[i]].a = bc.here()
+			bc.emit(bins{op: opPop})
+			bc.emit(bins{op: opBranch, a: int32(st.Site), b: int32(i + 1)})
+			bc.stmts(cs.Body)
+			if i != len(st.Cases)-1 {
+				ends = append(ends, bc.emit(bins{op: opJmp}))
+			}
+		}
+		end := bc.here()
+		for _, j := range ends {
+			bc.code[j].a = end
+		}
+		bc.endCtx(-1) // break → end; continue falls to the enclosing loop
+		// endCtx patched breaks to here() == end already.
+	case *Return:
+		bc.emit(bins{op: opStep})
+		if st.E != nil {
+			bc.expr(st.E)
+			bc.emit(bins{op: opRet, a: 1})
+			return
+		}
+		bc.emit(bins{op: opRet})
+	case *Break:
+		bc.emit(bins{op: opStep})
+		for i := len(bc.ctxs) - 1; i >= 0; i-- {
+			c := &bc.ctxs[i]
+			var j int
+			if c.kind == bctxForeach {
+				j = bc.emit(bins{op: opIterBreak, a: int32(c.site)})
+			} else {
+				j = bc.emit(bins{op: opJmp})
+			}
+			c.breaks = append(c.breaks, j)
+			return
+		}
+		// break outside any loop: the parser rejects this, but fail soft.
+		bc.emit(bins{op: opFault, aux: &RuntimeError{Msg: "break outside loop", Line: st.Line}})
+	case *Continue:
+		bc.emit(bins{op: opStep})
+		for i := len(bc.ctxs) - 1; i >= 0; i-- {
+			c := &bc.ctxs[i]
+			if c.kind == bctxSwitch {
+				continue // continue binds the enclosing loop, as in PHP
+			}
+			j := bc.emit(bins{op: opJmp})
+			c.continues = append(c.continues, j)
+			return
+		}
+		bc.emit(bins{op: opFault, aux: &RuntimeError{Msg: "continue outside loop", Line: st.Line}})
+	case *Echo:
+		bc.emit(bins{op: opStep})
+		for _, a := range st.Args {
+			bc.expr(a)
+			bc.emit(bins{op: opEcho})
+		}
+	case *Global:
+		bc.emit(bins{op: opStep})
+		if bc.fn == nil {
+			return // inert at top level: the script frame IS the global frame
+		}
+		var lslots []int32
+		for _, n := range st.Names {
+			if !isSuperglobal(n) {
+				lslots = append(lslots, int32(bc.fn.locals[n]))
+			}
+		}
+		if len(lslots) > 0 {
+			bc.emit(bins{op: opGlobalDecl, aux: lslots})
+		}
+	case *Unset:
+		bc.emit(bins{op: opStep})
+		tgts := make([]*blval, len(st.Targets))
+		for i, lv := range st.Targets {
+			tgts[i] = bc.lvalue(lv)
+		}
+		bc.emit(bins{op: opUnset, aux: tgts})
+	default:
+		bc.emit(bins{op: opStep})
+		bc.emit(bins{op: opFault, aux: &RuntimeError{Msg: fmt.Sprintf("unknown statement %T", s)}})
+	}
+}
+
+// endCtx pops the innermost context, patching breaks to here() and
+// continues to cont (-1 when the construct has no continue point).
+func (bc *bcompiler) endCtx(cont int32) {
+	c := bc.ctxs[len(bc.ctxs)-1]
+	bc.ctxs = bc.ctxs[:len(bc.ctxs)-1]
+	end := bc.here()
+	for _, j := range c.breaks {
+		if bc.code[j].op == opIterBreak {
+			bc.code[j].b = end
+		} else {
+			bc.code[j].a = end
+		}
+	}
+	for _, j := range c.continues {
+		bc.code[j].a = cont
+	}
+}
+
+// binaryOps maps operator strings to specialized opcodes. Ops without
+// an entry use the generic opBinary.
+var binarySpecial = map[string]bop{
+	"+": opAdd, "-": opSub, "*": opMul, ".": opConcat,
+	"<": opLt, "<=": opLe, ">": opGt, ">=": opGe,
+}
+
+func (bc *bcompiler) expr(e Expr) {
+	switch x := e.(type) {
+	case *Lit:
+		bc.emit(bins{op: opConst, v: x.Val})
+	case *Var:
+		bc.loadOp(bc.vref(x.Name))
+	case *Index:
+		if x.Idx == nil {
+			bc.emit(bins{op: opFault, aux: &RuntimeError{Msg: "cannot read append-index $a[]", Line: x.Line}})
+			return
+		}
+		bc.expr(x.Target)
+		bc.expr(x.Idx)
+		bc.emit(bins{op: opIndexRead, a: int32(x.Line)})
+	case *Binary:
+		bc.expr(x.L)
+		bc.expr(x.R)
+		if op, ok := binarySpecial[x.Op]; ok {
+			bc.emit(bins{op: op, s: x.Op, a: int32(x.Line)})
+			return
+		}
+		bc.emit(bins{op: opBinary, s: x.Op, a: int32(x.Line)})
+	case *Logical:
+		bc.expr(x.L)
+		op := opAnd
+		if x.Op != "&&" {
+			op = opOr
+		}
+		j := bc.emit(bins{op: op, a: int32(x.Site)})
+		bc.expr(x.R)
+		bc.emit(bins{op: opLogicalRes})
+		bc.code[j].b = bc.here()
+	case *Unary:
+		bc.expr(x.E)
+		bc.emit(bins{op: opUnary, s: x.Op, a: int32(x.Line)})
+	case *Ternary:
+		bc.expr(x.Cond)
+		tc := bc.emit(bins{op: opTernCond, a: int32(x.Site)})
+		bc.expr(x.Then)
+		j := bc.emit(bins{op: opJmp})
+		bc.code[tc].b = bc.here()
+		bc.expr(x.Else)
+		bc.code[j].a = bc.here()
+	case *Call:
+		bc.call(x)
+	case *ArrayLit:
+		bc.emit(bins{op: opNewArray})
+		for _, ent := range x.Entries {
+			bc.expr(ent.Val)
+			if ent.Key == nil {
+				bc.emit(bins{op: opArrayAppend})
+				continue
+			}
+			bc.expr(ent.Key)
+			bc.emit(bins{op: opArraySetKV, a: int32(x.Line)})
+		}
+	case *IssetExpr:
+		tgts := make([]*blval, len(x.Targets))
+		for i, lv := range x.Targets {
+			tgts[i] = bc.lvalue(lv)
+		}
+		bc.emit(bins{op: opIsset, aux: tgts})
+	case *EmptyExpr:
+		bc.emit(bins{op: opEmpty, aux: bc.lvalue(x.Target)})
+	case *IncDec:
+		op := "+"
+		if x.Op == "--" {
+			op = "-"
+		}
+		bc.emit(bins{op: opIncDec, aux: &bincdec{t: bc.lvalue(x.Target), op: op, pre: x.Pre, line: x.Line}})
+	default:
+		bc.emit(bins{op: opFault, aux: &RuntimeError{Msg: fmt.Sprintf("unknown expression %T", e)}})
+	}
+}
+
+// call resolves the dispatch order of exec.evalCall at compile time,
+// exactly as the closure engine does.
+func (bc *bcompiler) call(x *Call) {
+	name, line := x.Name, x.Line
+	if _, ok := bc.prog.Funcs[name]; ok {
+		bf := bc.funcs[name]
+		nprov := len(x.Args)
+		if nprov > len(bf.params) {
+			nprov = len(bf.params)
+		}
+		u := &bucall{fn: bf, nprov: nprov, line: line}
+		// The depth check precedes argument evaluation in every engine:
+		// a call at the depth limit faults before its arguments run.
+		bc.emit(bins{op: opDepthCheck, a: int32(line)})
+		for i := 0; i < nprov; i++ {
+			bc.expr(x.Args[i])
+		}
+		for i := len(bf.params); i < len(x.Args); i++ {
+			u.extras = append(u.extras, bc.frag(x.Args[i]))
+		}
+		bc.emit(bins{op: opCallUser, aux: u})
+		return
+	}
+	if fn, ok := refBuiltins[name]; ok {
+		if len(x.Args) == 0 {
+			bc.emit(bins{op: opFault, aux: &RuntimeError{Msg: name + "() expects an argument", Line: line}})
+			return
+		}
+		lv, err := exprToLValue(x.Args[0])
+		if err != nil {
+			bc.emit(bins{op: opFault, aux: &RuntimeError{Msg: name + "(): first argument must be a variable", Line: line}})
+			return
+		}
+		t := bc.lvalue(lv)
+		bc.emit(bins{op: opLoadLV, aux: t})
+		for _, a := range x.Args[1:] {
+			bc.expr(a)
+		}
+		bc.emit(bins{op: opRefCall, aux: &brefcall{name: name, fn: fn, t: t, nrest: len(x.Args) - 1, line: line}})
+		return
+	}
+	if stateOps[name] {
+		for _, a := range x.Args {
+			bc.expr(a)
+		}
+		bc.emit(bins{op: opCallState, s: name, a: int32(len(x.Args)), b: int32(line)})
+		return
+	}
+	if nondetBuiltins[name] {
+		for _, a := range x.Args {
+			bc.expr(a)
+		}
+		bc.emit(bins{op: opCallNonDet, s: name, a: int32(len(x.Args))})
+		return
+	}
+	if b, ok := builtins[name]; ok {
+		for _, a := range x.Args {
+			bc.expr(a)
+		}
+		bc.emit(bins{op: opCallBuiltin, s: name, a: int32(len(x.Args)), b: int32(line), aux: b})
+		return
+	}
+	bc.emit(bins{op: opFault, aux: &RuntimeError{Msg: fmt.Sprintf("call to undefined function %s()", name), Line: line}})
+}
+
+// --- Runtime ---
+
+// runBC executes code on fr until the end of the array, an opRet, or
+// an error. ret reports whether an opRet fired (ctrlReturn).
+func runBC(fr *bframe, code []bins) (rv Value, ret bool, err error) {
+	ex := fr.ex
+	pc := 0
+	for pc < len(code) {
+		in := &code[pc]
+		pc++
+		switch in.op {
+		case opConst:
+			fr.push(in.v)
+		case opPop:
+			fr.sp--
+		case opLoadG:
+			fr.push(ex.gslots[in.a])
+		case opLoadL:
+			fr.push(fr.locals[in.a])
+		case opLoadGL:
+			if fr.gflags[in.a] {
+				fr.push(ex.gslots[in.b])
+			} else {
+				fr.push(fr.locals[in.a])
+			}
+		case opLoadSuper:
+			fr.push(ex.super[in.s])
+		case opStoreG:
+			v := fr.pop()
+			ex.gslots[in.a] = CloneValue(v)
+			ex.gset[in.a] = true
+			ex.countInstr(DeepContainsMulti(v))
+		case opStoreL:
+			v := fr.pop()
+			fr.locals[in.a] = CloneValue(v)
+			fr.set[in.a] = true
+			ex.countInstr(DeepContainsMulti(v))
+		case opStoreGL:
+			v := fr.pop()
+			cv := CloneValue(v)
+			if fr.gflags[in.a] {
+				ex.gslots[in.b] = cv
+				ex.gset[in.b] = true
+			} else {
+				fr.locals[in.a] = cv
+				fr.set[in.a] = true
+			}
+			ex.countInstr(DeepContainsMulti(v))
+		case opStoreSuper:
+			v := fr.pop()
+			if arr, ok := CloneValue(v).(*Array); ok {
+				ex.super[in.s] = arr
+			}
+			ex.countInstr(DeepContainsMulti(v))
+		case opStep:
+			ex.steps++
+			if ex.steps > ex.maxSteps {
+				return nil, false, &RuntimeError{Msg: "step limit exceeded"}
+			}
+		case opBranch:
+			if ex.digest != nil {
+				ex.digest.Branch(Site(in.a), int(in.b))
+			}
+		case opJmp:
+			pc = int(in.a)
+		case opJumpFalse:
+			dir, derr := ex.condDirection(fr.pop())
+			if derr != nil {
+				return nil, false, derr
+			}
+			if !dir {
+				pc = int(in.a)
+			}
+		case opLoopCond:
+			dir, derr := ex.condDirection(fr.pop())
+			if derr != nil {
+				return nil, false, derr
+			}
+			if !dir {
+				ex.branch(Site(in.a), 0)
+				pc = int(in.b)
+			} else {
+				ex.branch(Site(in.a), 1)
+			}
+		case opTernCond:
+			dir, derr := ex.condDirection(fr.pop())
+			if derr != nil {
+				return nil, false, derr
+			}
+			if dir {
+				ex.branch(Site(in.a), 1)
+			} else {
+				ex.branch(Site(in.a), 0)
+				pc = int(in.b)
+			}
+		case opAnd:
+			dir, derr := ex.condDirection(fr.pop())
+			if derr != nil {
+				return nil, false, derr
+			}
+			if !dir {
+				ex.branch(Site(in.a), 0)
+				fr.push(false)
+				pc = int(in.b)
+			} else {
+				ex.branch(Site(in.a), 1)
+			}
+		case opOr:
+			dir, derr := ex.condDirection(fr.pop())
+			if derr != nil {
+				return nil, false, derr
+			}
+			if dir {
+				ex.branch(Site(in.a), 1)
+				fr.push(true)
+				pc = int(in.b)
+			} else {
+				ex.branch(Site(in.a), 0)
+			}
+		case opLogicalRes:
+			fr.push(logicalResult(fr.pop()))
+		case opRet:
+			if in.a == 1 {
+				return fr.pop(), true, nil
+			}
+			return nil, true, nil
+		case opDepthCheck:
+			if ex.callDepth >= maxCallDepth {
+				return nil, false, &RuntimeError{Msg: "maximum call depth exceeded", Line: int(in.a)}
+			}
+		case opBinary:
+			r := fr.pop()
+			l := fr.pop()
+			v, berr := ex.binaryOp(in.s, l, r, int(in.a))
+			if berr != nil {
+				return nil, false, berr
+			}
+			fr.push(v)
+		case opAdd:
+			r := fr.pop()
+			l := fr.pop()
+			if li, lok := l.(int64); lok {
+				if ri, rok := r.(int64); rok {
+					ex.countInstr(false)
+					s := li + ri
+					if (li > 0 && ri > 0 && s < 0) || (li < 0 && ri < 0 && s >= 0) {
+						fr.push(float64(li) + float64(ri))
+					} else {
+						fr.push(s)
+					}
+					break
+				}
+			}
+			v, berr := ex.binaryOp("+", l, r, int(in.a))
+			if berr != nil {
+				return nil, false, berr
+			}
+			fr.push(v)
+		case opSub:
+			r := fr.pop()
+			l := fr.pop()
+			if li, lok := l.(int64); lok {
+				if ri, rok := r.(int64); rok {
+					ex.countInstr(false)
+					fr.push(li - ri)
+					break
+				}
+			}
+			v, berr := ex.binaryOp("-", l, r, int(in.a))
+			if berr != nil {
+				return nil, false, berr
+			}
+			fr.push(v)
+		case opMul:
+			r := fr.pop()
+			l := fr.pop()
+			if li, lok := l.(int64); lok {
+				if ri, rok := r.(int64); rok {
+					ex.countInstr(false)
+					p := li * ri
+					if li != 0 && (p/li != ri) {
+						fr.push(float64(li) * float64(ri))
+					} else {
+						fr.push(p)
+					}
+					break
+				}
+			}
+			v, berr := ex.binaryOp("*", l, r, int(in.a))
+			if berr != nil {
+				return nil, false, berr
+			}
+			fr.push(v)
+		case opConcat:
+			r := fr.pop()
+			l := fr.pop()
+			if ls, lok := l.(string); lok {
+				if rs, rok := r.(string); rok {
+					ex.countInstr(false)
+					fr.push(ls + rs)
+					break
+				}
+			}
+			v, berr := ex.binaryOp(".", l, r, int(in.a))
+			if berr != nil {
+				return nil, false, berr
+			}
+			fr.push(v)
+		case opLt, opLe, opGt, opGe:
+			r := fr.pop()
+			l := fr.pop()
+			if li, lok := l.(int64); lok {
+				if ri, rok := r.(int64); rok {
+					ex.countInstr(false)
+					switch in.op {
+					case opLt:
+						fr.push(li < ri)
+					case opLe:
+						fr.push(li <= ri)
+					case opGt:
+						fr.push(li > ri)
+					default:
+						fr.push(li >= ri)
+					}
+					break
+				}
+			}
+			v, berr := ex.binaryOp(in.s, l, r, int(in.a))
+			if berr != nil {
+				return nil, false, berr
+			}
+			fr.push(v)
+		case opUnary:
+			v, uerr := ex.unaryOp(in.s, fr.pop(), int(in.a))
+			if uerr != nil {
+				return nil, false, uerr
+			}
+			fr.push(v)
+		case opIndexRead:
+			i := fr.pop()
+			t := fr.pop()
+			ex.countInstr(IsMulti(t) || IsMulti(i))
+			v, rerr := ex.indexRead(t, i, int(in.a))
+			if rerr != nil {
+				return nil, false, rerr
+			}
+			fr.push(v)
+		case opEcho:
+			ex.echo(fr.pop())
+		case opNewArray:
+			fr.push(NewArray())
+		case opArrayAppend:
+			v := fr.pop()
+			fr.stack[fr.sp-1].(*Array).Append(CloneValue(v))
+		case opArraySetKV:
+			kv := fr.pop()
+			v := fr.pop()
+			if IsMulti(kv) {
+				return nil, false, &FallbackError{Reason: "multivalue key in array literal"}
+			}
+			k, kerr := NormalizeKey(kv)
+			if kerr != nil {
+				return nil, false, &RuntimeError{Msg: kerr.Error(), Line: int(in.a)}
+			}
+			fr.stack[fr.sp-1].(*Array).Set(k, CloneValue(v))
+		case opIterInit:
+			def := in.aux.(*biterDef)
+			subject := fr.pop()
+			switch subj := subject.(type) {
+			case *Array:
+				it := fr.pushIter()
+				it.multi = false
+				it.uniKeys, it.uniVals = snapshotInto(subj, it.uniKeys[:0], it.uniVals[:0])
+				it.n = len(it.uniKeys)
+			case *Multi:
+				it := fr.pushIter()
+				it.multi = true
+				if cap(it.laneKeys) < ex.lanes {
+					it.laneKeys = make([][]Key, ex.lanes)
+					it.laneVals = make([][]Value, ex.lanes)
+				} else {
+					it.laneKeys = it.laneKeys[:ex.lanes]
+					it.laneVals = it.laneVals[:ex.lanes]
+				}
+				n := -1
+				if _, lerr := ex.forLanes(func(i int) (Value, error) {
+					a, ok := MaterializeLane(subj.V[i], i).(*Array)
+					if !ok {
+						return nil, &RuntimeError{Msg: "foreach over non-array", Line: def.line}
+					}
+					if n == -1 {
+						n = a.Len()
+					} else if a.Len() != n {
+						return nil, ErrDivergence
+					}
+					it.laneKeys[i], it.laneVals[i] = snapshotInto(a, it.laneKeys[i][:0], it.laneVals[i][:0])
+					return nil, nil
+				}); lerr != nil {
+					return nil, false, lerr
+				}
+				it.n = n
+			case nil:
+				ex.branch(Site(in.a), 0)
+				pc = int(in.b)
+			default:
+				return nil, false, &RuntimeError{Msg: "foreach over non-array", Line: def.line}
+			}
+		case opIterNext:
+			it := &fr.iters[len(fr.iters)-1]
+			if it.i >= it.n {
+				ex.branch(Site(in.a), 0)
+				fr.iters = fr.iters[:len(fr.iters)-1]
+				pc = int(in.b)
+				break
+			}
+			ex.branch(Site(in.a), 1)
+			def := in.aux.(*biterDef)
+			if !it.multi {
+				if def.hasKey {
+					def.key.set(fr, it.uniKeys[it.i].Value())
+				}
+				def.val.set(fr, bindElem(it.uniVals[it.i], def.mutates))
+			} else {
+				keys := make([]Value, ex.lanes)
+				vals := make([]Value, ex.lanes)
+				for i := 0; i < ex.lanes; i++ {
+					keys[i] = it.laneKeys[i][it.i].Value()
+					vals[i] = bindElem(it.laneVals[i][it.i], def.mutates)
+				}
+				if def.hasKey {
+					def.key.set(fr, NewMulti(keys))
+				}
+				def.val.set(fr, NewMulti(vals))
+			}
+			it.i++
+		case opIterBreak:
+			ex.branch(Site(in.a), 0)
+			fr.iters = fr.iters[:len(fr.iters)-1]
+			pc = int(in.b)
+		case opCase:
+			mv := fr.pop()
+			subj := fr.stack[fr.sp-1]
+			matched, merr := ex.looseEqDirection(subj, mv)
+			if merr != nil {
+				return nil, false, merr
+			}
+			if matched {
+				pc = int(in.a)
+			}
+		case opAssign:
+			if aerr := assignBLV(fr, in.aux.(*blval), fr.pop()); aerr != nil {
+				return nil, false, aerr
+			}
+		case opCompound:
+			v := fr.pop()
+			t := in.aux.(*blval)
+			old, rerr := readBLV(fr, t)
+			if rerr != nil {
+				return nil, false, rerr
+			}
+			nv, berr := ex.binaryOp(in.s, old, v, int(in.a))
+			if berr != nil {
+				return nil, false, berr
+			}
+			if aerr := assignBLV(fr, t, nv); aerr != nil {
+				return nil, false, aerr
+			}
+		case opIncDec:
+			d := in.aux.(*bincdec)
+			old, rerr := readBLV(fr, d.t)
+			if rerr != nil {
+				return nil, false, rerr
+			}
+			nv, berr := ex.binaryOp(d.op, old, int64(1), d.line)
+			if berr != nil {
+				return nil, false, berr
+			}
+			if aerr := assignBLV(fr, d.t, nv); aerr != nil {
+				return nil, false, aerr
+			}
+			if d.pre {
+				fr.push(nv)
+			} else if old == nil {
+				fr.push(int64(0))
+			} else {
+				fr.push(old)
+			}
+		case opLoadLV:
+			v, rerr := readBLV(fr, in.aux.(*blval))
+			if rerr != nil {
+				return nil, false, rerr
+			}
+			fr.push(v)
+		case opIsset:
+			res := true
+			for _, t := range in.aux.([]*blval) {
+				v, ierr := issetBLV(fr, t)
+				if ierr != nil {
+					return nil, false, ierr
+				}
+				one, derr := ex.condDirection(v)
+				if derr != nil {
+					return nil, false, derr
+				}
+				if !one {
+					res = false
+					break
+				}
+			}
+			fr.push(res)
+		case opEmpty:
+			t := in.aux.(*blval)
+			v, ierr := issetBLV(fr, t)
+			if ierr != nil {
+				return nil, false, ierr
+			}
+			set, derr := ex.condDirection(v)
+			if derr != nil {
+				return nil, false, derr
+			}
+			if !set {
+				fr.push(true)
+				break
+			}
+			cur, rerr := readBLV(fr, t)
+			if rerr != nil {
+				return nil, false, rerr
+			}
+			truthy, derr := ex.condDirection(cur)
+			if derr != nil {
+				return nil, false, derr
+			}
+			fr.push(!truthy)
+		case opUnset:
+			for _, t := range in.aux.([]*blval) {
+				if uerr := unsetBLV(fr, t); uerr != nil {
+					return nil, false, uerr
+				}
+			}
+		case opGlobalDecl:
+			for _, l := range in.aux.([]int32) {
+				fr.gflags[l] = true
+			}
+		case opCallUser:
+			v, cerr := callBFunc(fr, in.aux.(*bucall))
+			if cerr != nil {
+				return nil, false, cerr
+			}
+			fr.push(v)
+		case opRefCall:
+			rc := in.aux.(*brefcall)
+			rest := make([]Value, rc.nrest)
+			copy(rest, fr.stack[fr.sp-rc.nrest:fr.sp])
+			fr.sp -= rc.nrest
+			cur := fr.pop()
+			result, newTarget, rerr := ex.refBuiltinApply(rc.name, rc.fn, cur, rest, rc.line)
+			if rerr != nil {
+				return nil, false, rerr
+			}
+			if aerr := assignBLV(fr, rc.t, newTarget); aerr != nil {
+				return nil, false, aerr
+			}
+			fr.push(result)
+		case opCallState:
+			n := int(in.a)
+			vals := make([]Value, n)
+			copy(vals, fr.stack[fr.sp-n:fr.sp])
+			fr.sp -= n
+			v, serr := ex.stateOpCore(in.s, vals, int(in.b))
+			if serr != nil {
+				return nil, false, serr
+			}
+			fr.push(v)
+		case opCallNonDet:
+			n := int(in.a)
+			vals := make([]Value, n)
+			copy(vals, fr.stack[fr.sp-n:fr.sp])
+			fr.sp -= n
+			v, nerr := ex.nonDetCore(in.s, vals)
+			if nerr != nil {
+				return nil, false, nerr
+			}
+			fr.push(v)
+		case opCallBuiltin:
+			n := int(in.a)
+			vals := make([]Value, n)
+			copy(vals, fr.stack[fr.sp-n:fr.sp])
+			fr.sp -= n
+			v, berr := ex.invokeBuiltin(in.s, in.aux.(builtinFn), vals, int(in.b))
+			if berr != nil {
+				return nil, false, berr
+			}
+			fr.push(v)
+		case opFault:
+			return nil, false, in.aux.(*RuntimeError)
+		}
+	}
+	return nil, false, nil
+}
+
+// evalBFrag runs an expression fragment on fr and pops its value.
+func evalBFrag(fr *bframe, code []bins) (Value, error) {
+	if _, _, err := runBC(fr, code); err != nil {
+		return nil, err
+	}
+	return fr.pop(), nil
+}
+
+// callBFunc mirrors callCFunc: provided arguments were evaluated by
+// inline code (caller frame, left to right) and sit on the operand
+// stack; defaults evaluate in the new frame; extras evaluate in the
+// caller's frame after defaults, for effect only.
+func callBFunc(fr *bframe, u *bucall) (Value, error) {
+	ex := fr.ex
+	base := fr.sp - u.nprov
+	fr2 := ex.getBFrame(u.fn)
+	for i, p := range u.fn.params {
+		if i < u.nprov {
+			if p.slot >= 0 {
+				fr2.locals[p.slot] = CloneValue(fr.stack[base+i])
+				fr2.set[p.slot] = true
+			}
+			continue
+		}
+		if p.def != nil {
+			v, err := evalBFrag(fr2, p.def)
+			if err != nil {
+				ex.putBFrame(fr2)
+				return nil, err
+			}
+			if p.slot >= 0 {
+				fr2.locals[p.slot] = v
+				fr2.set[p.slot] = true
+			}
+			continue
+		}
+		if p.slot >= 0 {
+			fr2.locals[p.slot] = nil
+			fr2.set[p.slot] = true
+		}
+	}
+	fr.sp = base
+	for _, extra := range u.extras {
+		if _, err := evalBFrag(fr, extra); err != nil {
+			ex.putBFrame(fr2)
+			return nil, err
+		}
+	}
+	ex.callDepth++
+	rv, _, err := runBC(fr2, u.fn.code)
+	ex.callDepth--
+	ex.putBFrame(fr2)
+	if err != nil {
+		return nil, err
+	}
+	return CloneValue(rv), nil
+}
+
+// readBLV mirrors readCLV / exec.readLValue.
+func readBLV(fr *bframe, t *blval) (Value, error) {
+	cur := t.ref.get(fr)
+	for _, step := range t.steps {
+		if step == nil {
+			return nil, &RuntimeError{Msg: "cannot read append-index", Line: t.line}
+		}
+		idx, err := evalBFrag(fr, step)
+		if err != nil {
+			return nil, err
+		}
+		v, err := fr.ex.indexRead(cur, idx, t.line)
+		if err != nil {
+			return nil, err
+		}
+		cur = v
+	}
+	return cur, nil
+}
+
+// assignBLV mirrors assignCLV / exec.assignTo.
+func assignBLV(fr *bframe, t *blval, val Value) error {
+	ex := fr.ex
+	if len(t.steps) == 0 {
+		t.ref.set(fr, CloneValue(val))
+		ex.countInstr(DeepContainsMulti(val))
+		return nil
+	}
+	idxs := make([]Value, len(t.steps))
+	for i, step := range t.steps {
+		if step == nil {
+			if i != len(t.steps)-1 {
+				return &RuntimeError{Msg: "append-index must be final", Line: t.line}
+			}
+			idxs[i] = appendMarker{}
+			continue
+		}
+		v, err := evalBFrag(fr, step)
+		if err != nil {
+			return err
+		}
+		idxs[i] = v
+	}
+	root := t.ref.get(fr)
+	multi := DeepContainsMulti(root) || DeepContainsMulti(val)
+	for _, iv := range idxs {
+		if _, isApp := iv.(appendMarker); !isApp && IsMulti(iv) {
+			multi = true
+		}
+	}
+	ex.countInstr(multi)
+	newRoot, err := ex.setPath(root, idxs, val, t.line)
+	if err != nil {
+		return err
+	}
+	t.ref.set(fr, newRoot)
+	return nil
+}
+
+// issetBLV mirrors issetCLV / exec.evalIsset.
+func issetBLV(fr *bframe, t *blval) (Value, error) {
+	if !t.ref.exists(fr) {
+		return false, nil
+	}
+	cur := t.ref.get(fr)
+	for _, step := range t.steps {
+		if step == nil {
+			return nil, &RuntimeError{Msg: "isset on append-index", Line: t.line}
+		}
+		idx, err := evalBFrag(fr, step)
+		if err != nil {
+			return nil, err
+		}
+		v, err := fr.ex.indexReadForIsset(cur, idx)
+		if err != nil {
+			return nil, err
+		}
+		cur = v
+	}
+	if m, ok := cur.(*Multi); ok {
+		vals := make([]Value, len(m.V))
+		for i, lvv := range m.V {
+			vals[i] = lvv != nil
+		}
+		return NewMulti(vals), nil
+	}
+	return cur != nil, nil
+}
+
+// unsetBLV mirrors unsetCLV / exec.execUnset.
+func unsetBLV(fr *bframe, t *blval) error {
+	if len(t.steps) == 0 {
+		t.ref.unset(fr)
+		return nil
+	}
+	parent := &blval{ref: t.ref, steps: t.steps[:len(t.steps)-1], line: t.line}
+	parentVal, err := readBLV(fr, parent)
+	if err != nil {
+		return err
+	}
+	last := t.steps[len(t.steps)-1]
+	if last == nil {
+		return &RuntimeError{Msg: "unset on append-index", Line: t.line}
+	}
+	idx, err := evalBFrag(fr, last)
+	if err != nil {
+		return err
+	}
+	return fr.ex.unsetIn(parentVal, idx, t.line)
+}
+
+// getBFrame returns a zeroed bytecode activation record sized for bf.
+// getTopBFrame returns a localless frame for a script body, reusing a
+// pooled frame's operand-stack and iterator buffers when a session
+// carried some over from an earlier run.
+func (ex *exec) getTopBFrame() *bframe {
+	if m := len(ex.bframes); m > 0 {
+		fr := ex.bframes[m-1]
+		ex.bframes = ex.bframes[:m-1]
+		fr.locals = fr.locals[:0]
+		fr.set = fr.set[:0]
+		fr.sp = 0
+		fr.iters = fr.iters[:0]
+		return fr
+	}
+	return &bframe{ex: ex}
+}
+
+func (ex *exec) getBFrame(bf *bfunc) *bframe {
+	n := bf.info.nlocals
+	var fr *bframe
+	if m := len(ex.bframes); m > 0 {
+		fr = ex.bframes[m-1]
+		ex.bframes = ex.bframes[:m-1]
+	} else {
+		fr = &bframe{ex: ex}
+	}
+	if cap(fr.locals) < n {
+		fr.locals = make([]Value, n)
+		fr.set = make([]bool, n)
+	} else {
+		fr.locals = fr.locals[:n]
+		fr.set = fr.set[:n]
+		for i := range fr.locals {
+			fr.locals[i] = nil
+			fr.set[i] = false
+		}
+	}
+	if bf.hasGlobal {
+		if cap(fr.gflags) < n {
+			fr.gflags = make([]bool, n)
+		} else {
+			fr.gflags = fr.gflags[:n]
+			for i := range fr.gflags {
+				fr.gflags[i] = false
+			}
+		}
+	}
+	fr.sp = 0
+	fr.iters = fr.iters[:0]
+	return fr
+}
+
+// putBFrame recycles fr; the returned value of a call is cloned before
+// release, as with cframes.
+func (ex *exec) putBFrame(fr *bframe) {
+	ex.bframes = append(ex.bframes, fr)
+}

@@ -1,0 +1,30 @@
+package lang
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Regression: the bytecode lowerer decides the provided/extra argument
+// split at a call site from the callee's parameter count, and map
+// iteration order can lower a caller before its callee. The chain of
+// helpers below gives every lowering order a caller-before-callee pair,
+// so a count taken before the callee's params exist misbinds arguments.
+func TestBytecodeCallLoweringOrder(t *testing.T) {
+	src := `
+function h3($s, $suffix = "!") { return $s . $suffix; }
+function h2x($s) { return h3($s) . h3($s, "?", "extra"); }
+function h1($s) { return h2x($s) . h3("tail"); }
+echo h1($_GET["x"]);
+`
+	prog := MustCompile(map[string]string{"main": src})
+	in := []RequestInput{{Get: map[string]string{"x": "v"}}}
+	want := runEngine(EngineInterp, prog, ModeRecord, "main", in, 200_000)
+	got := runEngine(EngineBytecode, prog, ModeRecord, "main", in, 200_000)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("diverge\ninterp:   %+v\nbytecode: %+v", want, got)
+	}
+	if len(want.Outputs) != 1 || want.Outputs[0] != "v!v?tail!" {
+		t.Fatalf("outputs = %q", want.Outputs)
+	}
+}

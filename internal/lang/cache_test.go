@@ -1,0 +1,86 @@
+package lang
+
+import (
+	"fmt"
+	"testing"
+)
+
+func runCachedProg(t *testing.T, prog *Program) string {
+	t.Helper()
+	res, err := Run(prog, Config{
+		Mode: ModePlain, Script: "main",
+		RIDs: []string{"r1"}, Inputs: []RequestInput{{}},
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res.Output(0)
+}
+
+// TestCompileCachedSharesProgram: identical sources return the identical
+// *Program while resident, and the hit counter moves.
+func TestCompileCachedSharesProgram(t *testing.T) {
+	src := map[string]string{"main": `echo "cache-share";`}
+	a, err := CompileCached(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits0, _ := CacheStats()
+	b, err := CompileCached(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical sources returned distinct programs")
+	}
+	if hits1, _ := CacheStats(); hits1 != hits0+1 {
+		t.Fatalf("hits %d -> %d, want +1", hits0, hits1)
+	}
+}
+
+// TestCacheEvictionKeepsSharedProgramsValid is the satellite's safety
+// property: the LRU bound only drops the cache's own reference. A
+// program shared by a server and a verifier (both holding the pointer)
+// keeps executing identically after a patch sweep floods the cache past
+// its capacity and evicts it.
+func TestCacheEvictionKeepsSharedProgramsValid(t *testing.T) {
+	shared, err := CompileCached(map[string]string{
+		"main": `$x = 19; echo "shared:" . ($x * 3);`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runCachedProg(t, shared)
+	if before != "shared:57" {
+		t.Fatalf("unexpected output %q", before)
+	}
+
+	// A patch sweep: more distinct sources than the cache holds.
+	ev0 := CacheEvictions()
+	for i := 0; i < progCacheCap+16; i++ {
+		if _, err := CompileCached(map[string]string{
+			"main": fmt.Sprintf(`echo "variant %d";`, i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ev1 := CacheEvictions(); ev1 <= ev0 {
+		t.Fatalf("flooding %d programs past cap %d evicted nothing (counter %d -> %d)",
+			progCacheCap+16, progCacheCap, ev0, ev1)
+	}
+
+	// The held pointer — including its lazily-lowered engine forms —
+	// still executes, and a recompile of the same bytes agrees with it.
+	if after := runCachedProg(t, shared); after != before {
+		t.Fatalf("evicted program changed behavior: %q -> %q", before, after)
+	}
+	fresh, err := CompileCached(map[string]string{
+		"main": `$x = 19; echo "shared:" . ($x * 3);`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := runCachedProg(t, fresh); out != before {
+		t.Fatalf("recompiled program output %q, held program %q", out, before)
+	}
+}

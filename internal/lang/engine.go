@@ -5,7 +5,7 @@ import (
 	"fmt"
 )
 
-// Engine executes compiled programs. The package ships two
+// Engine executes compiled programs. The package ships three
 // implementations with bit-identical observable behavior — outputs,
 // control-flow digests, op counts, step counts, instruction counts, and
 // fault renderings are equal for every program and input:
@@ -15,13 +15,18 @@ import (
 //   - EngineCompiled: lowers each script once into a tree of pre-bound
 //     Go closures with variable slots resolved at compile time, and
 //     pools hot-path allocations. This is the default.
+//   - EngineBytecode: lowers each script once into a flat instruction
+//     array run by a threaded-dispatch loop with an operand stack,
+//     reusing the compiled engine's slot model and the shared operator
+//     cores (see bytecode.go).
 //
 // The equivalence is the same gate PR 3/4 applied to concurrency:
 // enforced by a differential test suite and fuzzer
 // (FuzzEngineEquivalence), because the server records digests with one
-// engine and the verifier may re-execute with the other.
+// engine and the verifier may re-execute with another.
 type Engine interface {
-	// Name is the stable CLI-facing identifier ("interp", "compiled").
+	// Name is the stable CLI-facing identifier ("interp", "compiled",
+	// "bytecode").
 	Name() string
 	// Run executes a script under cfg; see the package-level Run.
 	Run(prog *Program, cfg Config) (*Result, error)
@@ -32,6 +37,8 @@ var (
 	EngineInterp Engine = interpEngine{}
 	// EngineCompiled is the closure-compiled engine.
 	EngineCompiled Engine = compiledEngine{}
+	// EngineBytecode is the flat-instruction threaded-dispatch engine.
+	EngineBytecode Engine = bytecodeEngine{}
 	// DefaultEngine is used when Config.Engine is nil.
 	DefaultEngine = EngineCompiled
 )
@@ -43,13 +50,15 @@ func EngineByName(name string) (Engine, error) {
 		return EngineInterp, nil
 	case "compiled", "":
 		return EngineCompiled, nil
+	case "bytecode":
+		return EngineBytecode, nil
 	default:
-		return nil, fmt.Errorf("lang: unknown engine %q (want interp or compiled)", name)
+		return nil, fmt.Errorf("lang: unknown engine %q (want interp, compiled or bytecode)", name)
 	}
 }
 
 // Engines lists the available engine names.
-func Engines() []string { return []string{"interp", "compiled"} }
+func Engines() []string { return []string{"interp", "compiled", "bytecode"} }
 
 // Run executes a script under cfg with cfg.Engine (DefaultEngine when
 // nil).
@@ -109,6 +118,9 @@ func newExec(prog *Program, cfg Config) (*exec, error) {
 		ex.digest = NewDigest(cfg.Script)
 	}
 	ex.super = buildSuperglobals(cfg.Inputs)
+	if cfg.Session != nil {
+		cfg.Session.adopt(ex)
+	}
 	return ex, nil
 }
 
@@ -174,6 +186,7 @@ func (interpEngine) Run(prog *Program, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer ex.releaseSession()
 	script, ok := prog.Scripts[cfg.Script]
 	if !ok {
 		return unknownScriptResult(cfg, ex.lanes)
@@ -197,13 +210,36 @@ func (compiledEngine) Run(prog *Program, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer ex.releaseSession()
 	cs, ok := cp.scripts[cfg.Script]
 	if !ok {
 		return unknownScriptResult(cfg, ex.lanes)
 	}
-	ex.gslots = make([]Value, cp.res.nglobals)
-	ex.gset = make([]bool, cp.res.nglobals)
+	ex.globalSlots(cp.res.nglobals)
 	fr := &cframe{ex: ex}
 	_, _, rerr := runCStmts(fr, cs.body)
+	return finishRun(ex, rerr)
+}
+
+// bytecodeEngine executes the flat-instruction lowering of the program.
+type bytecodeEngine struct{}
+
+func (bytecodeEngine) Name() string { return "bytecode" }
+
+func (bytecodeEngine) Run(prog *Program, cfg Config) (*Result, error) {
+	bp := prog.bytecode()
+	ex, err := newExec(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer ex.releaseSession()
+	bs, ok := bp.scripts[cfg.Script]
+	if !ok {
+		return unknownScriptResult(cfg, ex.lanes)
+	}
+	ex.globalSlots(bp.res.nglobals)
+	fr := ex.getTopBFrame()
+	_, _, rerr := runBC(fr, bs.code)
+	ex.putBFrame(fr)
 	return finishRun(ex, rerr)
 }

@@ -104,7 +104,11 @@ func runEngine(eng Engine, prog *Program, mode Mode, script string, inputs []Req
 
 func res2obs(res *Result, err error) engObs { return observe(res, err) }
 
-// diffScript runs src under both engines in every execution mode the
+// candidateEngines are the engines checked against the interpreter
+// reference by the differential suite.
+var candidateEngines = []Engine{EngineCompiled, EngineBytecode}
+
+// diffScript runs src under every engine in every execution mode the
 // system uses — per-request recording, per-request plain, and grouped
 // SIMD over all inputs — and requires identical observables.
 func diffScript(t *testing.T, src string, inputs []RequestInput) {
@@ -122,9 +126,11 @@ func diffProgram(t *testing.T, files map[string]string, script string, inputs []
 	check := func(mode Mode, ins []RequestInput, label string) {
 		t.Helper()
 		want := runEngine(EngineInterp, prog, mode, script, ins, maxSteps)
-		got := runEngine(EngineCompiled, prog, mode, script, ins, maxSteps)
-		if !reflect.DeepEqual(want, got) {
-			t.Errorf("%s: engines diverge\ninterp:   %+v\ncompiled: %+v", label, want, got)
+		for _, eng := range candidateEngines {
+			got := runEngine(eng, prog, mode, script, ins, maxSteps)
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%s: engines diverge\ninterp: %+v\n%s: %+v", label, want, eng.Name(), got)
+			}
 		}
 	}
 	for i, in := range inputs {
@@ -327,7 +333,7 @@ func TestEngineEquivalenceMultiScript(t *testing.T) {
 
 func TestEngineEquivalenceStepLimit(t *testing.T) {
 	prog := MustCompile(map[string]string{"main": `while (1) { $i++; }`})
-	for _, eng := range []Engine{EngineInterp, EngineCompiled} {
+	for _, eng := range []Engine{EngineInterp, EngineCompiled, EngineBytecode} {
 		res, err := Run(prog, Config{
 			Mode: ModeRecord, Script: "main", RIDs: []string{"r"},
 			Inputs: []RequestInput{{}}, Bridge: newMemBridge(), MaxSteps: 500,
@@ -341,14 +347,16 @@ func TestEngineEquivalenceStepLimit(t *testing.T) {
 		}
 	}
 	a := runEngine(EngineInterp, prog, ModeRecord, "main", []RequestInput{{}}, 500)
-	b := runEngine(EngineCompiled, prog, ModeRecord, "main", []RequestInput{{}}, 500)
-	if !reflect.DeepEqual(a, b) {
-		t.Fatalf("step-limit observables diverge\ninterp:   %+v\ncompiled: %+v", a, b)
+	for _, eng := range candidateEngines {
+		b := runEngine(eng, prog, ModeRecord, "main", []RequestInput{{}}, 500)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("step-limit observables diverge\ninterp: %+v\n%s: %+v", a, eng.Name(), b)
+		}
 	}
 }
 
 func TestEngineByName(t *testing.T) {
-	for name, want := range map[string]Engine{"interp": EngineInterp, "compiled": EngineCompiled, "": EngineCompiled} {
+	for name, want := range map[string]Engine{"interp": EngineInterp, "compiled": EngineCompiled, "bytecode": EngineBytecode, "": EngineCompiled} {
 		got, err := EngineByName(name)
 		if err != nil || got != want {
 			t.Fatalf("EngineByName(%q) = %v, %v", name, got, err)
@@ -357,13 +365,13 @@ func TestEngineByName(t *testing.T) {
 	if _, err := EngineByName("jit"); err == nil {
 		t.Fatal("want error for unknown engine")
 	}
-	if len(Engines()) != 2 {
+	if len(Engines()) != 3 {
 		t.Fatalf("Engines() = %v", Engines())
 	}
 }
 
-// FuzzEngineEquivalence generates scripts and inputs and requires the
-// two engines to agree on every observable: output bytes, control-flow
+// FuzzEngineEquivalence generates scripts and inputs and requires all
+// engines to agree on every observable: output bytes, control-flow
 // digest, op/step/instruction counts, and fault renderings — at lane
 // width 1 (record mode, the server's path) and multi-lane (SIMD, the
 // verifier's path).
@@ -387,17 +395,19 @@ func FuzzEngineEquivalence(f *testing.F) {
 			{Get: map[string]string{"x": y, "y": x}, Cookie: map[string]string{"sid": y}},
 		}
 		const maxSteps = 20_000
-		for i, in := range inputs {
-			want := runEngine(EngineInterp, prog, ModeRecord, "main", []RequestInput{in}, maxSteps)
-			got := runEngine(EngineCompiled, prog, ModeRecord, "main", []RequestInput{in}, maxSteps)
-			if !reflect.DeepEqual(want, got) {
-				t.Fatalf("record[%d]: engines diverge\nsrc: %s\ninterp:   %+v\ncompiled: %+v", i, src, want, got)
+		for _, eng := range candidateEngines {
+			for i, in := range inputs {
+				want := runEngine(EngineInterp, prog, ModeRecord, "main", []RequestInput{in}, maxSteps)
+				got := runEngine(eng, prog, ModeRecord, "main", []RequestInput{in}, maxSteps)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("record[%d]: engines diverge\nsrc: %s\ninterp: %+v\n%s: %+v", i, src, want, eng.Name(), got)
+				}
 			}
-		}
-		want := runEngine(EngineInterp, prog, ModeSIMD, "main", inputs, maxSteps)
-		got := runEngine(EngineCompiled, prog, ModeSIMD, "main", inputs, maxSteps)
-		if !reflect.DeepEqual(want, got) {
-			t.Fatalf("simd: engines diverge\nsrc: %s\ninterp:   %+v\ncompiled: %+v", src, want, got)
+			want := runEngine(EngineInterp, prog, ModeSIMD, "main", inputs, maxSteps)
+			got := runEngine(eng, prog, ModeSIMD, "main", inputs, maxSteps)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("simd: engines diverge\nsrc: %s\ninterp: %+v\n%s: %+v", src, want, eng.Name(), got)
+			}
 		}
 	})
 }

@@ -1,0 +1,269 @@
+package lang
+
+// Front-end constant folding and algebraic simplification, run once by
+// Compile over the parsed AST. Every engine executes the same folded
+// program — the server that records and the verifier that re-executes
+// share one *Program through the content-keyed cache — so folding can
+// never make the engines disagree; the rules below additionally keep
+// the recorded observables of a single program stable:
+//
+//   - Only expressions without branch Sites fold (Binary, Unary). The
+//     control-flow digest is a stream of (site, direction) records;
+//     folding a site-free expression leaves that stream untouched.
+//     Logical, Ternary, If, While, For, Foreach and Switch keep their
+//     nodes — and their Sites — even when their conditions are
+//     constant, so every branch record is still emitted with the same
+//     site and the same direction numbering.
+//   - Only provably non-faulting operations fold. The folder calls the
+//     runtime's own scalarBinary/scalarUnary; if the operation would
+//     fault (division by zero, bad operand types) it is left in place
+//     so the fault — and its digest record — still happens at runtime.
+//   - Statements are never deleted or merged, so Steps accounting is
+//     unchanged. Dead code elimination only empties statement *bodies*
+//     that provably never execute (an If arm behind a constant-false
+//     guard, a while(false) body): running zero statements of a body
+//     that was never entered is the behavior the unfolded program had.
+//
+// Instruction counts (InstrUni/InstrMulti) do shrink when constants
+// fold — that is the point — but they are statistics, not verdict
+// inputs, and they stay bit-identical across engines because all
+// engines share the folded AST.
+
+// foldProgram folds prog in place.
+func foldProgram(prog *Program) {
+	for _, fn := range prog.Funcs {
+		for i := range fn.Params {
+			if fn.Params[i].Default != nil {
+				fn.Params[i].Default = foldExpr(fn.Params[i].Default)
+			}
+		}
+		foldStmts(fn.Body)
+	}
+	for _, s := range prog.Scripts {
+		foldStmts(s.Body)
+	}
+}
+
+func foldStmts(stmts []Stmt) {
+	for _, s := range stmts {
+		foldStmt(s)
+	}
+}
+
+func foldStmt(s Stmt) {
+	switch st := s.(type) {
+	case *ExprStmt:
+		st.E = foldExpr(st.E)
+	case *Assign:
+		st.RHS = foldExpr(st.RHS)
+		foldLValue(st.Target)
+	case *If:
+		// decided < 0: no constant-true guard seen yet. Once a guard is
+		// constant true, every later arm (and the else) is unreachable;
+		// arms behind constant-false guards are unreachable individually.
+		// Conds are never removed or reordered: direction numbering is
+		// positional, and the live guards still evaluate at runtime.
+		decided := -1
+		for i, cond := range st.Conds {
+			st.Conds[i] = foldExpr(cond)
+			if decided >= 0 {
+				st.Bodies[i] = nil
+				continue
+			}
+			if lit, ok := st.Conds[i].(*Lit); ok {
+				if ToBool(lit.Val) {
+					decided = i
+					foldStmts(st.Bodies[i])
+				} else {
+					st.Bodies[i] = nil
+				}
+				continue
+			}
+			foldStmts(st.Bodies[i])
+		}
+		if decided >= 0 {
+			st.Else = nil
+		} else {
+			foldStmts(st.Else)
+		}
+	case *While:
+		st.Cond = foldExpr(st.Cond)
+		if lit, ok := st.Cond.(*Lit); ok && !ToBool(lit.Val) {
+			st.Body = nil
+			return
+		}
+		foldStmts(st.Body)
+	case *For:
+		if st.Init != nil {
+			foldStmt(st.Init)
+		}
+		if st.Cond != nil {
+			st.Cond = foldExpr(st.Cond)
+			if lit, ok := st.Cond.(*Lit); ok && !ToBool(lit.Val) {
+				// The condition is tested before the first iteration, so
+				// neither the body nor the post statement ever runs.
+				st.Body = nil
+				st.Post = nil
+				return
+			}
+		}
+		if st.Post != nil {
+			foldStmt(st.Post)
+		}
+		foldStmts(st.Body)
+	case *Foreach:
+		st.Subject = foldExpr(st.Subject)
+		foldStmts(st.Body)
+	case *Switch:
+		st.Subject = foldExpr(st.Subject)
+		for i := range st.Cases {
+			st.Cases[i].Match = foldExpr(st.Cases[i].Match)
+		}
+		subj, subjConst := st.Subject.(*Lit)
+		decided := -1
+		undecidable := false
+		for i := range st.Cases {
+			if decided >= 0 {
+				st.Cases[i].Body = nil
+				continue
+			}
+			m, mConst := st.Cases[i].Match.(*Lit)
+			if !subjConst || !mConst || undecidable {
+				// Can't tell whether this arm matches (or whether an
+				// earlier undecidable arm already did); keep its body.
+				undecidable = true
+				foldStmts(st.Cases[i].Body)
+				continue
+			}
+			if LooseEqual(subj.Val, m.Val) {
+				decided = i
+				foldStmts(st.Cases[i].Body)
+			} else {
+				st.Cases[i].Body = nil
+			}
+		}
+		if decided >= 0 {
+			st.Default = nil
+		} else {
+			foldStmts(st.Default)
+		}
+	case *Return:
+		if st.E != nil {
+			st.E = foldExpr(st.E)
+		}
+	case *Echo:
+		for i, a := range st.Args {
+			st.Args[i] = foldExpr(a)
+		}
+		st.Args = mergeEchoArgs(st.Args)
+	case *Unset:
+		for _, lv := range st.Targets {
+			foldLValue(lv)
+		}
+	case *Break, *Continue, *Global:
+	}
+}
+
+// mergeEchoArgs pre-coerces literal echo arguments to strings and
+// merges adjacent literals into one, so `echo "a", 1+2, "b";` emits a
+// single shared output segment at runtime.
+func mergeEchoArgs(args []Expr) []Expr {
+	out := args[:0]
+	for _, a := range args {
+		lit, ok := a.(*Lit)
+		if !ok {
+			out = append(out, a)
+			continue
+		}
+		s := ToString(lit.Val)
+		if n := len(out); n > 0 {
+			if prev, ok := out[n-1].(*Lit); ok {
+				if ps, ok := prev.Val.(string); ok {
+					out[n-1] = &Lit{Val: ps + s, Line: prev.Line}
+					continue
+				}
+			}
+		}
+		out = append(out, &Lit{Val: s, Line: lit.Line})
+	}
+	return out
+}
+
+func foldLValue(lv *LValue) {
+	for i := range lv.Steps {
+		if lv.Steps[i].Idx != nil {
+			lv.Steps[i].Idx = foldExpr(lv.Steps[i].Idx)
+		}
+	}
+}
+
+func foldExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case *Lit, *Var:
+		return e
+	case *Index:
+		x.Target = foldExpr(x.Target)
+		if x.Idx != nil {
+			x.Idx = foldExpr(x.Idx)
+		}
+		return x
+	case *Binary:
+		x.L = foldExpr(x.L)
+		x.R = foldExpr(x.R)
+		l, lok := x.L.(*Lit)
+		r, rok := x.R.(*Lit)
+		if lok && rok {
+			// The runtime's own scalar core, so folded results cannot
+			// differ from evaluated ones. A faulting operation (division
+			// by zero, bad operands) stays unfolded: the fault belongs to
+			// runtime, where it is recorded into the digest.
+			if v, err := scalarBinary(x.Op, l.Val, r.Val, x.Line); err == nil {
+				return &Lit{Val: v, Line: x.Line}
+			}
+		}
+		return x
+	case *Logical:
+		x.L = foldExpr(x.L)
+		x.R = foldExpr(x.R)
+		return x
+	case *Unary:
+		x.E = foldExpr(x.E)
+		if l, ok := x.E.(*Lit); ok {
+			if v, err := scalarUnary(x.Op, l.Val, x.Line); err == nil {
+				return &Lit{Val: v, Line: x.Line}
+			}
+		}
+		return x
+	case *Ternary:
+		x.Cond = foldExpr(x.Cond)
+		x.Then = foldExpr(x.Then)
+		x.Else = foldExpr(x.Else)
+		return x
+	case *Call:
+		for i, a := range x.Args {
+			x.Args[i] = foldExpr(a)
+		}
+		return x
+	case *ArrayLit:
+		for i := range x.Entries {
+			if x.Entries[i].Key != nil {
+				x.Entries[i].Key = foldExpr(x.Entries[i].Key)
+			}
+			x.Entries[i].Val = foldExpr(x.Entries[i].Val)
+		}
+		return x
+	case *IssetExpr:
+		for _, lv := range x.Targets {
+			foldLValue(lv)
+		}
+		return x
+	case *EmptyExpr:
+		foldLValue(x.Target)
+		return x
+	case *IncDec:
+		foldLValue(x.Target)
+		return x
+	default:
+		return e
+	}
+}

@@ -67,6 +67,10 @@ type Config struct {
 	// engines produce bit-identical observable behavior; EngineInterp is
 	// the reference, EngineCompiled the fast path.
 	Engine Engine
+	// Session, when non-nil, recycles execution scratch state (frame
+	// and lane-slice free lists, global slot arrays) across sequential
+	// Runs on one goroutine. Purely a performance knob; see Session.
+	Session *Session
 }
 
 // Result is the outcome of one execution.
@@ -179,6 +183,10 @@ type exec struct {
 	// locking. See pool.go.
 	laneSlices [][]Value
 	frames     []*cframe
+	bframes    []*bframe
+	// ses, when non-nil, donated the free lists above and takes them
+	// back when the run finishes. See session.go.
+	ses *Session
 }
 
 func (ex *exec) countInstr(multi bool) {
