@@ -67,6 +67,7 @@ import (
 
 	"orochi/internal/apps"
 	"orochi/internal/epoch"
+	"orochi/internal/fleet"
 	"orochi/internal/lang"
 	"orochi/internal/object"
 	"orochi/internal/reports"
@@ -98,6 +99,17 @@ func main() {
 	scrub := flag.Bool("scrub", false, "run the retrievability self-audit over -epochs and exit; failures are recorded in the decision log (REJECT for never-audited epochs, an annotation otherwise)")
 	scrubSample := flag.Int("scrub-sample", 0, "with -scrub: chunks challenged per epoch (default 16, -1 = every chunk)")
 	engineName := flag.String("engine", "compiled", "language execution engine (interp, compiled or bytecode); verdicts are identical under any")
+	serveArtifacts := flag.String("serve-artifacts", "", "serve -epochs' manifests and chunks to fleet workers on this address (e.g. :8090) until interrupted; no audit")
+	coordinate := flag.String("coordinate", "", "coordinate a distributed audit of -epochs on this address: serve artifacts, lease epochs to -worker processes, collect signed verdicts")
+	workerMode := flag.Bool("worker", false, "run as a fleet audit worker pulling epoch leases (needs -coordinator and -app/-src)")
+	coordinatorURL := flag.String("coordinator", "", "coordinator base URL for -worker (e.g. http://host:8090)")
+	artifactsURL := flag.String("artifacts", "", "artifact server base URL for -worker (default: the coordinator)")
+	fleetKey := flag.String("fleet-key", "", "shared HMAC key authenticating fleet traffic (must match across coordinator and workers; empty = unsigned)")
+	crossCheck := flag.Float64("cross-check", 0, "fraction of epochs audited on -cross-check-k workers before the verdict is believed (with -coordinate; 1 = every epoch)")
+	crossCheckK := flag.Int("cross-check-k", 2, "independent verdicts required for a cross-checked epoch (with -coordinate)")
+	leaseTimeout := flag.Duration("lease-timeout", 2*time.Minute, "inactivity timeout before an epoch lease is reassigned (with -coordinate)")
+	workerCache := flag.String("worker-cache", "", "directory for the worker's persistent chunk cache (default: in-memory; a warm cache fetches only missing chunks)")
+	workerName := flag.String("worker-name", "", "worker identity in leases and forensics (default host:pid)")
 	flag.Parse()
 
 	engine, engErr := lang.EngineByName(*engineName)
@@ -144,6 +156,45 @@ func main() {
 	vopts := verifier.Options{MaxGroup: *maxGroup, CollectStats: *stats, Workers: *auditWorkers, Engine: engine}
 	if *progress {
 		vopts.Observer = &progressPrinter{}
+	}
+
+	if *workerMode {
+		if *coordinatorURL == "" {
+			fmt.Fprintln(os.Stderr, "orochi-audit: -worker needs -coordinator (the coordinator's base URL)")
+			os.Exit(2)
+		}
+		prog, err := loadProgram(*appName, *srcDir, *withErrors)
+		exitOn(err)
+		workerCmd(ctx, prog, fleet.WorkerOptions{
+			Coordinator: strings.TrimSuffix(*coordinatorURL, "/"),
+			Artifacts:   strings.TrimSuffix(*artifactsURL, "/"),
+			Name:        *workerName,
+			Key:         []byte(*fleetKey),
+			Verify:      vopts,
+		}, *workerCache)
+		return
+	}
+	if *serveArtifacts != "" {
+		if *epochsDir == "" {
+			fmt.Fprintln(os.Stderr, "orochi-audit: -serve-artifacts needs -epochs (the chain directory to serve)")
+			os.Exit(2)
+		}
+		serveArtifactsCmd(ctx, *epochsDir, *serveArtifacts)
+		return
+	}
+	if *coordinate != "" {
+		if *epochsDir == "" {
+			fmt.Fprintln(os.Stderr, "orochi-audit: -coordinate needs -epochs (the chain directory to audit)")
+			os.Exit(2)
+		}
+		coordinateCmd(ctx, *epochsDir, *coordinate, fleet.CoordinatorOptions{
+			LeaseTimeout: *leaseTimeout,
+			CrossCheck:   *crossCheck,
+			CrossCheckK:  *crossCheckK,
+			Key:          []byte(*fleetKey),
+			To:           *to,
+		})
+		return
 	}
 
 	if *epochsDir != "" {

@@ -11,6 +11,7 @@
 //	orochi-bench -fig frontier     §3.5/§A.8 time-precedence algorithm
 //	orochi-bench -fig workers      parallel audit: speedup vs sequential per worker count
 //	orochi-bench -fig serve        serving throughput vs concurrency, global-ish lock vs sharded
+//	orochi-bench -fig fleet        distributed audit: 1 vs N fleet workers, cold vs warm fetch
 //	orochi-bench -fig all          everything
 //
 // -audit-workers sets the verifier's worker pool for the audit-running
@@ -26,17 +27,22 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sort"
+	"sync"
 	"syscall"
 	"text/tabwriter"
 	"time"
 
+	"orochi/internal/cas"
 	"orochi/internal/core"
 	"orochi/internal/epoch"
+	"orochi/internal/fleet"
 	"orochi/internal/harness"
 	"orochi/internal/lang"
 	"orochi/internal/server"
@@ -58,7 +64,7 @@ func main() {
 	var stop context.CancelFunc
 	benchCtx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fig := flag.String("fig", "all", "which figure/table to regenerate (8, 8lat, 9, 10, 11, frontier, workers, serve, all)")
+	fig := flag.String("fig", "all", "which figure/table to regenerate (8, 8lat, 9, 10, 11, frontier, workers, serve, fleet, all)")
 	scale := flag.Int("scale", 10, "divide paper-sized workloads by this factor (1 = full size)")
 	conc := flag.Int("concurrency", 8, "in-flight requests while serving")
 	// The paper-shape figures default to the sequential audit so the
@@ -102,6 +108,8 @@ func main() {
 		figWorkers(*scale, *conc)
 	case "serve":
 		figServe(*scale)
+	case "fleet":
+		figFleet(*scale, *conc)
 	case "all":
 		fig8(*scale, *conc, *auditWorkers)
 		fig9(*scale, *conc, *auditWorkers)
@@ -110,6 +118,7 @@ func main() {
 		figFrontier()
 		figWorkers(*scale, *conc)
 		figServe(*scale)
+		figFleet(*scale, *conc)
 		fig8lat(*scale, *conc)
 	case "frontier":
 		figFrontier()
@@ -197,6 +206,32 @@ type engineAuditResult struct {
 	AuditNsPerReq map[string]int64 `json:"audit_ns_per_req"`
 }
 
+// fleetResult is the -json "fleet" section: the distributed-audit
+// stack (artifact server + coordinator + workers over loopback HTTP)
+// measured against the same sealed chain at one worker and at a small
+// fleet, plus the chunk-cache effect on wire bytes. Verdicts are the
+// gate, not the measurement — every run must ACCEPT with the same
+// ledger a single-process audit produces.
+type fleetResult struct {
+	// Epochs/Requests describe the sealed chain every run audits.
+	Epochs   int `json:"epochs"`
+	Requests int `json:"requests"`
+	// Workers is the fleet width of the parallel run (capped at 4).
+	Workers int `json:"workers"`
+	// EpochsPerSec1/N are decided epochs per wall-second with one cold
+	// worker vs Workers cold workers; Speedup is their ratio.
+	EpochsPerSec1 float64 `json:"epochs_per_sec_1"`
+	EpochsPerSecN float64 `json:"epochs_per_sec_n"`
+	Speedup       float64 `json:"speedup"`
+	// LogicalBytes is what the manifests pin; ColdFetchedBytes is what
+	// a cache-less worker pulled over the wire for the whole chain;
+	// WarmFetchedBytes is the same worker re-auditing a fresh copy of
+	// the chain with its chunk cache kept (the dedup win).
+	LogicalBytes     int64 `json:"logical_bytes"`
+	ColdFetchedBytes int64 `json:"cold_fetched_bytes"`
+	WarmFetchedBytes int64 `json:"warm_fetched_bytes"`
+}
+
 // benchOutput is the top-level -json document.
 type benchOutput struct {
 	Scale        int                 `json:"scale"`
@@ -205,6 +240,7 @@ type benchOutput struct {
 	Results      []benchResult       `json:"results"`
 	Engine       []engineResult      `json:"engine"`
 	EngineAudit  []engineAuditResult `json:"engine_audit"`
+	Fleet        *fleetResult        `json:"fleet,omitempty"`
 }
 
 // benchJSON measures each paper workload once (serve → baseline replay
@@ -238,6 +274,7 @@ func benchJSON(path string, scale, conc, auditWorkers int) {
 	}
 	out.Engine = engineBench(scale, conc, auditWorkers)
 	out.EngineAudit = engineAuditBench(scale, conc, auditWorkers)
+	out.Fleet = fleetBench(scale, conc)
 	data, err := json.MarshalIndent(out, "", "  ")
 	check(err)
 	data = append(data, '\n')
@@ -419,6 +456,138 @@ func storageBench(w *workload.Workload, conc int) *storageResult {
 	}
 	res.WholeFileBytes = dirFileBytes(wholeDir)
 	return res
+}
+
+// fleetBench seals a chunked chain once and audits it through the
+// fleet stack (artifact server + coordinator + RunWorker over loopback
+// HTTP) three times: a cold single worker (the sequential reference
+// and the wire bytes a cache-less worker must pull), the same worker
+// again with its chunk cache kept (the warm bytes), and a cold
+// N-worker fleet (the parallel wall-clock). Each run gets its own copy
+// of the chain because the coordinator writes decisions and the chain
+// ledger into the directory it audits.
+func fleetBench(scale, conc int) *fleetResult {
+	w := workload.Wiki(workload.DefaultWikiParams().Scale(scale))
+	prog := w.App.Compile()
+
+	src, err := os.MkdirTemp("", "orochi-bench-fleet-")
+	check(err)
+	defer os.RemoveAll(src)
+	srv := server.New(prog, server.Options{Record: true})
+	check(srv.Setup(w.App.Schema))
+	check(srv.Setup(w.Seed))
+	// ~8 epochs: a request is a request+response event pair, and
+	// serving in eight bursts gives the manager balanced cut points —
+	// enough epochs that a small fleet has parallelism to find.
+	events := len(w.Requests) / 4
+	if events < 32 {
+		events = 32
+	}
+	mgr, err := epoch.StartManager(src, srv, srv.Snapshot(), epoch.ManagerOptions{
+		EpochEvents: events, Storage: epoch.StorageChunked})
+	check(err)
+	q := (len(w.Requests) + 7) / 8
+	for i := 0; i < len(w.Requests); i += q {
+		end := i + q
+		if end > len(w.Requests) {
+			end = len(w.Requests)
+		}
+		srv.ServeAll(w.Requests[i:end], conc)
+	}
+	check(mgr.Close())
+
+	runFleet := func(workers int, hots []cas.Store) (time.Duration, []fleet.WorkerStats, []epoch.Verdict) {
+		dir, err := os.MkdirTemp("", "orochi-bench-fleet-run-")
+		check(err)
+		defer os.RemoveAll(dir)
+		check(os.CopyFS(dir, os.DirFS(src)))
+		as, err := fleet.NewArtifactServer(dir)
+		check(err)
+		coord, err := fleet.NewCoordinator(dir, fleet.CoordinatorOptions{RetryMS: 10})
+		check(err)
+		mux := http.NewServeMux()
+		mux.Handle(fleet.Prefix+"/", as.Handler())
+		coordHandler := coord.Handler()
+		mux.Handle("POST "+fleet.Prefix+"/lease", coordHandler)
+		mux.Handle("POST "+fleet.Prefix+"/verdict", coordHandler)
+		mux.Handle("GET "+fleet.Prefix+"/epoch/{n}/init", coordHandler)
+		ts := httptest.NewServer(mux)
+
+		stats := make([]fleet.WorkerStats, workers)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				st, err := fleet.RunWorker(benchCtx, prog, fleet.WorkerOptions{
+					Coordinator: ts.URL,
+					Name:        fmt.Sprintf("bench-w%d", i),
+					Hot:         hots[i],
+					InitPoll:    5 * time.Millisecond,
+				})
+				check(err)
+				stats[i] = st
+			}(i)
+		}
+		check(coord.Wait(benchCtx))
+		wall := time.Since(start)
+		wg.Wait()
+		ts.Close()
+		if !coord.ChainAccepted() {
+			fmt.Fprintln(os.Stderr, "orochi-bench: fleet audit REJECTED")
+			os.Exit(1)
+		}
+		verdicts := coord.Verdicts()
+		check(coord.Close())
+		return wall, stats, verdicts
+	}
+
+	coldCache := cas.NewMemory()
+	wall1, statsCold, verdicts := runFleet(1, []cas.Store{coldCache})
+	_, statsWarm, _ := runFleet(1, []cas.Store{coldCache})
+	n := runtime.GOMAXPROCS(0)
+	if n > 4 {
+		n = 4
+	}
+	if n < 2 {
+		n = 2
+	}
+	hots := make([]cas.Store, n)
+	for i := range hots {
+		hots[i] = cas.NewMemory()
+	}
+	wallN, _, _ := runFleet(n, hots)
+
+	var requests int
+	for _, v := range verdicts {
+		requests += v.Requests
+	}
+	return &fleetResult{
+		Epochs:           len(verdicts),
+		Requests:         requests,
+		Workers:          n,
+		EpochsPerSec1:    float64(len(verdicts)) / wall1.Seconds(),
+		EpochsPerSecN:    float64(len(verdicts)) / wallN.Seconds(),
+		Speedup:          wall1.Seconds() / wallN.Seconds(),
+		LogicalBytes:     statsCold[0].LogicalBytes,
+		ColdFetchedBytes: statsCold[0].FetchedBytes,
+		WarmFetchedBytes: statsWarm[0].FetchedBytes,
+	}
+}
+
+// figFleet prints the fleet section as a table.
+func figFleet(scale, conc int) {
+	fmt.Printf("\n=== Distributed audit: fleet of workers over HTTP (scale 1/%d) ===\n", scale)
+	fmt.Println("verdicts and ledger are identical at any worker count; the fleet buys")
+	fmt.Println("wall-clock, and a worker's chunk cache keeps re-audits off the wire")
+	r := fleetBench(scale, conc)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "epochs\trequests\tepochs/s (1 worker)\tepochs/s\tworkers\tspeedup\tcold fetch\twarm fetch\tlogical")
+	fmt.Fprintf(tw, "%d\t%d\t%.1f\t%.1f\t%d\t%.2fx\t%dKB\t%dKB\t%dKB\n",
+		r.Epochs, r.Requests, r.EpochsPerSec1, r.EpochsPerSecN, r.Workers, r.Speedup,
+		r.ColdFetchedBytes/1024, r.WarmFetchedBytes/1024, r.LogicalBytes/1024)
+	tw.Flush()
 }
 
 // dirFileBytes sums the at-rest bytes of every artifact file under a

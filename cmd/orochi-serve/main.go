@@ -48,6 +48,7 @@ import (
 	"orochi/internal/apps"
 	"orochi/internal/console"
 	"orochi/internal/epoch"
+	"orochi/internal/fleet"
 	"orochi/internal/httpfront"
 	"orochi/internal/lang"
 	"orochi/internal/server"
@@ -203,7 +204,18 @@ func main() {
 	// ledger (/-/epochs and the JSON API), and Prometheus metrics
 	// (/-/metrics). /-/flush above shadows the console's mux because it
 	// needs this process's flush closure.
-	con := console.New(console.Options{Server: srv, Manager: mgr, Auditor: auditor, Scrubber: scrubber})
+	// In epoch mode the chain's manifests and chunks are also served to
+	// fleet audit workers under /-/fleet/ (everything there is pinned by
+	// digest, so serving it is read-only and trust-free).
+	var artifacts *fleet.ArtifactServer
+	if mgr != nil {
+		var aerr error
+		artifacts, aerr = fleet.NewArtifactServer(*epochDir)
+		exitOn(aerr)
+		mux.Handle(fleet.Prefix+"/", artifacts.Handler())
+	}
+	con := console.New(console.Options{Server: srv, Manager: mgr, Auditor: auditor, Scrubber: scrubber,
+		FleetArtifacts: artifacts})
 	mux.Handle(httpfront.ControlPrefix, con.Handler())
 	// The audited surface is the shared HTTP front door: the embedded
 	// collector as middleware in front of the executor
@@ -388,9 +400,16 @@ func driveWorkload(listen string, w *workload.Workload, n, conc int) error {
 	if !strings.HasPrefix(listen, ":") {
 		base = "http://" + listen
 	}
-	// Wait for the listener.
+	// Wait for the listener. The probe client carries its own timeout —
+	// http.Get would hang forever on a wedged listener — and the probe
+	// body must be drained and closed, or every failed poll leaks a
+	// connection.
+	probe := &http.Client{Timeout: 2 * time.Second}
 	for i := 0; i < 50; i++ {
-		if _, err := http.Get(base + "/-/stats"); err == nil {
+		resp, err := probe.Get(base + "/-/stats")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
 			break
 		}
 		time.Sleep(50 * time.Millisecond)
@@ -422,12 +441,17 @@ func driveWorkload(listen string, w *workload.Workload, n, conc int) error {
 	return firstErr
 }
 
+// driveClient sends the driver's audited requests; like every client in
+// the repo it carries an explicit timeout instead of DefaultClient's
+// wait-forever.
+var driveClient = &http.Client{Timeout: 60 * time.Second}
+
 func sendOne(base string, in trace.Input) error {
 	req, err := httpfront.NewRequest(base, in)
 	if err != nil {
 		return err
 	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := driveClient.Do(req)
 	if err != nil {
 		return err
 	}

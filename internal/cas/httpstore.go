@@ -1,0 +1,146 @@
+package cas
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ErrUnavailable marks a chunk fetch that failed for transport reasons:
+// connection refused, timeout, a truncated or corrupted response body,
+// an unexpected HTTP status. It is NOT evidence about the chain — the
+// store of record never vouched for bad bytes — so callers must retry
+// or surface an internal fault, never turn it into an audit verdict.
+// Contrast ErrNotFound and a server-reported read error (both relayed
+// verbatim), which are the store of record speaking and therefore are
+// the same audit evidence a local read would produce.
+var ErrUnavailable = errors.New("cas: store unavailable")
+
+// maxChunkWire bounds one chunk (or one migrated whole-file blob)
+// fetched over HTTP, a backstop against a misbehaving server streaming
+// forever; real chunks are a few hundred KB.
+const maxChunkWire = 64 << 20
+
+// HTTPStore is a read-only Store backed by a fleet artifact server
+// (internal/fleet): Get fetches /chunk/<sha> and verifies the bytes
+// against the digest client-side, so a worker composing it as the cold
+// tier of a Tiered store reads with exactly the integrity guarantees of
+// a local FS store. Error shapes mirror FS.Get byte-for-byte — a
+// missing chunk wraps ErrNotFound with the same text, and a
+// server-side read failure relays the server's error string verbatim —
+// so an audit REJECT produced through this store is bit-identical to
+// one produced locally. Failures Get can attribute to the transport
+// rather than the store of record wrap ErrUnavailable instead.
+//
+// Writes are refused: the artifact server owns the chain.
+type HTTPStore struct {
+	base   string // e.g. "http://host:8090/-/fleet"
+	client *http.Client
+
+	fetchedChunks atomic.Int64
+	fetchedBytes  atomic.Int64
+}
+
+// NewHTTPStore returns a store reading from the artifact server mounted
+// at base (the fleet prefix, e.g. "http://host:8090/-/fleet"). A nil
+// client gets a dedicated one with an explicit timeout — fleet clients
+// never wait forever on a wedged peer.
+func NewHTTPStore(base string, client *http.Client) *HTTPStore {
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	return &HTTPStore{base: strings.TrimSuffix(base, "/"), client: client}
+}
+
+// Fetched reports how many chunks and logical bytes Get has pulled over
+// the wire — the numerator of a warm worker's cache-hit accounting.
+func (s *HTTPStore) Fetched() (chunks, bytes int64) {
+	return s.fetchedChunks.Load(), s.fetchedBytes.Load()
+}
+
+// Get fetches and verifies one chunk. All failures are *ChunkError; the
+// wrapped cause distinguishes store evidence (ErrNotFound, a relayed
+// server read error) from transport faults (ErrUnavailable).
+func (s *HTTPStore) Get(sha string) ([]byte, error) {
+	if !validSHA(sha) {
+		return nil, &ChunkError{Digest: sha, Err: fmt.Errorf("cas: get: bad digest %q", sha)}
+	}
+	resp, err := s.client.Get(s.base + "/chunk/" + sha)
+	if err != nil {
+		return nil, &ChunkError{Digest: sha, Err: fmt.Errorf("cas: get %s: %w: %v", short(sha), ErrUnavailable, err)}
+	}
+	defer resp.Body.Close()
+	body, rerr := io.ReadAll(io.LimitReader(resp.Body, maxChunkWire+1))
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if rerr != nil {
+			return nil, &ChunkError{Digest: sha, Err: fmt.Errorf("cas: get %s: %w: reading body: %v", short(sha), ErrUnavailable, rerr)}
+		}
+		if len(body) > maxChunkWire {
+			return nil, &ChunkError{Digest: sha, Err: fmt.Errorf("cas: get %s: %w: chunk exceeds %d bytes", short(sha), ErrUnavailable, maxChunkWire)}
+		}
+		if got := SumHex(body); got != sha {
+			// The server verifies at-rest bytes on every read before
+			// serving them, so a mismatch here means the transport
+			// truncated or corrupted the response — retryable, never
+			// evidence against the chain.
+			return nil, &ChunkError{Digest: sha, Err: fmt.Errorf("cas: get %s: %w: fetched bytes hash to %s, want %s",
+				short(sha), ErrUnavailable, short(got), short(sha))}
+		}
+		s.fetchedChunks.Add(1)
+		s.fetchedBytes.Add(int64(len(body)))
+		return body, nil
+	case http.StatusNotFound:
+		// The store of record says the chunk does not exist: the same
+		// evidence, in the same words, as a local FS miss.
+		return nil, &ChunkError{Digest: sha, Err: fmt.Errorf("cas: get %s: %w", short(sha), ErrNotFound)}
+	case http.StatusBadGateway:
+		// The server's own read failed (corrupt chunk at rest, bad
+		// digest); its error text is relayed verbatim so a remote audit
+		// rejects with exactly the reason a local one would.
+		return nil, &ChunkError{Digest: sha, Err: errors.New(strings.TrimSpace(string(body)))}
+	default:
+		return nil, &ChunkError{Digest: sha, Err: fmt.Errorf("cas: get %s: %w: unexpected status %s", short(sha), ErrUnavailable, resp.Status)}
+	}
+}
+
+// Has asks the server whether the chunk exists (HEAD, no bytes moved).
+// Transport failures read as false, matching the interface's no-error
+// contract; callers that must distinguish follow up with Get.
+func (s *HTTPStore) Has(sha string) bool {
+	if !validSHA(sha) {
+		return false
+	}
+	req, err := http.NewRequest(http.MethodHead, s.base+"/chunk/"+sha, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Put is refused: workers never write back to the chain's store.
+func (s *HTTPStore) Put(sha string, data []byte) error {
+	return fmt.Errorf("cas: http store is read-only (put %s refused)", short(sha))
+}
+
+// List is unsupported over HTTP; GC runs where the store lives.
+func (s *HTTPStore) List() ([]string, error) {
+	return nil, errors.New("cas: http store does not support List")
+}
+
+// Delete is refused: workers never mutate the chain's store.
+func (s *HTTPStore) Delete(sha string) error {
+	return fmt.Errorf("cas: http store is read-only (delete %s refused)", short(sha))
+}
+
+var _ Store = (*HTTPStore)(nil)

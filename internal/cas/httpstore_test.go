@@ -1,0 +1,210 @@
+package cas
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTieredPromoteRace hammers promote-on-read from many goroutines
+// against a cold chunk: every reader must see the right bytes, the
+// promotion must land, and the whole dance must be -race clean (Memory
+// guards its map; Tiered itself adds no state).
+func TestTieredPromoteRace(t *testing.T) {
+	hot, cold := NewMemory(), NewMemory()
+	tiered := &Tiered{Hot: hot, Cold: cold}
+	data := []byte("a cold chunk everyone wants at once")
+	sha := SumHex(data)
+	if err := cold.Put(sha, data); err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 32
+	var wg sync.WaitGroup
+	errs := make([]error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				got, err := tiered.Get(sha)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if string(got) != string(data) {
+					errs[i] = fmt.Errorf("read %q", got)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("reader %d: %v", i, err)
+		}
+	}
+	if !hot.Has(sha) {
+		t.Fatal("cold hit was never promoted to the hot tier")
+	}
+}
+
+// chunkServer fakes the artifact server's /chunk/<sha> surface for
+// HTTPStore error-path tests.
+func chunkServer(t *testing.T, handler http.HandlerFunc) *HTTPStore {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /fleet/chunk/{sha}", handler)
+	mux.HandleFunc("HEAD /fleet/chunk/{sha}", handler)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return NewHTTPStore(ts.URL+"/fleet", nil)
+}
+
+func TestHTTPStoreRoundTrip(t *testing.T) {
+	data := []byte("over the wire")
+	sha := SumHex(data)
+	store := chunkServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("sha") != sha {
+			http.Error(w, "chunk not found", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		if r.Method == http.MethodGet {
+			w.Write(data)
+		}
+	})
+	if !store.Has(sha) {
+		t.Fatal("Has missed a served chunk")
+	}
+	got, err := store.Get(sha)
+	if err != nil || string(got) != string(data) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	chunks, bytes := store.Fetched()
+	if chunks != 1 || bytes != int64(len(data)) {
+		t.Fatalf("Fetched = %d chunks, %d bytes", chunks, bytes)
+	}
+	if store.Has(SumHex([]byte("absent"))) {
+		t.Fatal("Has invented a chunk")
+	}
+}
+
+// TestHTTPStoreNotFound pins the error-relay discipline: a 404 is the
+// store of record speaking, so the typed ChunkError wraps ErrNotFound
+// with exactly the local store's wording — and is NOT a transport
+// fault.
+func TestHTTPStoreNotFound(t *testing.T) {
+	store := chunkServer(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "chunk not found", http.StatusNotFound)
+	})
+	sha := SumHex([]byte("missing"))
+	_, err := store.Get(sha)
+	var ce *ChunkError
+	if !errors.As(err, &ce) || ce.Digest != sha {
+		t.Fatalf("want *ChunkError naming %s, got %v", short(sha), err)
+	}
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("404 must wrap ErrNotFound: %v", err)
+	}
+	if errors.Is(err, ErrUnavailable) {
+		t.Fatalf("a 404 is store evidence, not a transport fault: %v", err)
+	}
+	if want := fmt.Sprintf("cas: get %s: %v", short(sha), ErrNotFound); ce.Err.Error() != want {
+		t.Fatalf("error shape diverged from the local store's:\ngot:  %s\nwant: %s", ce.Err, want)
+	}
+}
+
+// TestHTTPStoreTruncatedBody: a response cut short mid-body is the
+// transport's fault — retryable ErrUnavailable, never audit evidence.
+func TestHTTPStoreTruncatedBody(t *testing.T) {
+	data := []byte("these bytes will be cut short by the server")
+	sha := SumHex(data)
+	store := chunkServer(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		w.Write(data[:8]) // then the handler returns: connection truncated
+	})
+	_, err := store.Get(sha)
+	var ce *ChunkError
+	if !errors.As(err, &ce) || !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("truncated body must be ErrUnavailable inside ChunkError, got %v", err)
+	}
+}
+
+// TestHTTPStoreDigestMismatch: intact 200 carrying the wrong bytes.
+// The server verifies at-rest bytes before serving, so this is
+// transport corruption — ErrUnavailable, not a verdict.
+func TestHTTPStoreDigestMismatch(t *testing.T) {
+	sha := SumHex([]byte("the true content"))
+	store := chunkServer(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("corrupted in flight"))
+	})
+	_, err := store.Get(sha)
+	var ce *ChunkError
+	if !errors.As(err, &ce) || !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("mismatched bytes must be ErrUnavailable inside ChunkError, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "hash to") {
+		t.Fatalf("mismatch error should describe the digests: %v", err)
+	}
+}
+
+// TestHTTPStoreRelaysServerReadError: a 502 carries the server-side
+// store's own error text, relayed verbatim so a remote REJECT reason is
+// bit-identical to a local one.
+func TestHTTPStoreRelaysServerReadError(t *testing.T) {
+	sha := SumHex([]byte("rotten at rest"))
+	serverErr := fmt.Sprintf("cas: chunk %s is 9 bytes but hashes to deadbeef", short(sha))
+	store := chunkServer(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, serverErr, http.StatusBadGateway)
+	})
+	_, err := store.Get(sha)
+	var ce *ChunkError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *ChunkError, got %v", err)
+	}
+	if ce.Err.Error() != serverErr {
+		t.Fatalf("server error not relayed verbatim:\ngot:  %s\nwant: %s", ce.Err, serverErr)
+	}
+	if errors.Is(err, ErrUnavailable) {
+		t.Fatalf("a relayed store failure is evidence, not a transport fault: %v", err)
+	}
+}
+
+// TestHTTPStoreUnreachable: connection refused is ErrUnavailable.
+func TestHTTPStoreUnreachable(t *testing.T) {
+	store := NewHTTPStore("http://127.0.0.1:1/fleet", nil)
+	_, err := store.Get(SumHex([]byte("anything")))
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("connection refused must be ErrUnavailable, got %v", err)
+	}
+	if store.Has(SumHex([]byte("anything"))) {
+		t.Fatal("Has against a dead server must read false")
+	}
+}
+
+func TestHTTPStoreRefusesWritesAndBadDigests(t *testing.T) {
+	store := chunkServer(t, func(w http.ResponseWriter, r *http.Request) {})
+	sha := SumHex([]byte("x"))
+	if err := store.Put(sha, []byte("x")); err == nil {
+		t.Fatal("Put must be refused")
+	}
+	if err := store.Delete(sha); err == nil {
+		t.Fatal("Delete must be refused")
+	}
+	if _, err := store.List(); err == nil {
+		t.Fatal("List must be unsupported")
+	}
+	if _, err := store.Get("not-a-digest"); err == nil {
+		t.Fatal("Get must reject malformed digests before touching the network")
+	}
+	if store.Has("not-a-digest") {
+		t.Fatal("Has must reject malformed digests")
+	}
+}

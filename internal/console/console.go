@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"orochi/internal/epoch"
+	"orochi/internal/fleet"
 	"orochi/internal/server"
 )
 
@@ -45,6 +46,12 @@ type Options struct {
 	// Scrubber provides the retrievability self-audit counters
 	// (/-/metrics scrub families).
 	Scrubber *epoch.Scrubber
+	// FleetArtifacts provides the chunk-serving counters when this
+	// process serves audit artifacts to fleet workers.
+	FleetArtifacts *fleet.ArtifactServer
+	// FleetCoordinator provides the lease/verdict counters when this
+	// process coordinates a distributed audit.
+	FleetCoordinator *fleet.Coordinator
 	// StartedAt anchors uptime and average-rate computations (default:
 	// time of New).
 	StartedAt time.Time
@@ -55,11 +62,13 @@ type Options struct {
 // polling the console under full load does not touch the serving hot
 // path.
 type Console struct {
-	srv      *server.Server
-	mgr      *epoch.Manager
-	auditor  *epoch.Auditor
-	scrubber *epoch.Scrubber
-	started  time.Time
+	srv       *server.Server
+	mgr       *epoch.Manager
+	auditor   *epoch.Auditor
+	scrubber  *epoch.Scrubber
+	artifacts *fleet.ArtifactServer
+	coord     *fleet.Coordinator
+	started   time.Time
 
 	// rateMu guards the previous-poll sample behind the instantaneous
 	// req/s figure on /-/stats.
@@ -74,12 +83,14 @@ func New(opts Options) *Console {
 		opts.StartedAt = time.Now()
 	}
 	return &Console{
-		srv:      opts.Server,
-		mgr:      opts.Manager,
-		auditor:  opts.Auditor,
-		scrubber: opts.Scrubber,
-		started:  opts.StartedAt,
-		lastAt:   opts.StartedAt,
+		srv:       opts.Server,
+		mgr:       opts.Manager,
+		auditor:   opts.Auditor,
+		scrubber:  opts.Scrubber,
+		artifacts: opts.FleetArtifacts,
+		coord:     opts.FleetCoordinator,
+		started:   opts.StartedAt,
+		lastAt:    opts.StartedAt,
 	}
 }
 

@@ -184,6 +184,38 @@ func (c *Console) metrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	if c.artifacts != nil {
+		st := c.artifacts.Stats()
+		p.family("orochi_fleet_chunks_served_total", "counter", "Chunks served to fleet workers from this chain's store.")
+		p.sample("orochi_fleet_chunks_served_total", "", float64(st.ChunksServed))
+		p.family("orochi_fleet_chunk_bytes_served_total", "counter", "Chunk bytes served to fleet workers.")
+		p.sample("orochi_fleet_chunk_bytes_served_total", "", float64(st.BytesServed))
+	}
+
+	if c.coord != nil {
+		st := c.coord.Stats()
+		p.family("orochi_fleet_workers", "gauge", "Distinct workers seen by the fleet coordinator.")
+		p.sample("orochi_fleet_workers", "", float64(st.WorkersSeen))
+		p.family("orochi_fleet_leases_active", "gauge", "Epoch leases currently held by workers.")
+		p.sample("orochi_fleet_leases_active", "", float64(st.LeasesActive))
+		p.family("orochi_fleet_leases_reassigned_total", "counter", "Leases that timed out and were reassigned.")
+		p.sample("orochi_fleet_leases_reassigned_total", "", float64(st.LeasesReassigned))
+		p.family("orochi_fleet_epochs_decided_total", "counter", "Epochs whose verdict the coordinator has published.")
+		p.sample("orochi_fleet_epochs_decided_total", "", float64(st.EpochsDecided))
+		p.family("orochi_fleet_cross_check_epochs_total", "counter", "Epochs decided by a cross-check quorum.")
+		p.sample("orochi_fleet_cross_check_epochs_total", "", float64(st.EpochsCrossChecked))
+		p.family("orochi_fleet_cross_check_mismatches_total", "counter", "Cross-checked epochs whose replica verdicts disagreed (REJECT with forensics naming both workers).")
+		p.sample("orochi_fleet_cross_check_mismatches_total", "", float64(st.CrossCheckMismatches))
+		p.family("orochi_fleet_bad_signature_posts_total", "counter", "Fleet posts refused for a missing or wrong HMAC signature.")
+		p.sample("orochi_fleet_bad_signature_posts_total", "", float64(st.BadSignaturePosts))
+		p.family("orochi_fleet_stale_verdicts_total", "counter", "Verdict posts ignored because their lease had expired or was never held.")
+		p.sample("orochi_fleet_stale_verdicts_total", "", float64(st.StaleVerdicts))
+		p.family("orochi_fleet_fetched_bytes_total", "counter", "Chunk bytes workers reported fetching over the wire.")
+		p.sample("orochi_fleet_fetched_bytes_total", "", float64(st.FetchedBytes))
+		p.family("orochi_fleet_cache_hit_bytes_total", "counter", "Manifest-pinned bytes workers served from their local caches instead of the wire.")
+		p.sample("orochi_fleet_cache_hit_bytes_total", "", float64(st.CacheHitBytes))
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write(b.Bytes())
 }

@@ -97,14 +97,14 @@ type Verdict struct {
 	// re-appended to the decision log — the stored decision, possibly
 	// acknowledged, stands.
 	Adopted bool
-	// keepStored marks a REJECT whose epoch holds a stored ACCEPT that
+	// KeepStored marks a REJECT whose epoch holds a stored ACCEPT that
 	// must survive it: a compacted epoch's adoption failed (unreadable
 	// checkpoint, manifest mismatch), which can be transient — its bulk
 	// artifacts are gone, so the stored ACCEPT is the only trust
 	// artifact left and overwriting it with this verdict would make the
 	// failure permanent. The verdict still breaks this run's chain; a
 	// later run re-attempts adoption from the intact decision.
-	keepStored bool
+	KeepStored bool
 }
 
 // Auditor verifies a chain of sealed epochs, continuously or in
@@ -447,10 +447,10 @@ func (a *Auditor) RunOnce(ctx context.Context) (int, error) {
 		}
 		a.mu.Unlock()
 		audited++
-		if !verdict.Adopted && !verdict.keepStored {
+		if !verdict.Adopted && !verdict.KeepStored {
 			// Adopted verdicts restate a decision the log already holds
 			// (possibly acknowledged); re-appending would reopen its
-			// resolution and forge a fresh DecidedAt. keepStored REJECTs
+			// resolution and forge a fresh DecidedAt. KeepStored REJECTs
 			// must not replace a compacted epoch's stored ACCEPT — the
 			// epoch's only remaining trust artifact.
 			if err := a.log.Append(decisionFromVerdict(verdict)); err != nil {
@@ -573,7 +573,7 @@ func (a *Auditor) auditOne(ctx context.Context, s *Sealed, r loadResult) (Verdic
 		// checkpoint, manifest mismatch) can be transient — replacing the
 		// decision would make it permanent and unrecoverable.
 		d, ok := a.log.Get(s.Number)
-		v.keepStored = ok
+		v.KeepStored = ok
 		if !ok || !d.Accepted {
 			return reject(fmt.Sprintf("epoch %d is compacted but the decision log holds no ACCEPT for it", s.Number),
 				&verifier.Forensics{Phase: PhaseEpochLoad, Check: "compaction"})
@@ -684,11 +684,19 @@ func (a *Auditor) flushPendingCheckpoint() error {
 }
 
 func (a *Auditor) writeCheckpoint(n int64, snap *object.Snapshot) error {
+	return WriteCheckpoint(a.dir, n, snap)
+}
+
+// WriteCheckpoint persists epoch n's verified final snapshot under
+// <dir>/checkpoints/, where LoadCheckpoint finds it. The in-process
+// auditor and the fleet coordinator share this path so a chain is
+// resumable by either.
+func WriteCheckpoint(dir string, n int64, snap *object.Snapshot) error {
 	data, err := snap.Encode()
 	if err != nil {
 		return err
 	}
-	path := checkpointPath(a.dir, n)
+	path := checkpointPath(dir, n)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}

@@ -127,6 +127,10 @@ func ReadManifest(dir string) (*Manifest, string, error) {
 // epochDirName formats the directory name of epoch n.
 func epochDirName(n int64) string { return fmt.Sprintf("epoch-%06d", n) }
 
+// EpochDirName is the exported naming scheme ("epoch-%06d") — the fleet
+// artifact server resolves manifest paths with it.
+func EpochDirName(n int64) string { return epochDirName(n) }
+
 // epochDirNumber parses an epoch directory name, returning 0 unless the
 // name matches the exact epoch-%06d shape — Sscanf alone would accept
 // trailing junk like "epoch-2.bak" and alias it to epoch 2.

@@ -1,0 +1,876 @@
+package fleet
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"orochi/internal/epoch"
+	"orochi/internal/object"
+	"orochi/internal/verifier"
+)
+
+// CoordinatorOptions configures a fleet coordinator.
+type CoordinatorOptions struct {
+	// LeaseTimeout is how long a worker may hold an epoch without
+	// activity before the lease is reassigned (default 2m). Any
+	// authenticated touch — an init-snapshot poll — renews it.
+	LeaseTimeout time.Duration
+	// CrossCheck is the fraction of epochs audited on CrossCheckK
+	// workers before the verdict is believed (0 = none, 1 = every
+	// epoch). Epochs are sampled deterministically from their manifest
+	// digest, so reruns pick the same epochs.
+	CrossCheck float64
+	// CrossCheckK is how many independent verdicts a sampled epoch
+	// needs (default 2).
+	CrossCheckK int
+	// Key is the shared fleet HMAC key; empty disables signing.
+	Key []byte
+	// To bounds the audit to epochs 1..To (0 = every sealed epoch).
+	To int64
+	// Lookahead is how many epochs past the decision point may be
+	// leased speculatively (default 8). Later epochs' verification can
+	// overlap earlier epochs' — only the snapshot hand-off serializes.
+	Lookahead int
+	// RetryMS is the wait hint returned when no lease is available
+	// (default 300).
+	RetryMS int
+}
+
+func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
+	if o.LeaseTimeout <= 0 {
+		o.LeaseTimeout = 2 * time.Minute
+	}
+	if o.CrossCheckK <= 0 {
+		o.CrossCheckK = 2
+	}
+	if o.Lookahead <= 0 {
+		o.Lookahead = 8
+	}
+	if o.RetryMS <= 0 {
+		o.RetryMS = 300
+	}
+	return o
+}
+
+// CoordinatorStats is a point-in-time snapshot of the fleet counters
+// surfaced on /-/metrics.
+type CoordinatorStats struct {
+	WorkersSeen          int
+	LeasesActive         int
+	LeasesReassigned     int64
+	EpochsDecided        int
+	EpochsCrossChecked   int64
+	CrossCheckMismatches int64
+	BadSignaturePosts    int64
+	StaleVerdicts        int64
+	FetchedBytes         int64
+	CacheHitBytes        int64
+	Done                 bool
+	Broken               bool
+}
+
+// activeLease is one outstanding assignment.
+type activeLease struct {
+	id       string
+	epoch    int64
+	worker   string
+	cross    bool
+	deadline time.Time
+}
+
+// postedVerdict is a worker's validated, not-yet-published verdict.
+type postedVerdict struct {
+	post VerdictPost
+	snap *object.Snapshot // decoded final snapshot (nil on REJECT)
+}
+
+// epochState tracks one sealed epoch through lease → verdict(s) →
+// published decision.
+type epochState struct {
+	s       *epoch.Sealed
+	cross   bool // sampled for cross-checking
+	need    int  // verdicts required (1, or CrossCheckK when cross)
+	active  map[string]*activeLease
+	posted  []*postedVerdict
+	decided bool
+}
+
+// outstanding is how many verdicts are already secured or in flight.
+func (st *epochState) outstanding() int { return len(st.active) + len(st.posted) }
+
+// activeWorker reports whether worker currently holds a lease on this
+// epoch (a cross-check replica must come from a different in-flight
+// assignment, though a worker may re-audit an epoch it already posted).
+func (st *epochState) activeWorker(worker string) bool {
+	for _, l := range st.active {
+		if l.worker == worker {
+			return true
+		}
+	}
+	return false
+}
+
+// Coordinator walks a sealed chain's manifest hash chain and hands out
+// lease-based epoch assignments to workers, in chain order, with
+// snapshot hand-off: epoch N+1's trusted initial state is the verified
+// final snapshot posted for epoch N. It owns the chain's durable
+// decision log, so -explain, the console, and restart rehydration see
+// fleet verdicts exactly as in-process ones.
+//
+// The epoch set is fixed at construction: a fleet audit runs against a
+// chain that is not being written (the CLI holds the chain's exclusive
+// audit lock), so epochs sealed later are a different audit.
+type Coordinator struct {
+	dir  string
+	opts CoordinatorOptions
+	log  *epoch.DecisionLog
+	now  func() time.Time // test hook
+
+	mu         sync.Mutex
+	states     map[int64]*epochState
+	maxKnown   int64 // highest sealed epoch under To
+	next       int64 // next epoch to decide (chain order)
+	chainSHA   string
+	prevSHA    string           // manifest digest epoch `next` must link to
+	inits      map[int64][]byte // encoded trusted initial state, by epoch
+	leases     map[string]*activeLease
+	workers    map[string]time.Time // worker name → last seen
+	verdicts   []epoch.Verdict
+	broken     bool
+	incomplete int64 // first missing epoch when the chain has a seal gap
+	finished   bool
+	err        error // internal fault that aborted the audit
+	warnings   []string
+	done       chan struct{}
+
+	leasesReassigned     int64
+	epochsCrossChecked   int64
+	crossCheckMismatches int64
+	badSignaturePosts    int64
+	staleVerdicts        int64
+	fetchedBytes         int64
+	cacheHitBytes        int64
+}
+
+// NewCoordinator opens the chain's decision log, scans its sealed
+// epochs, and resumes from the last stored decision: a contiguous
+// accepted prefix is rehydrated (the hand-off continues from its
+// checkpoint), a stored REJECT leaves the chain broken, and a fresh
+// chain starts at epoch 1. Only chunked (v2) chains are coordinated —
+// workers fetch artifacts by chunk digest.
+func NewCoordinator(dir string, opts CoordinatorOptions) (*Coordinator, error) {
+	opts = opts.withDefaults()
+	log, err := epoch.OpenDecisionLog(dir)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		dir:     dir,
+		opts:    opts,
+		log:     log,
+		now:     time.Now,
+		states:  make(map[int64]*epochState),
+		next:    1,
+		inits:   make(map[int64][]byte),
+		leases:  make(map[string]*activeLease),
+		workers: make(map[string]time.Time),
+		done:    make(chan struct{}),
+	}
+	sealed, err := epoch.ListSealed(dir)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	for _, s := range sealed {
+		if opts.To > 0 && s.Number > opts.To {
+			continue
+		}
+		if s.Manifest != nil && !s.Manifest.Chunked() && !s.Compacted {
+			log.Close()
+			return nil, fmt.Errorf("fleet: epoch %d uses the whole-file layout; fleet audit requires the chunked layout (-epoch-storage chunked)", s.Number)
+		}
+		st := &epochState{s: s, active: make(map[string]*activeLease)}
+		st.cross = c.crossFor(s)
+		st.need = 1
+		if st.cross {
+			st.need = opts.CrossCheckK
+		}
+		c.states[s.Number] = st
+		if s.Number > c.maxKnown {
+			c.maxKnown = s.Number
+		}
+	}
+	if err := c.rehydrate(); err != nil {
+		log.Close()
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.broken {
+		// A stored REJECT poisons the chain for this run too; re-audit
+		// past one with the single-process auditor's -from/-init.
+		c.finishLocked()
+	} else {
+		c.advanceLocked()
+	}
+	c.mu.Unlock()
+	return c, nil
+}
+
+// rehydrate resumes from the durable decision log: the contiguous
+// decided prefix starting at epoch 1 is replayed into the ledger, and
+// when it ends in an ACCEPT with more epochs to audit, the hand-off
+// resumes from that epoch's checkpoint. Mirrors Auditor.rehydrate: a
+// decision with no chain digest cannot seed the digest sequence.
+func (c *Coordinator) rehydrate() error {
+	byEpoch := make(map[int64]epoch.Decision)
+	for _, d := range c.log.Decisions() {
+		byEpoch[d.Epoch] = d
+	}
+	for n := int64(1); ; n++ {
+		if c.opts.To > 0 && n > c.opts.To {
+			break
+		}
+		d, ok := byEpoch[n]
+		if !ok {
+			break
+		}
+		v := epoch.VerdictFromDecision(d)
+		c.verdicts = append(c.verdicts, v)
+		if st := c.states[n]; st != nil {
+			st.decided = true
+		}
+		if v.ChainSHA != "" {
+			c.chainSHA = v.ChainSHA
+		}
+		if !v.Accepted {
+			c.broken = true
+			return nil
+		}
+		c.prevSHA = v.ManifestSHA
+		c.next = n + 1
+	}
+	if c.next > 1 && c.states[c.next] != nil {
+		// More epochs to audit: the hand-off needs the last accepted
+		// epoch's verified final snapshot.
+		snap, err := epoch.LoadCheckpoint(c.dir, c.next-1)
+		if err != nil {
+			return fmt.Errorf("fleet: resuming at epoch %d needs epoch %d's checkpoint: %w", c.next, c.next-1, err)
+		}
+		data, err := snap.Encode()
+		if err != nil {
+			return err
+		}
+		c.inits[c.next] = data
+	}
+	return nil
+}
+
+// crossFor deterministically samples an epoch for cross-checking from
+// its manifest digest, so reruns and restarts pick the same epochs.
+func (c *Coordinator) crossFor(s *epoch.Sealed) bool {
+	if c.opts.CrossCheck <= 0 || s.Err != nil || s.Compacted {
+		return false
+	}
+	if c.opts.CrossCheck >= 1 {
+		return true
+	}
+	if len(s.ManifestSHA) < 8 {
+		return false
+	}
+	v, err := strconv.ParseUint(s.ManifestSHA[:8], 16, 64)
+	if err != nil {
+		return false
+	}
+	return float64(v)/float64(1<<32) < c.opts.CrossCheck
+}
+
+// Handler returns the coordinator's HTTP surface (mount beside the
+// artifact server's under Prefix+"/").
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+Prefix+"/lease", c.handleLease)
+	mux.HandleFunc("POST "+Prefix+"/verdict", c.handleVerdict)
+	mux.HandleFunc("GET "+Prefix+"/epoch/{n}/init", c.handleInit)
+	return mux
+}
+
+// maxPostBytes bounds request bodies; final snapshots dominate (they
+// are gzip-compressed object state).
+const maxPostBytes = 256 << 20
+
+func (c *Coordinator) readSigned(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxPostBytes+1))
+	if err != nil || int64(len(body)) > maxPostBytes {
+		http.Error(w, "bad request body", http.StatusBadRequest)
+		return nil, false
+	}
+	if !VerifySig(c.opts.Key, body, r.Header.Get(SigHeader)) {
+		c.mu.Lock()
+		c.badSignaturePosts++
+		c.mu.Unlock()
+		http.Error(w, "bad fleet signature", http.StatusForbidden)
+		return nil, false
+	}
+	return body, true
+}
+
+func (c *Coordinator) respondJSON(w http.ResponseWriter, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	signResponse(w, c.opts.Key, body)
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	body, ok := c.readSigned(w, r)
+	if !ok {
+		return
+	}
+	var req LeaseRequest
+	if err := json.Unmarshal(body, &req); err != nil || req.Worker == "" {
+		http.Error(w, "bad lease request", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	c.workers[req.Worker] = c.now()
+	c.expireLocked()
+	resp := LeaseResponse{}
+	if c.finished {
+		resp.Done = true
+	} else if l := c.grantLocked(req.Worker); l != nil {
+		resp.Lease = l
+	} else {
+		resp.RetryMS = c.opts.RetryMS
+	}
+	c.mu.Unlock()
+	c.respondJSON(w, resp)
+}
+
+// grantLocked finds the lowest leasable epoch within the lookahead
+// window. Damaged and compacted epochs are decided locally (never
+// leased); a gap in the chain stops the walk — nothing past it can be
+// decided this run.
+func (c *Coordinator) grantLocked(worker string) *Lease {
+	limit := c.next + int64(c.opts.Lookahead)
+	for n := c.next; n <= c.maxKnown && n < limit; n++ {
+		if c.opts.To > 0 && n > c.opts.To {
+			return nil
+		}
+		st := c.states[n]
+		if st == nil {
+			return nil // seal gap
+		}
+		if st.decided || st.s.Err != nil || st.s.Compacted {
+			continue
+		}
+		if st.outstanding() >= st.need || st.activeWorker(worker) {
+			continue
+		}
+		var prevSHA string
+		if prev := c.states[n-1]; prev != nil {
+			prevSHA = prev.s.ManifestSHA
+		}
+		l := &activeLease{
+			id:       newLeaseID(),
+			epoch:    n,
+			worker:   worker,
+			cross:    st.cross && st.outstanding() > 0,
+			deadline: c.now().Add(c.opts.LeaseTimeout),
+		}
+		st.active[l.id] = l
+		c.leases[l.id] = l
+		return &Lease{
+			ID:              l.id,
+			Epoch:           n,
+			ManifestSHA:     st.s.ManifestSHA,
+			PrevManifestSHA: prevSHA,
+			InitManifest:    n == 1,
+			CrossCheck:      l.cross,
+			DeadlineUnix:    l.deadline.Unix(),
+		}
+	}
+	return nil
+}
+
+// expireLocked reassigns timed-out leases: the lease is dropped, so the
+// next worker asking for work picks the epoch up. A verdict posted on a
+// dropped lease is stale and answered 409.
+func (c *Coordinator) expireLocked() {
+	now := c.now()
+	for id, l := range c.leases {
+		if now.After(l.deadline) {
+			delete(c.leases, id)
+			if st := c.states[l.epoch]; st != nil {
+				delete(st.active, id)
+			}
+			c.leasesReassigned++
+		}
+	}
+}
+
+// handleInit serves the trusted initial state of a leased epoch: the
+// previous epoch's verified final snapshot, once it exists. 202 means
+// not yet (the previous epoch is still being audited), 410 means the
+// lease is gone — expired, or the chain broke before this epoch — and
+// the worker must abandon the assignment.
+func (c *Coordinator) handleInit(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.ParseInt(r.PathValue("n"), 10, 64)
+	if err != nil || n <= 0 {
+		http.Error(w, "bad epoch number", http.StatusBadRequest)
+		return
+	}
+	leaseID := r.URL.Query().Get("lease")
+	c.mu.Lock()
+	c.expireLocked()
+	l := c.leases[leaseID]
+	if l == nil || l.epoch != n {
+		c.mu.Unlock()
+		http.Error(w, "lease gone", http.StatusGone)
+		return
+	}
+	l.deadline = c.now().Add(c.opts.LeaseTimeout) // activity renews
+	c.workers[l.worker] = c.now()
+	data := c.inits[n]
+	c.mu.Unlock()
+	if data == nil {
+		w.WriteHeader(http.StatusAccepted)
+		return
+	}
+	signResponse(w, c.opts.Key, data)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}
+
+func (c *Coordinator) handleVerdict(w http.ResponseWriter, r *http.Request) {
+	body, ok := c.readSigned(w, r)
+	if !ok {
+		return
+	}
+	var p VerdictPost
+	if err := json.Unmarshal(body, &p); err != nil {
+		http.Error(w, "bad verdict post", http.StatusBadRequest)
+		return
+	}
+	// Decode the snapshot outside the lock (gzip + gob): the body is
+	// already authenticated, and validation against the lease happens
+	// below before anything is believed.
+	var snap *object.Snapshot
+	if p.Accepted {
+		var err error
+		snap, err = object.DecodeSnapshot(p.FinalSnapshot)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("undecodable final snapshot: %v", err), http.StatusBadRequest)
+			return
+		}
+		if got := snap.CanonicalDigest(); got != p.SnapshotDigest {
+			http.Error(w, "snapshot digest does not match snapshot", http.StatusBadRequest)
+			return
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	c.workers[p.Worker] = c.now()
+	l := c.leases[p.LeaseID]
+	if l == nil || l.epoch != p.Epoch || l.worker != p.Worker {
+		// Expired (reassigned) lease, or a verdict for an epoch the
+		// worker does not hold: ignored, never a verdict.
+		c.staleVerdicts++
+		http.Error(w, "stale or unknown lease", http.StatusConflict)
+		return
+	}
+	st := c.states[p.Epoch]
+	if st == nil || st.decided {
+		c.staleVerdicts++
+		http.Error(w, "stale or unknown lease", http.StatusConflict)
+		return
+	}
+	if p.ManifestSHA != st.s.ManifestSHA {
+		// The worker audited different manifest bytes than the chain
+		// holds; the post proves nothing about this epoch. Keep the
+		// lease — the worker is confused, not slow.
+		http.Error(w, "manifest digest does not match chain", http.StatusBadRequest)
+		return
+	}
+	// Consume the lease and stash the verdict.
+	delete(c.leases, l.id)
+	delete(st.active, l.id)
+	st.posted = append(st.posted, &postedVerdict{post: p, snap: snap})
+	c.fetchedBytes += p.FetchedBytes
+	if hit := p.LogicalBytes - p.FetchedBytes; hit > 0 {
+		c.cacheHitBytes += hit
+	}
+	c.advanceLocked()
+	ack := []byte("verdict recorded\n")
+	signResponse(w, c.opts.Key, ack)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(ack)
+}
+
+// advanceLocked publishes decisions strictly in chain order: local
+// decisions (damaged manifests, compacted adoptions) are made on the
+// spot; leased epochs wait for their verdict quorum. It stops at the
+// first epoch that is not ready, and finishes the audit when the chain
+// is exhausted, bounded by To, broken, or gapped.
+func (c *Coordinator) advanceLocked() {
+	for !c.broken && !c.finished && c.err == nil {
+		if c.opts.To > 0 && c.next > c.opts.To {
+			c.finishLocked()
+			return
+		}
+		st := c.states[c.next]
+		if st == nil {
+			if c.next <= c.maxKnown {
+				// Seal gap: later epochs exist but this one never sealed.
+				// Nothing past the gap can be audited (no hand-off), so
+				// the run finishes incomplete — same as the single-process
+				// auditor's sealedPastGap outcome.
+				c.incomplete = c.next
+			}
+			c.finishLocked()
+			return
+		}
+		if st.decided {
+			// Rehydrated prefix; position already advanced in rehydrate.
+			c.next++
+			continue
+		}
+		s := st.s
+		switch {
+		case s.Err != nil:
+			// Damaged manifest: decided locally, exactly as auditOne's
+			// integrity reject (the load error names the damage).
+			ie := &epoch.IntegrityError{Epoch: s.Number, Detail: fmt.Sprintf("damaged manifest: %v", s.Err)}
+			c.publishLocked(st, c.rejectVerdict(st, ie.Error(),
+				&verifier.Forensics{Phase: epoch.PhaseEpochLoad, Check: "integrity"}), nil)
+		case s.Compacted:
+			v, snap := c.adoptLocked(st)
+			c.publishLocked(st, v, snap)
+		default:
+			if len(st.posted) == 0 {
+				return // waiting on a worker
+			}
+			if st.cross {
+				if reason, f := c.crossMismatchLocked(st); f != nil {
+					c.epochsCrossChecked++
+					c.crossCheckMismatches++
+					c.publishLocked(st, c.rejectVerdict(st, reason, f), nil)
+					continue
+				}
+				if len(st.posted) < st.need {
+					return // waiting on replicas
+				}
+				c.epochsCrossChecked++
+			}
+			first := st.posted[0]
+			c.publishLocked(st, c.verdictFromPost(st, first), first.snap)
+		}
+	}
+}
+
+// rejectVerdict builds a locally-decided REJECT, replicating
+// auditOne's reject closure (Detail defaults to the reason).
+func (c *Coordinator) rejectVerdict(st *epochState, reason string, f *verifier.Forensics) epoch.Verdict {
+	v := epoch.Verdict{Epoch: st.s.Number, ManifestSHA: st.s.ManifestSHA, Reason: reason}
+	if st.s.Manifest != nil {
+		v.Events = st.s.Manifest.Events
+		v.Requests = st.s.Manifest.Requests
+	}
+	if f != nil && f.Detail == "" {
+		f.Detail = reason
+	}
+	v.Forensics = f
+	return v
+}
+
+// verdictFromPost builds the ledger verdict from a worker's post. The
+// coordinator trusts only the audit outcome and its evidence; epoch
+// identity, counts, and the chain digest come from its own manifest
+// walk.
+func (c *Coordinator) verdictFromPost(st *epochState, pv *postedVerdict) epoch.Verdict {
+	p := pv.post
+	v := epoch.Verdict{
+		Epoch:       st.s.Number,
+		ManifestSHA: st.s.ManifestSHA,
+		Accepted:    p.Accepted,
+		Reason:      p.Reason,
+		Forensics:   p.Forensics,
+		AuditTime:   p.Stats.Total,
+		Stats:       p.Stats,
+	}
+	if st.s.Manifest != nil {
+		v.Events = st.s.Manifest.Events
+		v.Requests = st.s.Manifest.Requests
+	}
+	return v
+}
+
+// adoptLocked replicates auditOne's compacted-epoch adoption: the
+// stored ACCEPT plus checkpoint stand in for the evicted artifacts.
+// Like the single-process path, an adoption-failure REJECT never
+// overwrites the stored decision (keepStored is handled in
+// publishLocked via Verdict semantics replicated here).
+func (c *Coordinator) adoptLocked(st *epochState) (epoch.Verdict, *object.Snapshot) {
+	s := st.s
+	d, stored := c.log.Get(s.Number)
+	reject := func(reason string) (epoch.Verdict, *object.Snapshot) {
+		v := c.rejectVerdict(st, reason, &verifier.Forensics{Phase: epoch.PhaseEpochLoad, Check: "compaction"})
+		if stored {
+			v.KeepStored = true
+		}
+		return v, nil
+	}
+	if !stored || !d.Accepted {
+		return reject(fmt.Sprintf("epoch %d is compacted but the decision log holds no ACCEPT for it", s.Number))
+	}
+	if d.ManifestSHA != s.ManifestSHA {
+		return reject(fmt.Sprintf("epoch %d is compacted but its stored decision pins manifest %s, on disk is %s",
+			s.Number, shortSHA(d.ManifestSHA), shortSHA(s.ManifestSHA)))
+	}
+	snap, err := epoch.LoadCheckpoint(c.dir, s.Number)
+	if err != nil {
+		return reject(fmt.Sprintf("epoch %d is compacted but its checkpoint is unreadable: %v", s.Number, err))
+	}
+	v := epoch.Verdict{Epoch: s.Number, ManifestSHA: s.ManifestSHA, Accepted: true, Adopted: true}
+	if s.Manifest != nil {
+		v.Events = s.Manifest.Events
+		v.Requests = s.Manifest.Requests
+	}
+	return v, snap
+}
+
+// crossMismatchLocked compares the posted replica verdicts of a
+// cross-checked epoch. Any disagreement on outcome, reason, or final
+// snapshot digest is a REJECT with forensics naming both workers —
+// per the paper's trust model the executor earns no benefit of the
+// doubt, and a disagreeing fleet cannot vouch for the epoch.
+func (c *Coordinator) crossMismatchLocked(st *epochState) (string, *verifier.Forensics) {
+	base := st.posted[0]
+	for _, other := range st.posted[1:] {
+		if agreeing(base, other) {
+			continue
+		}
+		reason := fmt.Sprintf("cross-check disagreement on epoch %d: worker %s and worker %s returned different verdicts",
+			st.s.Number, base.post.Worker, other.post.Worker)
+		return reason, &verifier.Forensics{
+			Phase: epoch.PhaseEpochLoad,
+			Check: "cross-check",
+			Detail: fmt.Sprintf("worker %s: %s; worker %s: %s",
+				base.post.Worker, describePost(base.post), other.post.Worker, describePost(other.post)),
+		}
+	}
+	return "", nil
+}
+
+func agreeing(a, b *postedVerdict) bool {
+	if a.post.Accepted != b.post.Accepted {
+		return false
+	}
+	if a.post.Accepted {
+		return a.post.SnapshotDigest == b.post.SnapshotDigest
+	}
+	if a.post.Reason != b.post.Reason {
+		return false
+	}
+	af, _ := json.Marshal(a.post.Forensics)
+	bf, _ := json.Marshal(b.post.Forensics)
+	return string(af) == string(bf)
+}
+
+func describePost(p VerdictPost) string {
+	if p.Accepted {
+		return fmt.Sprintf("ACCEPT (snapshot %.12s)", p.SnapshotDigest)
+	}
+	return fmt.Sprintf("REJECT (%s)", p.Reason)
+}
+
+// publishLocked extends the chain digest with the verdict, appends it
+// to the ledger and the durable decision log, threads the snapshot
+// hand-off forward, and on REJECT breaks the chain (dropping every
+// outstanding lease — workers learn on their next poll).
+func (c *Coordinator) publishLocked(st *epochState, v epoch.Verdict, snap *object.Snapshot) {
+	v.ChainSHA = c.extendChainLocked(v.ManifestSHA, v.Accepted)
+	st.decided = true
+	for id := range st.active {
+		delete(c.leases, id)
+		delete(st.active, id)
+	}
+	st.posted = nil
+	c.verdicts = append(c.verdicts, v)
+	if !v.Adopted && !v.KeepStored {
+		if err := c.log.Append(epoch.DecisionFromVerdict(v)); err != nil {
+			// The ledger is the product; a log that cannot take verdicts
+			// aborts the audit as an internal fault, not a REJECT.
+			c.err = err
+			c.finishLocked()
+			return
+		}
+	}
+	if !v.Accepted {
+		c.broken = true
+		for id, l := range c.leases {
+			delete(c.leases, id)
+			if s := c.states[l.epoch]; s != nil {
+				delete(s.active, id)
+			}
+		}
+		c.finishLocked()
+		return
+	}
+	n := st.s.Number
+	if snap != nil {
+		data, err := snap.Encode()
+		if err != nil {
+			c.err = err
+			c.finishLocked()
+			return
+		}
+		c.inits[n+1] = data
+		delete(c.inits, n)
+		if !v.Adopted {
+			// Checkpoints make the chain resumable (and compactable) by
+			// either auditor; a failed write is a warning, not a verdict —
+			// the decision is already durable.
+			if err := epoch.WriteCheckpoint(c.dir, n, snap); err != nil {
+				c.warnings = append(c.warnings,
+					fmt.Sprintf("epoch %d: checkpoint write failed: %v", n, err))
+			}
+		}
+	}
+	c.prevSHA = v.ManifestSHA
+	c.next = n + 1
+}
+
+// extendChainLocked advances the running ledger digest — the same
+// H(prev || manifestSHA || verdict byte) as Auditor.extendChain.
+func (c *Coordinator) extendChainLocked(manifestSHA string, accepted bool) string {
+	h := sha256.New()
+	h.Write([]byte(c.chainSHA))
+	h.Write([]byte(manifestSHA))
+	if accepted {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	c.chainSHA = hex.EncodeToString(h.Sum(nil))
+	return c.chainSHA
+}
+
+func (c *Coordinator) finishLocked() {
+	if c.finished {
+		return
+	}
+	c.finished = true
+	close(c.done)
+}
+
+// Wait blocks until the audit finishes (every sealed epoch decided, the
+// chain broken, or an internal fault) or ctx is cancelled. It returns
+// the internal fault, if any; a REJECT is a verdict, not an error.
+func (c *Coordinator) Wait(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-c.done:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Verdicts returns a copy of the ledger so far, in chain order.
+func (c *Coordinator) Verdicts() []epoch.Verdict {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]epoch.Verdict(nil), c.verdicts...)
+}
+
+// ChainAccepted reports whether every decided epoch accepted.
+func (c *Coordinator) ChainAccepted() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.broken
+}
+
+// ChainSHA returns the running ledger digest.
+func (c *Coordinator) ChainSHA() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.chainSHA
+}
+
+// Incomplete returns the first unsealed epoch number when the chain has
+// a seal gap (later epochs exist but could not be audited), 0 otherwise.
+func (c *Coordinator) Incomplete() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.incomplete
+}
+
+// Warnings returns non-fatal problems (failed checkpoint writes).
+func (c *Coordinator) Warnings() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.warnings...)
+}
+
+// Stats snapshots the fleet counters.
+func (c *Coordinator) Stats() CoordinatorStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	decided := 0
+	for _, st := range c.states {
+		if st.decided {
+			decided++
+		}
+	}
+	return CoordinatorStats{
+		WorkersSeen:          len(c.workers),
+		LeasesActive:         len(c.leases),
+		LeasesReassigned:     c.leasesReassigned,
+		EpochsDecided:        decided,
+		EpochsCrossChecked:   c.epochsCrossChecked,
+		CrossCheckMismatches: c.crossCheckMismatches,
+		BadSignaturePosts:    c.badSignaturePosts,
+		StaleVerdicts:        c.staleVerdicts,
+		FetchedBytes:         c.fetchedBytes,
+		CacheHitBytes:        c.cacheHitBytes,
+		Done:                 c.finished,
+		Broken:               c.broken,
+	}
+}
+
+// Close releases the decision log.
+func (c *Coordinator) Close() error { return c.log.Close() }
+
+func newLeaseID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// shortSHA matches the epoch package's short(): digests truncate to 12
+// hex chars in human-facing messages, which the replicated reject
+// reasons must reproduce byte-for-byte.
+func shortSHA(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}

@@ -1,0 +1,171 @@
+// Package fleet distributes the audit of a sealed epoch chain across
+// machines. The paper's audit phase (§5) is offline and embarrassingly
+// parallel across epochs: each sealed epoch is a self-contained,
+// hash-chained artifact, which makes it an ideal unit of remote work.
+// Three roles cooperate:
+//
+//   - The artifact server exposes chain state, epoch manifests, and
+//     content-addressed chunks straight out of the chain's cas.Store
+//     (mounted under /-/fleet/ on orochi-serve, or standalone via
+//     orochi-audit -serve-artifacts). Chunks are self-verifying, so the
+//     transport needs no trust; a warm worker fetches only chunks it
+//     lacks (the gapid isolate-server model).
+//
+//   - The coordinator walks the manifest hash chain and hands out
+//     lease-based epoch assignments in chain order with snapshot
+//     hand-off: epoch N+1's trusted initial state is the verified final
+//     snapshot posted for epoch N, exactly the in-process auditor's
+//     threading. Timed-out leases are reassigned; a sampled fraction of
+//     epochs is optionally cross-checked on k workers before the
+//     verdict is believed; verdicts persist into the chain's durable
+//     decisions.jsonl, so -explain, the console, and restart
+//     rehydration work unchanged.
+//
+//   - A worker (orochi-audit -worker) pulls a lease, reconstructs the
+//     epoch through a tiered store (local cache over cas.HTTPStore),
+//     audits it with the standard verifier, and posts back an
+//     HMAC-signed verdict plus final snapshot.
+//
+// The invariant everything here defends: a fleet audit of a chain
+// produces bit-identical verdicts, forensics, and chain ledger digest
+// to the single-process auditor, at any worker count, lease timeout,
+// or cross-check rate. The worker replays auditOne's checks in
+// auditOne's order (integrity, manifest chain, trusted init,
+// verification) with the same reason strings, and cas.HTTPStore
+// reconstructs local store error shapes byte-for-byte.
+package fleet
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http"
+
+	"orochi/internal/verifier"
+)
+
+// Prefix is the URL prefix of every fleet endpoint, under the control
+// surface so fleet traffic never enters the audited trace.
+const Prefix = "/-/fleet"
+
+// SigHeader carries the hex HMAC-SHA256 of the message body, keyed by
+// the shared fleet key. Verdict and lease posts are signed by workers;
+// lease and init-snapshot responses are signed by the coordinator.
+const SigHeader = "X-Orochi-Fleet-Sig"
+
+// Sign returns the hex HMAC-SHA256 of body under key. An empty key
+// returns "" (signing disabled — a development convenience; production
+// fleets set -fleet-key).
+func Sign(key, body []byte) string {
+	if len(key) == 0 {
+		return ""
+	}
+	mac := hmac.New(sha256.New, key)
+	mac.Write(body)
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// VerifySig reports whether sig authenticates body under key. With an
+// empty key every message passes (signing disabled); with a key set, a
+// missing or wrong signature fails.
+func VerifySig(key, body []byte, sig string) bool {
+	if len(key) == 0 {
+		return true
+	}
+	want, err := hex.DecodeString(sig)
+	if err != nil {
+		return false
+	}
+	mac := hmac.New(sha256.New, key)
+	mac.Write(body)
+	return hmac.Equal(want, mac.Sum(nil))
+}
+
+// signResponse stamps a response body's signature header before the
+// body is written.
+func signResponse(w http.ResponseWriter, key, body []byte) {
+	if sig := Sign(key, body); sig != "" {
+		w.Header().Set(SigHeader, sig)
+	}
+}
+
+// LeaseRequest is a worker asking for work (POST /-/fleet/lease,
+// signed).
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// Lease is one epoch assignment. A worker holds it until it posts a
+// valid verdict or the coordinator's lease timeout expires; any
+// authenticated activity on the lease (an init poll) renews it.
+type Lease struct {
+	ID    string `json:"id"`
+	Epoch int64  `json:"epoch"`
+	// ManifestSHA pins the manifest bytes the worker must fetch;
+	// PrevManifestSHA is the digest this epoch's manifest must link to
+	// (the chain check, performed worker-side in auditOne's order).
+	ManifestSHA     string `json:"manifest_sha256"`
+	PrevManifestSHA string `json:"prev_manifest_sha256"`
+	// InitManifest is true when the trusted initial state comes from the
+	// epoch's own manifest (epoch 1); otherwise the worker polls the
+	// coordinator's init endpoint for the previous epoch's verified
+	// final snapshot.
+	InitManifest bool `json:"init_manifest,omitempty"`
+	// CrossCheck marks a replica assignment of a sampled epoch.
+	CrossCheck bool `json:"cross_check,omitempty"`
+	// DeadlineUnix is when the lease expires unless renewed.
+	DeadlineUnix int64 `json:"deadline_unix"`
+}
+
+// LeaseResponse answers a lease request: an assignment, a retry hint
+// (no work available right now), or done (the chain is fully decided —
+// the worker exits).
+type LeaseResponse struct {
+	Done    bool   `json:"done,omitempty"`
+	RetryMS int    `json:"retry_ms,omitempty"`
+	Lease   *Lease `json:"lease,omitempty"`
+}
+
+// VerdictPost is a worker's signed verdict for a leased epoch (POST
+// /-/fleet/verdict). The coordinator trusts only what it must: epoch
+// identity, chain digest, events/requests counts come from its own
+// manifest walk; the post carries the audit outcome and its evidence.
+type VerdictPost struct {
+	LeaseID     string `json:"lease_id"`
+	Worker      string `json:"worker"`
+	Epoch       int64  `json:"epoch"`
+	ManifestSHA string `json:"manifest_sha256"`
+	Accepted    bool   `json:"accepted"`
+	Reason      string `json:"reason,omitempty"`
+	// Forensics is the structured evidence behind a REJECT, exactly as
+	// the in-process auditor would record it.
+	Forensics *verifier.Forensics `json:"forensics,omitempty"`
+	// Stats is the verifier's cost decomposition for this epoch.
+	Stats verifier.Stats `json:"stats"`
+	// FinalSnapshot is the verified final state (object.Snapshot.Encode)
+	// on ACCEPT — the next epoch's trusted initial state. Empty on
+	// REJECT.
+	FinalSnapshot []byte `json:"final_snapshot,omitempty"`
+	// SnapshotDigest is the canonical digest of FinalSnapshot's decoded
+	// content (object.Snapshot.CanonicalDigest) — the cross-check
+	// comparison key, stable across encoders.
+	SnapshotDigest string `json:"snapshot_digest,omitempty"`
+	// FetchedBytes and LogicalBytes account the transport: chunk bytes
+	// actually pulled over the wire for this epoch vs the logical bytes
+	// its manifest pins. logical - fetched = the worker's cache hits.
+	FetchedBytes int64 `json:"fetched_bytes"`
+	LogicalBytes int64 `json:"logical_bytes"`
+}
+
+// ChainEpoch is one row of the artifact server's chain listing.
+type ChainEpoch struct {
+	Epoch       int64  `json:"epoch"`
+	ManifestSHA string `json:"manifest_sha256"`
+	Compacted   bool   `json:"compacted,omitempty"`
+	Damaged     bool   `json:"damaged,omitempty"`
+}
+
+// ChainInfo is the artifact server's chain state (GET /-/fleet/chain).
+type ChainInfo struct {
+	Epochs []ChainEpoch `json:"epochs"`
+}

@@ -1,0 +1,532 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"orochi/internal/cas"
+	"orochi/internal/epoch"
+	"orochi/internal/lang"
+	"orochi/internal/object"
+	"orochi/internal/verifier"
+)
+
+// WorkerOptions configures a fleet audit worker.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL (scheme://host:port).
+	Coordinator string
+	// Artifacts is the artifact server's base URL; empty means the
+	// coordinator serves artifacts too (the common co-mounted setup).
+	Artifacts string
+	// Name identifies this worker in leases, forensics, and metrics
+	// (default "host:pid").
+	Name string
+	// Key is the shared fleet HMAC key; must match the coordinator's.
+	Key []byte
+	// Hot is the local chunk cache composed over the remote store
+	// (default an in-memory store; the CLI offers an on-disk one). A
+	// warm cache is the whole point: only missing chunks cross the
+	// wire.
+	Hot cas.Store
+	// Client is the HTTP client for coordinator and artifact traffic
+	// (default: 60s timeout).
+	Client *http.Client
+	// Verify configures the verifier, exactly as a local audit would
+	// (engine, audit workers, dedup).
+	Verify verifier.Options
+	// InitPoll is how often to poll for a not-yet-ready trusted initial
+	// state (default 150ms).
+	InitPoll time.Duration
+	// FetchRetries bounds retry attempts on transient artifact-fetch
+	// failures before the lease is abandoned (default 3).
+	FetchRetries int
+	// OnEpoch, when non-nil, observes each completed assignment (the
+	// CLI prints per-epoch progress from it).
+	OnEpoch func(EpochReport)
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.Artifacts == "" {
+		o.Artifacts = o.Coordinator
+	}
+	if o.Name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		o.Name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	if o.Hot == nil {
+		o.Hot = cas.NewMemory()
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 60 * time.Second}
+	}
+	if o.InitPoll <= 0 {
+		o.InitPoll = 150 * time.Millisecond
+	}
+	if o.FetchRetries <= 0 {
+		o.FetchRetries = 3
+	}
+	return o
+}
+
+// EpochReport is one completed assignment, as observed by OnEpoch.
+type EpochReport struct {
+	Epoch    int64
+	Accepted bool
+	Reason   string
+	// FetchedBytes is what actually crossed the wire for this epoch;
+	// LogicalBytes is what its manifest pins. The difference is the
+	// local cache's contribution.
+	FetchedBytes int64
+	LogicalBytes int64
+	CrossCheck   bool
+}
+
+// WorkerStats summarizes a worker run.
+type WorkerStats struct {
+	Name         string
+	Epochs       int
+	Accepted     int
+	Rejected     int
+	Abandoned    int // leases dropped without a verdict (transport faults, expiry)
+	FetchedBytes int64
+	LogicalBytes int64
+}
+
+// coldTracker wraps the remote chunk store and records whether any Get
+// failed for transport reasons (cas.ErrUnavailable). LoadFrom folds
+// chunk errors into IntegrityError strings, so the typed sentinel must
+// be caught here, during the fetch — a flaky network is retried, never
+// posted as audit evidence against the executor.
+type coldTracker struct {
+	inner       cas.Store
+	unavailable atomic.Bool
+}
+
+func (t *coldTracker) reset()               { t.unavailable.Store(false) }
+func (t *coldTracker) sawUnavailable() bool { return t.unavailable.Load() }
+
+func (t *coldTracker) Get(sha string) ([]byte, error) {
+	data, err := t.inner.Get(sha)
+	if err != nil && errors.Is(err, cas.ErrUnavailable) {
+		t.unavailable.Store(true)
+	}
+	return data, err
+}
+
+func (t *coldTracker) Put(sha string, data []byte) error { return t.inner.Put(sha, data) }
+func (t *coldTracker) Has(sha string) bool               { return t.inner.Has(sha) }
+func (t *coldTracker) List() ([]string, error)           { return t.inner.List() }
+func (t *coldTracker) Delete(sha string) error           { return t.inner.Delete(sha) }
+
+// errAbandoned marks an assignment dropped without a verdict.
+var errAbandoned = errors.New("fleet: lease abandoned")
+
+// maxLeaseFailures bounds consecutive failed lease polls (coordinator
+// unreachable) before the worker gives up.
+const maxLeaseFailures = 20
+
+type worker struct {
+	opts    WorkerOptions
+	prog    *lang.Program
+	remote  *cas.HTTPStore
+	tracker *coldTracker
+	tiered  *cas.Tiered
+	stats   WorkerStats
+}
+
+// RunWorker pulls leases from the coordinator and audits them until the
+// chain is fully decided (the coordinator answers done), the context is
+// cancelled, or a fatal configuration error (wrong fleet key) occurs.
+// The verifier runs exactly as in a local audit — same engine, same
+// options — so verdicts are bit-identical to the single-process
+// auditor's.
+func RunWorker(ctx context.Context, prog *lang.Program, opts WorkerOptions) (WorkerStats, error) {
+	opts = opts.withDefaults()
+	if opts.Coordinator == "" {
+		return WorkerStats{}, errors.New("fleet: worker needs a coordinator URL")
+	}
+	remote := cas.NewHTTPStore(opts.Artifacts+Prefix, opts.Client)
+	tracker := &coldTracker{inner: remote}
+	w := &worker{
+		opts:    opts,
+		prog:    prog,
+		remote:  remote,
+		tracker: tracker,
+		tiered:  &cas.Tiered{Hot: opts.Hot, Cold: tracker},
+		stats:   WorkerStats{Name: opts.Name},
+	}
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return w.stats, err
+		}
+		resp, err := w.lease()
+		if err != nil {
+			if isFatal(err) {
+				return w.stats, err
+			}
+			failures++
+			if failures >= maxLeaseFailures {
+				return w.stats, fmt.Errorf("fleet: coordinator unreachable: %w", err)
+			}
+			if !sleepCtx(ctx, 500*time.Millisecond) {
+				return w.stats, ctx.Err()
+			}
+			continue
+		}
+		failures = 0
+		switch {
+		case resp.Done:
+			return w.stats, nil
+		case resp.Lease == nil:
+			wait := time.Duration(resp.RetryMS) * time.Millisecond
+			if wait <= 0 {
+				wait = 300 * time.Millisecond
+			}
+			if !sleepCtx(ctx, wait) {
+				return w.stats, ctx.Err()
+			}
+		default:
+			if err := w.audit(ctx, resp.Lease); err != nil {
+				if errors.Is(err, errAbandoned) {
+					w.stats.Abandoned++
+					continue
+				}
+				return w.stats, err
+			}
+		}
+	}
+}
+
+// fatalError wraps errors that must stop the worker (key mismatch,
+// verifier faults) rather than abandon one lease.
+type fatalError struct{ err error }
+
+func (e *fatalError) Error() string { return e.err.Error() }
+func (e *fatalError) Unwrap() error { return e.err }
+
+func isFatal(err error) bool {
+	var fe *fatalError
+	return errors.As(err, &fe)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// lease asks the coordinator for work.
+func (w *worker) lease() (*LeaseResponse, error) {
+	body, err := w.signedPost(w.opts.Coordinator+Prefix+"/lease", LeaseRequest{Worker: w.opts.Name})
+	if err != nil {
+		return nil, err
+	}
+	var resp LeaseResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, fmt.Errorf("fleet: bad lease response: %w", err)
+	}
+	return &resp, nil
+}
+
+// signedPost posts v as signed JSON and returns the (signature-
+// verified) response body. Non-2xx statuses are errors; 403 is fatal
+// (the fleet key does not match).
+func (w *worker) signedPost(url string, v any) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if sig := Sign(w.opts.Key, body); sig != "" {
+		req.Header.Set(SigHeader, sig)
+	}
+	resp, err := w.opts.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case resp.StatusCode == http.StatusForbidden:
+		return nil, &fatalError{fmt.Errorf("fleet: coordinator refused the post: %s", firstLine(data))}
+	case resp.StatusCode == http.StatusConflict:
+		return nil, fmt.Errorf("%w: %s", errStaleLease, firstLine(data))
+	case resp.StatusCode < 200 || resp.StatusCode > 299:
+		return nil, fmt.Errorf("fleet: %s: unexpected status %s: %s", url, resp.Status, firstLine(data))
+	}
+	if !VerifySig(w.opts.Key, data, resp.Header.Get(SigHeader)) {
+		return nil, &fatalError{errors.New("fleet: coordinator response not signed with the fleet key")}
+	}
+	return data, nil
+}
+
+var errStaleLease = errors.New("fleet: stale lease")
+
+func firstLine(data []byte) string {
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		data = data[:i]
+	}
+	return string(data)
+}
+
+// audit runs one leased epoch start to finish: fetch the manifest,
+// reconstruct the artifacts through the tiered store, replay auditOne's
+// checks in auditOne's order, verify, and post the signed verdict.
+func (w *worker) audit(ctx context.Context, l *Lease) error {
+	_, bytesStart := w.remote.Fetched()
+	m, sha, err := w.fetchManifest(ctx, l)
+	if err != nil {
+		return err
+	}
+	logical := int64(0)
+	for _, ref := range m.ChunkRefs() {
+		logical += ref.Bytes
+	}
+	sealed := &epoch.Sealed{Number: l.Epoch, Manifest: m, ManifestSHA: sha}
+
+	post := VerdictPost{LeaseID: l.ID, Worker: w.opts.Name, Epoch: l.Epoch, ManifestSHA: sha}
+	reject := func(reason string, f *verifier.Forensics) error {
+		post.Accepted = false
+		post.Reason = reason
+		if f != nil && f.Detail == "" {
+			f.Detail = reason
+		}
+		post.Forensics = f
+		return w.post(ctx, l, &post, logical, bytesStart)
+	}
+
+	// Check 1: integrity — reconstruct and verify every artifact
+	// against the manifest, retrying transport faults (which are never
+	// audit evidence; see coldTracker).
+	var loaded *epoch.Loaded
+	for attempt := 0; ; attempt++ {
+		w.tracker.reset()
+		loaded, err = epoch.LoadFrom(sealed, w.tiered)
+		if err == nil || !w.tracker.sawUnavailable() {
+			break
+		}
+		if attempt+1 >= w.opts.FetchRetries {
+			return fmt.Errorf("%w: epoch %d artifacts unavailable after %d attempts: %v",
+				errAbandoned, l.Epoch, attempt+1, err)
+		}
+		if !sleepCtx(ctx, 250*time.Millisecond) {
+			return ctx.Err()
+		}
+	}
+	if err != nil {
+		var ie *epoch.IntegrityError
+		if errors.As(err, &ie) {
+			return reject(err.Error(), &verifier.Forensics{Phase: epoch.PhaseEpochLoad, Check: "integrity"})
+		}
+		return &fatalError{err}
+	}
+
+	// Check 2: the manifest must link to the chain the coordinator is
+	// walking.
+	if m.PrevManifestSHA256 != l.PrevManifestSHA {
+		return reject(fmt.Sprintf("manifest chain mismatch: epoch %d links to %s, previous manifest is %s",
+			l.Epoch, shortSHA(m.PrevManifestSHA256), shortSHA(l.PrevManifestSHA)),
+			&verifier.Forensics{Phase: epoch.PhaseEpochLoad, Check: "manifest-chain"})
+	}
+
+	// Check 3: trusted initial state — the manifest's own snapshot for
+	// the first epoch, the previous epoch's verified final snapshot
+	// (fetched from the coordinator) otherwise.
+	var init *object.Snapshot
+	if l.InitManifest {
+		if loaded.Init == nil {
+			return reject(fmt.Sprintf("epoch %d has no trusted initial state (no chained snapshot, no init in manifest)", l.Epoch),
+				&verifier.Forensics{Phase: epoch.PhaseEpochLoad, Check: "missing-init"})
+		}
+		init = loaded.Init
+	} else {
+		init, err = w.fetchInit(ctx, l)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Check 4: verification proper, exactly as a local audit.
+	res, err := verifier.AuditContext(ctx, w.prog, loaded.Trace, loaded.Reports, init, w.opts.Verify)
+	if err != nil {
+		if errors.Is(err, verifier.ErrAuditCanceled) {
+			return err
+		}
+		return &fatalError{err}
+	}
+	post.Stats = res.Stats
+	if !res.Accepted {
+		return reject(res.Reason, res.Forensics)
+	}
+	snap, err := res.FinalSnapshot()
+	if err != nil {
+		return &fatalError{err}
+	}
+	data, err := snap.Encode()
+	if err != nil {
+		return &fatalError{err}
+	}
+	post.Accepted = true
+	post.FinalSnapshot = data
+	post.SnapshotDigest = snap.CanonicalDigest()
+	return w.post(ctx, l, &post, logical, bytesStart)
+}
+
+// fetchManifest pulls the leased epoch's raw manifest bytes and pins
+// them against the lease's digest — the worker audits exactly the
+// manifest the coordinator walked, or nothing.
+func (w *worker) fetchManifest(ctx context.Context, l *Lease) (*epoch.Manifest, string, error) {
+	url := fmt.Sprintf("%s%s/epoch/%d/manifest", w.opts.Artifacts, Prefix, l.Epoch)
+	var lastErr error
+	for attempt := 0; attempt < w.opts.FetchRetries; attempt++ {
+		if attempt > 0 && !sleepCtx(ctx, 250*time.Millisecond) {
+			return nil, "", ctx.Err()
+		}
+		resp, err := w.opts.Client.Get(url)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("fleet: fetch manifest: status %s: %v", resp.Status, err)
+			continue
+		}
+		if got := cas.SumHex(data); got != l.ManifestSHA {
+			lastErr = fmt.Errorf("fleet: manifest bytes hash to %s, lease pins %s", shortSHA(got), shortSHA(l.ManifestSHA))
+			continue
+		}
+		var m epoch.Manifest
+		if err := json.Unmarshal(data, &m); err != nil || m.Epoch != l.Epoch {
+			// The coordinator never leases a damaged manifest, so this is
+			// transport corruption or a confused server — abandon.
+			lastErr = fmt.Errorf("fleet: undecodable manifest for epoch %d: %v", l.Epoch, err)
+			break
+		}
+		return &m, l.ManifestSHA, nil
+	}
+	return nil, "", fmt.Errorf("%w: %v", errAbandoned, lastErr)
+}
+
+// fetchInit polls the coordinator for the previous epoch's verified
+// final snapshot. 202 means not ready (the previous epoch is still
+// under audit — each poll renews the lease); 410 means the lease died
+// or the chain broke before this epoch, so the assignment is abandoned.
+func (w *worker) fetchInit(ctx context.Context, l *Lease) (*object.Snapshot, error) {
+	url := fmt.Sprintf("%s%s/epoch/%d/init?lease=%s", w.opts.Coordinator, Prefix, l.Epoch, l.ID)
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp, err := w.opts.Client.Get(url)
+		if err != nil {
+			failures++
+			if failures >= w.opts.FetchRetries {
+				return nil, fmt.Errorf("%w: init fetch: %v", errAbandoned, err)
+			}
+			if !sleepCtx(ctx, w.opts.InitPoll) {
+				return nil, ctx.Err()
+			}
+			continue
+		}
+		data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxPostBytes))
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			if rerr != nil {
+				failures++
+				if failures >= w.opts.FetchRetries {
+					return nil, fmt.Errorf("%w: init fetch: %v", errAbandoned, rerr)
+				}
+				continue
+			}
+			if !VerifySig(w.opts.Key, data, resp.Header.Get(SigHeader)) {
+				return nil, &fatalError{errors.New("fleet: init snapshot not signed with the fleet key")}
+			}
+			snap, err := object.DecodeSnapshot(data)
+			if err != nil {
+				return nil, &fatalError{fmt.Errorf("fleet: undecodable init snapshot for epoch %d: %w", l.Epoch, err)}
+			}
+			return snap, nil
+		case http.StatusAccepted:
+			failures = 0
+			if !sleepCtx(ctx, w.opts.InitPoll) {
+				return nil, ctx.Err()
+			}
+		case http.StatusGone:
+			return nil, fmt.Errorf("%w: epoch %d lease gone (expired, or the chain broke earlier)", errAbandoned, l.Epoch)
+		default:
+			failures++
+			if failures >= w.opts.FetchRetries {
+				return nil, fmt.Errorf("%w: init fetch: status %s", errAbandoned, resp.Status)
+			}
+			if !sleepCtx(ctx, w.opts.InitPoll) {
+				return nil, ctx.Err()
+			}
+		}
+	}
+}
+
+// post sends the signed verdict and updates the worker's tallies. A 409
+// means the lease expired under us and the epoch was reassigned — the
+// verdict is ignored by the coordinator, and counted abandoned here.
+func (w *worker) post(ctx context.Context, l *Lease, p *VerdictPost, logical, bytesStart int64) error {
+	_, bytesNow := w.remote.Fetched()
+	p.FetchedBytes = bytesNow - bytesStart
+	p.LogicalBytes = logical
+	_, err := w.signedPost(w.opts.Coordinator+Prefix+"/verdict", p)
+	if err != nil {
+		if errors.Is(err, errStaleLease) {
+			return fmt.Errorf("%w: %v", errAbandoned, err)
+		}
+		if isFatal(err) {
+			return err
+		}
+		// Transport failure posting the verdict: the lease will expire
+		// and the epoch be reassigned; drop it here.
+		return fmt.Errorf("%w: verdict post: %v", errAbandoned, err)
+	}
+	w.stats.Epochs++
+	if p.Accepted {
+		w.stats.Accepted++
+	} else {
+		w.stats.Rejected++
+	}
+	w.stats.FetchedBytes += p.FetchedBytes
+	w.stats.LogicalBytes += p.LogicalBytes
+	if w.opts.OnEpoch != nil {
+		w.opts.OnEpoch(EpochReport{
+			Epoch:        l.Epoch,
+			Accepted:     p.Accepted,
+			Reason:       p.Reason,
+			FetchedBytes: p.FetchedBytes,
+			LogicalBytes: p.LogicalBytes,
+			CrossCheck:   l.CrossCheck,
+		})
+	}
+	return nil
+}
